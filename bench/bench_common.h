@@ -1,0 +1,90 @@
+#ifndef CRAYFISH_BENCH_BENCH_COMMON_H_
+#define CRAYFISH_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "serving/calibration.h"
+#include "serving/external_server.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+namespace crayfish::bench {
+
+/// Runs one configuration, CHECK-failing on setup errors (bench configs
+/// are static, so failures are programmer errors).
+inline core::ExperimentResult Run(const core::ExperimentConfig& config) {
+  auto result = core::RunExperiment(config);
+  CRAYFISH_CHECK(result.ok()) << config.Label() << ": "
+                              << result.status().ToString();
+  return std::move(*result);
+}
+
+/// Runs the paper's protocol: two repeats, aggregated.
+inline std::vector<core::ExperimentResult> Run2(
+    core::ExperimentConfig config) {
+  auto results = core::RunRepeated(config, 2);
+  CRAYFISH_CHECK(results.ok()) << config.Label() << ": "
+                               << results.status().ToString();
+  return std::move(*results);
+}
+
+/// "measured (paper: reference)" cell.
+inline std::string VsPaper(double measured, double paper, int precision = 2) {
+  return core::ReportTable::Num(measured, precision) + " (paper " +
+         core::ReportTable::Num(paper, precision) + ")";
+}
+
+/// Base throughput-experiment config shared by the open-loop benches
+/// (Table 4/5, Fig. 6/7/11/12): overload the SUT and measure the
+/// sustained output rate.
+inline core::ExperimentConfig ThroughputConfig(const std::string& engine,
+                                               const std::string& serving,
+                                               const std::string& model) {
+  core::ExperimentConfig cfg;
+  cfg.engine = engine;
+  cfg.serving = serving;
+  cfg.model = model;
+  cfg.batch_size = 1;
+  cfg.parallelism = 1;
+  cfg.input_rate = 30000.0;
+  cfg.duration_s = 12.0;
+  cfg.drain_s = 1.0;
+  return cfg;
+}
+
+/// Base closed-loop latency config (Fig. 5/10): low rate, latency
+/// dominated by the inference path.
+inline core::ExperimentConfig ClosedLoopConfig(const std::string& engine,
+                                               const std::string& serving,
+                                               int batch_size) {
+  core::ExperimentConfig cfg;
+  cfg.engine = engine;
+  cfg.serving = serving;
+  cfg.model = "ffnn";
+  cfg.batch_size = batch_size;
+  cfg.parallelism = 1;
+  cfg.input_rate = 1.0;
+  cfg.duration_s = 60.0;
+  cfg.drain_s = 10.0;
+  return cfg;
+}
+
+/// Writes the table's CSV next to the binary for downstream plotting and
+/// prints it.
+inline void Emit(core::ReportTable& table, const std::string& csv_name) {
+  table.Print();
+  crayfish::Status s = table.WriteCsv(csv_name);
+  if (!s.ok()) {
+    CRAYFISH_LOG(Warning) << "CSV not written: " << s.ToString();
+  } else {
+    std::printf("[csv: %s]\n\n", csv_name.c_str());
+  }
+}
+
+}  // namespace crayfish::bench
+
+#endif  // CRAYFISH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,49 @@
+// Reproduces Fig. 5: end-to-end request latency (ms/batch) on Apache
+// Flink for increasing batch sizes, FFNN, closed loop (ir = 1 ev/s,
+// mp = 1), all five serving tools.
+//
+// Paper reference points at bsz = 128: TF-Serving 191 ms, DL4J 229 ms,
+// SavedModel 188 ms. Expected shape: latency grows with batch size;
+// TF-Serving is comparable to — and sometimes below — the embedded
+// options; ONNX is the fastest embedded tool; standard deviation grows
+// with batch size.
+
+#include "bench/bench_common.h"
+
+namespace crayfish::bench {
+namespace {
+
+void RunFig5() {
+  const char* tools[] = {"dl4j", "onnx", "savedmodel", "tf-serving",
+                         "torchserve"};
+  const int batch_sizes[] = {32, 128, 512};
+
+  core::ReportTable table(
+      "Fig. 5: e2e latency vs batch size, Flink + FFNN (ir=1, mp=1)",
+      {"Tool", "bsz", "Latency ms", "StdDev ms", "p95 ms"});
+  for (const char* tool : tools) {
+    for (int bsz : batch_sizes) {
+      core::ExperimentConfig cfg = ClosedLoopConfig("flink", tool, bsz);
+      auto results = Run2(cfg);
+      core::Aggregate lat = core::AggregateLatencyMean(results);
+      table.AddRow({tool, std::to_string(bsz),
+                    core::ReportTable::Num(lat.mean),
+                    core::ReportTable::Num(lat.stddev),
+                    core::ReportTable::Num(
+                        results[0].summary.latency_p95_ms)});
+    }
+  }
+  Emit(table, "fig05_latency_batch.csv");
+  std::printf(
+      "Paper reference @bsz=128: TF-Serving 191 ms, DL4J 229 ms, "
+      "SavedModel 188 ms\n");
+}
+
+}  // namespace
+}  // namespace crayfish::bench
+
+int main() {
+  crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::RunFig5();
+  return 0;
+}

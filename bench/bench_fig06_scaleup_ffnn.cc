@@ -1,0 +1,47 @@
+// Reproduces Fig. 6: vertical scalability of the serving tools on Apache
+// Flink with the FFNN model (ir = 30k ev/s, bsz = 1), mp in {1..16}.
+//
+// Paper reference peaks: DL4J ~2.8k @ mp=8 (plateaus after); ONNX ~13.6k
+// @ 16; SavedModel ~10.4k @ 16; TF-Serving ~9.8k; TorchServe ~2.8k;
+// external tools keep scaling with added resources; embedded tools show
+// higher run-to-run deviation at high mp (SavedModel ~2.3k @ 16).
+
+#include "bench/bench_common.h"
+
+namespace crayfish::bench {
+namespace {
+
+void RunFig6() {
+  const char* tools[] = {"dl4j", "onnx", "savedmodel", "tf-serving",
+                         "torchserve"};
+  const int parallelism[] = {1, 2, 4, 8, 16};
+
+  core::ReportTable table(
+      "Fig. 6: scaling up FFNN serving on Flink (ir=30k, bsz=1)",
+      {"Tool", "mp", "Throughput ev/s", "StdDev"});
+  for (const char* tool : tools) {
+    for (int mp : parallelism) {
+      core::ExperimentConfig cfg = ThroughputConfig("flink", tool, "ffnn");
+      cfg.parallelism = mp;
+      cfg.duration_s = 8.0;
+      auto results = Run2(cfg);
+      core::Aggregate thr = core::AggregateThroughput(results);
+      table.AddRow({tool, std::to_string(mp),
+                    core::ReportTable::Num(thr.mean),
+                    core::ReportTable::Num(thr.stddev)});
+    }
+  }
+  Emit(table, "fig06_scaleup_ffnn.csv");
+  std::printf(
+      "Paper reference peaks: DL4J 2.8k@8 (flat after), ONNX 13.6k@16, "
+      "SavedModel 10.4k@16, TF-Serving 9.8k, TorchServe 2.8k\n");
+}
+
+}  // namespace
+}  // namespace crayfish::bench
+
+int main() {
+  crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::RunFig6();
+  return 0;
+}

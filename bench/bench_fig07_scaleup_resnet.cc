@@ -1,0 +1,49 @@
+// Reproduces Fig. 7: vertical scalability of ResNet50 serving on Apache
+// Flink (ir = 256 ev/s, bsz = 1).
+//
+// Paper reference shape: ONNX scales like in Fig. 6; TF-Serving shows
+// *negligible* gains (its pinned single intra-op pool serializes the big
+// model); TorchServe starts below TF-Serving but overtakes it after
+// mp = 8 (worker processes own their compute).
+
+#include "bench/bench_common.h"
+
+namespace crayfish::bench {
+namespace {
+
+void RunFig7() {
+  const char* tools[] = {"onnx", "tf-serving", "torchserve"};
+  const int parallelism[] = {1, 2, 4, 8, 16};
+
+  core::ReportTable table(
+      "Fig. 7: scaling up ResNet50 serving on Flink (ir=256, bsz=1)",
+      {"Tool", "mp", "Throughput ev/s", "StdDev"});
+  for (const char* tool : tools) {
+    for (int mp : parallelism) {
+      core::ExperimentConfig cfg = ThroughputConfig("flink", tool,
+                                                    "resnet50");
+      cfg.parallelism = mp;
+      cfg.input_rate = 256.0;
+      cfg.duration_s = 240.0;
+      cfg.drain_s = 2.0;
+      auto results = Run2(cfg);
+      core::Aggregate thr = core::AggregateThroughput(results);
+      table.AddRow({tool, std::to_string(mp),
+                    core::ReportTable::Num(thr.mean),
+                    core::ReportTable::Num(thr.stddev)});
+    }
+  }
+  Emit(table, "fig07_scaleup_resnet.csv");
+  std::printf(
+      "Paper reference shape: ONNX scales; TF-Serving ~flat; TorchServe "
+      "overtakes TF-Serving past mp=8\n");
+}
+
+}  // namespace
+}  // namespace crayfish::bench
+
+int main() {
+  crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::RunFig7();
+  return 0;
+}

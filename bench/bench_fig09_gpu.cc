@@ -1,0 +1,71 @@
+// Reproduces Fig. 9: GPU acceleration of ResNet50 on Apache Flink,
+// closed loop (ir = 0.2 ev/s, mp = 1, bsz = 8), comparing onnx-cpu /
+// onnx-gpu / tf-serving-cpu / tf-serving-gpu.
+//
+// Paper reference (ms/batch): onnx-cpu 3698 -> onnx-gpu 3089 (-16.4%);
+// tf-serving-cpu 3974 -> tf-serving-gpu 3016 (-24.1%). tf-serving-gpu
+// edges out onnx-gpu and beats onnx-cpu by 18.4%.
+
+#include "bench/bench_common.h"
+
+namespace crayfish::bench {
+namespace {
+
+void RunFig9() {
+  struct Ref {
+    const char* tool;
+    bool gpu;
+    double paper_ms;
+  };
+  const Ref refs[] = {
+      {"onnx", false, 3698.0},
+      {"onnx", true, 3089.0},
+      {"tf-serving", false, 3974.0},
+      {"tf-serving", true, 3016.0},
+  };
+
+  core::ReportTable table(
+      "Fig. 9: GPU acceleration, Flink + ResNet50 (ir=0.2, mp=1, bsz=8)",
+      {"Config", "Latency ms", "StdDev ms", "Paper ms"});
+  double cpu_latency[2] = {0.0, 0.0};
+  int idx = 0;
+  for (const Ref& ref : refs) {
+    core::ExperimentConfig cfg;
+    cfg.engine = "flink";
+    cfg.serving = ref.tool;
+    cfg.model = "resnet50";
+    cfg.batch_size = 8;
+    cfg.input_rate = 0.2;
+    cfg.parallelism = 1;
+    cfg.use_gpu = ref.gpu;
+    cfg.duration_s = 300.0;
+    cfg.drain_s = 20.0;
+    auto results = Run2(cfg);
+    core::Aggregate lat = core::AggregateLatencyMean(results);
+    const std::string name =
+        std::string(ref.tool) + (ref.gpu ? "-gpu" : "-cpu");
+    table.AddRow({name, core::ReportTable::Num(lat.mean),
+                  core::ReportTable::Num(lat.stddev),
+                  core::ReportTable::Num(ref.paper_ms)});
+    if (!ref.gpu) {
+      cpu_latency[idx / 2] = lat.mean;
+    } else {
+      const double improvement =
+          100.0 * (1.0 - lat.mean / cpu_latency[idx / 2]);
+      std::printf("%s improvement vs cpu: %.1f%% (paper %.1f%%)\n",
+                  name.c_str(), improvement,
+                  std::string(ref.tool) == "onnx" ? 16.4 : 24.1);
+    }
+    ++idx;
+  }
+  Emit(table, "fig09_gpu.csv");
+}
+
+}  // namespace
+}  // namespace crayfish::bench
+
+int main() {
+  crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::RunFig9();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Fig. 11: vertical scalability of the four stream processors
+// with ONNX and TF-Serving / Ray Serve, FFNN (ir = 30k ev/s, bsz = 1).
+//
+// Paper reference shape: Spark ~23k flat regardless of mp (10.2k with
+// TF-Serving at mp=2 — 7.2x Kafka Streams' at the same point); Kafka
+// Streams peaks ~23k (ONNX, mp=16) with steady gains; Flink peaks 13k
+// (ONNX) / 9.8k (TF-Serving); Ray peaks ~1.2k (embedded) and ~455 ev/s
+// through Ray Serve's single HTTP proxy.
+
+#include "bench/bench_common.h"
+
+namespace crayfish::bench {
+namespace {
+
+void RunFig11() {
+  const char* engines[] = {"flink", "kafka-streams", "spark", "ray"};
+  const int parallelism[] = {1, 2, 4, 8, 16};
+
+  core::ReportTable table(
+      "Fig. 11: scaling up the SPSs, FFNN (ir=30k, bsz=1)",
+      {"SPS", "Serving", "mp", "Throughput ev/s", "StdDev"});
+  for (const char* engine : engines) {
+    for (bool external : {false, true}) {
+      const std::string serving =
+          external ? (std::string(engine) == "ray" ? "ray-serve"
+                                                   : "tf-serving")
+                   : "onnx";
+      for (int mp : parallelism) {
+        core::ExperimentConfig cfg = ThroughputConfig(engine, serving,
+                                                      "ffnn");
+        cfg.parallelism = mp;
+        cfg.duration_s = 8.0;
+        auto results = Run2(cfg);
+        core::Aggregate thr = core::AggregateThroughput(results);
+        table.AddRow({engine, serving, std::to_string(mp),
+                      core::ReportTable::Num(thr.mean),
+                      core::ReportTable::Num(thr.stddev)});
+      }
+    }
+  }
+  Emit(table, "fig11_scaleup_sps.csv");
+  std::printf(
+      "Paper reference peaks: Spark ~23k flat (10.2k TF-Serving @mp=2), "
+      "KS 23k@16, Flink 13k/9.8k, Ray 1.2k/455\n");
+}
+
+}  // namespace
+}  // namespace crayfish::bench
+
+int main() {
+  crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::RunFig11();
+  return 0;
+}

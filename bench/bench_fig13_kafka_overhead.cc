@@ -1,0 +1,70 @@
+// Reproduces Fig. 13 (§6.2): the overhead Crayfish introduces by routing
+// input/output through Kafka, versus a self-contained standalone Flink
+// pipeline that generates data in-process (ONNX + FFNN, operator-level
+// parallelism, ir = 1 ev/s, mp = 1 for latency; overloaded for
+// throughput).
+//
+// Paper reference: ~2.42% throughput overhead; up to 59% lower latency in
+// the standalone configuration.
+
+#include "bench/bench_common.h"
+#include "core/standalone.h"
+
+namespace crayfish::bench {
+namespace {
+
+void RunFig13() {
+  // --- latency, closed loop over batch sizes ---
+  core::ReportTable latency_table(
+      "Fig. 13: e2e latency, Crayfish (kafka) vs standalone Flink "
+      "(no-kafka), ONNX + FFNN (ir=1, mp=1)",
+      {"bsz", "kafka ms", "no-kafka ms", "reduction %"});
+  for (int bsz : {1, 32, 128, 512}) {
+    core::ExperimentConfig cfg = ClosedLoopConfig("flink", "onnx", bsz);
+    const double kafka_ms =
+        core::AggregateLatencyMean(Run2(cfg)).mean;
+    auto standalone = core::RunStandaloneFlink(cfg);
+    CRAYFISH_CHECK(standalone.ok()) << standalone.status().ToString();
+    const double nokafka_ms = standalone->summary.latency_mean_ms;
+    latency_table.AddRow(
+        {std::to_string(bsz), core::ReportTable::Num(kafka_ms),
+         core::ReportTable::Num(nokafka_ms),
+         core::ReportTable::Num(100.0 * (1.0 - nokafka_ms / kafka_ms),
+                                1)});
+  }
+  Emit(latency_table, "fig13_kafka_overhead_latency.csv");
+
+  // --- throughput, overloaded, operator-level parallelism ---
+  core::ExperimentConfig thr_cfg = ThroughputConfig("flink", "onnx",
+                                                    "ffnn");
+  thr_cfg.source_parallelism = 32;
+  thr_cfg.sink_parallelism = 32;
+  thr_cfg.duration_s = 10.0;
+  const double kafka_thr =
+      core::AggregateThroughput(Run2(thr_cfg)).mean;
+  core::ExperimentConfig standalone_cfg = thr_cfg;
+  // The standalone pipeline has no stage decoupling knob; its scoring
+  // stage is the bottleneck either way.
+  auto standalone_thr = core::RunStandaloneFlink(standalone_cfg);
+  CRAYFISH_CHECK(standalone_thr.ok());
+  core::ReportTable thr_table(
+      "Fig. 13 (throughput): kafka vs no-kafka, flink[32-1-32]",
+      {"Config", "Throughput ev/s"});
+  thr_table.AddRow({"kafka (Crayfish)", core::ReportTable::Num(kafka_thr)});
+  thr_table.AddRow({"no-kafka (standalone)",
+                    core::ReportTable::Num(
+                        standalone_thr->summary.throughput_eps)});
+  Emit(thr_table, "fig13_kafka_overhead_throughput.csv");
+  std::printf(
+      "Paper reference: throughput overhead ~2.42%%; standalone latency up "
+      "to 59%% lower\n");
+}
+
+}  // namespace
+}  // namespace crayfish::bench
+
+int main() {
+  crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::RunFig13();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Supporting micro-benchmarks (google-benchmark) for the real compute
+// substrate: tensor kernels, model forward passes, serialization codecs.
+// These do not correspond to a paper figure; they document the real-math
+// path that backs the CrayfishModel load/apply contract.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/data_batch.h"
+#include "core/generator.h"
+#include "model/executor.h"
+#include "model/formats.h"
+#include "model/graph.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using crayfish::Rng;
+using crayfish::core::CrayfishDataBatch;
+using crayfish::model::BuildFfnn;
+using crayfish::model::BuildTinyResNet;
+using crayfish::model::Executor;
+using crayfish::model::ModelFormat;
+using crayfish::model::ModelGraph;
+using crayfish::tensor::Conv2D;
+using crayfish::tensor::MatMul;
+using crayfish::tensor::Padding;
+using crayfish::tensor::Shape;
+using crayfish::tensor::Softmax;
+using crayfish::tensor::Tensor;
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Random(Shape{n, n}, &rng);
+  Tensor b = Tensor::Random(Shape{n, n}, &rng);
+  for (auto _ : state) {
+    auto c = MatMul(a, b);
+    benchmark::DoNotOptimize(c->data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_Conv2D(benchmark::State& state) {
+  const int64_t hw = state.range(0);
+  Rng rng(2);
+  Tensor x = Tensor::Random(Shape{1, hw, hw, 16}, &rng);
+  Tensor k = Tensor::Random(Shape{3, 3, 16, 32}, &rng);
+  for (auto _ : state) {
+    auto y = Conv2D(x, k, 1, Padding::kSame);
+    benchmark::DoNotOptimize(y->data());
+  }
+}
+BENCHMARK(BM_Conv2D)->Arg(16)->Arg(32);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::Random(Shape{64, 1000}, &rng);
+  for (auto _ : state) {
+    Tensor y = Softmax(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_FfnnForward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  ModelGraph g = BuildFfnn();
+  Rng rng(4);
+  g.InitializeWeights(&rng);
+  Executor exec(&g);
+  Tensor input = Tensor::Random(Shape{batch, 28, 28}, &rng);
+  for (auto _ : state) {
+    auto out = exec.Run(input);
+    benchmark::DoNotOptimize(out->data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_FfnnForward)->Arg(1)->Arg(32)->Arg(128);
+
+void BM_TinyResNetForward(benchmark::State& state) {
+  ModelGraph g = BuildTinyResNet(32, 10);
+  Rng rng(5);
+  g.InitializeWeights(&rng);
+  Executor exec(&g);
+  Tensor input = Tensor::Random(Shape{1, 32, 32, 3}, &rng);
+  for (auto _ : state) {
+    auto out = exec.Run(input);
+    benchmark::DoNotOptimize(out->data());
+  }
+}
+BENCHMARK(BM_TinyResNetForward);
+
+void BM_SerializeOnnx(benchmark::State& state) {
+  ModelGraph g = BuildFfnn();
+  Rng rng(6);
+  g.InitializeWeights(&rng);
+  for (auto _ : state) {
+    auto bytes = crayfish::model::Serialize(g, ModelFormat::kOnnx);
+    benchmark::DoNotOptimize(bytes->data());
+  }
+}
+BENCHMARK(BM_SerializeOnnx);
+
+void BM_DeserializeOnnx(benchmark::State& state) {
+  ModelGraph g = BuildFfnn();
+  Rng rng(7);
+  g.InitializeWeights(&rng);
+  auto bytes = crayfish::model::Serialize(g, ModelFormat::kOnnx);
+  for (auto _ : state) {
+    auto back = crayfish::model::Deserialize(*bytes);
+    benchmark::DoNotOptimize(back->layers());
+  }
+}
+BENCHMARK(BM_DeserializeOnnx);
+
+void BM_DataBatchJsonRoundTrip(benchmark::State& state) {
+  Rng rng(8);
+  crayfish::core::DataGenerator gen({28, 28},
+                                    static_cast<int>(state.range(0)), rng);
+  CrayfishDataBatch batch = gen.NextMaterialized(0.0);
+  for (auto _ : state) {
+    const std::string json = batch.ToJson();
+    auto back = CrayfishDataBatch::FromJson(json);
+    benchmark::DoNotOptimize(back->data);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.ToJson().size()));
+}
+BENCHMARK(BM_DataBatchJsonRoundTrip)->Arg(1)->Arg(8);
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Reproduces Table 2: the two pre-trained models' shapes, parameter
+// counts, and serialized file sizes across the four export formats.
+//
+// Paper reference: FFNN 28K params; sizes ONNX 113 KB / SavedModel 508 KB /
+// Torch 115 KB / H5 133 KB. ResNet50 23M params (canonical architecture
+// carries 25.6M); sizes ONNX 97 MB / SavedModel 101 MB / Torch 98 MB /
+// H5 98 MB.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "model/formats.h"
+#include "model/graph.h"
+
+namespace crayfish::bench {
+namespace {
+
+std::string Kb(size_t bytes) {
+  return core::ReportTable::Num(static_cast<double>(bytes) / 1024.0, 1) +
+         " KB";
+}
+
+std::string Mb(size_t bytes) {
+  return core::ReportTable::Num(
+             static_cast<double>(bytes) / (1024.0 * 1024.0), 1) +
+         " MB";
+}
+
+void RunTable2() {
+  crayfish::Rng rng(2024);
+  core::ReportTable table(
+      "Table 2: pre-trained model statistics and export sizes",
+      {"Model", "Input", "Output", "Params", "ONNX", "SavedModel", "Torch",
+       "H5"});
+
+  {
+    model::ModelGraph ffnn = model::BuildFfnn();
+    ffnn.InitializeWeights(&rng);
+    const size_t onnx = model::Serialize(ffnn, model::ModelFormat::kOnnx)
+                            ->size();
+    const size_t saved =
+        model::Serialize(ffnn, model::ModelFormat::kSavedModel)->size();
+    const size_t torch =
+        model::Serialize(ffnn, model::ModelFormat::kTorch)->size();
+    const size_t h5 = model::Serialize(ffnn, model::ModelFormat::kH5)
+                          ->size();
+    table.AddRow({"FFNN", "28x28", "10x1",
+                  std::to_string(ffnn.ParamCount()) + " (paper 28K)",
+                  Kb(onnx) + " (paper 113 KB)",
+                  Kb(saved) + " (paper 508 KB)",
+                  Kb(torch) + " (paper 115 KB)",
+                  Kb(h5) + " (paper 133 KB)"});
+  }
+  {
+    model::ModelGraph resnet = model::BuildResNet50();
+    resnet.InitializeWeights(&rng);
+    const size_t onnx =
+        model::Serialize(resnet, model::ModelFormat::kOnnx)->size();
+    const size_t saved =
+        model::Serialize(resnet, model::ModelFormat::kSavedModel)->size();
+    const size_t torch =
+        model::Serialize(resnet, model::ModelFormat::kTorch)->size();
+    const size_t h5 =
+        model::Serialize(resnet, model::ModelFormat::kH5)->size();
+    table.AddRow({"ResNet50", "224x224x3", "1000x1",
+                  std::to_string(resnet.ParamCount()) + " (paper 23M)",
+                  Mb(onnx) + " (paper 97 MB)",
+                  Mb(saved) + " (paper 101 MB)",
+                  Mb(torch) + " (paper 98 MB)",
+                  Mb(h5) + " (paper 98 MB)"});
+  }
+  Emit(table, "table2_models.csv");
+}
+
+}  // namespace
+}  // namespace crayfish::bench
+
+int main() {
+  crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::RunTable2();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Table 4: throughput of the serving tools on Apache Flink
+// (bsz = 1, mp = 1), FFNN and ResNet50.
+//
+// Paper reference (events/s):
+//   FFNN:     DL4J 787.53 | ONNX 1373.07 | SavedModel 1289.68 |
+//             TorchServe 225.09 | TF-Serving 617.2
+//   ResNet50: ONNX 2.85 | TorchServe 0.91 | TF-Serving 2.62
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace crayfish::bench {
+namespace {
+
+void RunTable4() {
+  const std::map<std::string, double> paper_ffnn = {
+      {"dl4j", 787.53},       {"onnx", 1373.07},  {"savedmodel", 1289.68},
+      {"torchserve", 225.09}, {"tf-serving", 617.2},
+  };
+  const std::map<std::string, double> paper_resnet = {
+      {"onnx", 2.85},
+      {"torchserve", 0.91},
+      {"tf-serving", 2.62},
+  };
+
+  core::ReportTable table(
+      "Table 4: serving-tool throughput on Apache Flink (bsz=1, mp=1)",
+      {"Model", "Tool", "Type", "Throughput ev/s", "StdDev", "Paper ev/s"});
+
+  for (const auto& [tool, paper] : paper_ffnn) {
+    core::ExperimentConfig cfg = ThroughputConfig("flink", tool, "ffnn");
+    auto results = Run2(cfg);
+    core::Aggregate thr = core::AggregateThroughput(results);
+    table.AddRow({"FFNN", tool,
+                  serving::IsExternalTool(tool) ? "external" : "embedded",
+                  core::ReportTable::Num(thr.mean),
+                  core::ReportTable::Num(thr.stddev),
+                  core::ReportTable::Num(paper)});
+  }
+  for (const auto& [tool, paper] : paper_resnet) {
+    core::ExperimentConfig cfg = ThroughputConfig("flink", tool, "resnet50");
+    // ResNet50 sustains < 3 ev/s; a 16 ev/s offered load saturates it
+    // without flooding the simulated broker.
+    cfg.input_rate = 16.0;
+    cfg.duration_s = 300.0;
+    cfg.drain_s = 2.0;
+    auto results = Run2(cfg);
+    core::Aggregate thr = core::AggregateThroughput(results);
+    table.AddRow({"ResNet50", tool,
+                  serving::IsExternalTool(tool) ? "external" : "embedded",
+                  core::ReportTable::Num(thr.mean),
+                  core::ReportTable::Num(thr.stddev),
+                  core::ReportTable::Num(paper)});
+  }
+  Emit(table, "table4_serving_throughput.csv");
+}
+
+}  // namespace
+}  // namespace crayfish::bench
+
+int main() {
+  crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::RunTable4();
+  return 0;
+}

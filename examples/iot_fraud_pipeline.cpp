@@ -1,0 +1,81 @@
+// IoT anomaly-scoring pipeline under bursty traffic — the motivating
+// scenario of §2.2.2: real-time predictions with stringent latency
+// requirements and periodic load spikes (device wake-ups, flash events).
+//
+// The example sizes a deployment: it measures the sustainable throughput
+// of the candidate configurations, then replays a bursty day-in-the-life
+// workload (30 s bursts at 110% of ST every 2 minutes) and reports how
+// long each serving option needs to re-stabilize — the Fig. 8 methodology
+// applied to a capacity-planning question.
+//
+// Run: ./iot_fraud_pipeline
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "core/experiment.h"
+#include "core/report.h"
+
+int main() {
+  using namespace crayfish;
+  SetLogLevel(LogLevel::kWarning);
+
+  std::printf(
+      "IoT anomaly scoring: choosing a serving tier for bursty sensor "
+      "traffic\n\n");
+
+  core::ReportTable table(
+      "Candidate deployments (Flink host SPS, FFNN anomaly scorer)",
+      {"Serving", "Sustainable ev/s", "Burst recovery mean s",
+       "Recovery stddev s", "p99 latency (steady) ms"});
+
+  for (const char* tool : {"onnx", "savedmodel", "tf-serving"}) {
+    // 1. capacity probe.
+    core::ExperimentConfig probe;
+    probe.engine = "flink";
+    probe.serving = tool;
+    probe.input_rate = 30000.0;
+    probe.duration_s = 10.0;
+    probe.drain_s = 1.0;
+    auto st_result = core::RunExperiment(probe);
+    CRAYFISH_CHECK(st_result.ok());
+    const double st = st_result->summary.throughput_eps;
+
+    // 2. steady-state latency at the expected base load (70% of ST).
+    core::ExperimentConfig steady;
+    steady.engine = "flink";
+    steady.serving = tool;
+    steady.input_rate = 0.7 * st;
+    steady.duration_s = 30.0;
+    auto steady_result = core::RunExperiment(steady);
+    CRAYFISH_CHECK(steady_result.ok());
+
+    // 3. bursty replay.
+    core::ExperimentConfig bursty = steady;
+    bursty.bursty = true;
+    bursty.burst_rate = 1.1 * st;
+    bursty.burst_duration_s = 30.0;
+    bursty.time_between_bursts_s = 120.0;
+    bursty.first_burst_at_s = 60.0;
+    bursty.duration_s = 60.0 + 3 * 150.0;
+    bursty.drain_s = 30.0;
+    auto bursty_result = core::RunExperiment(bursty);
+    CRAYFISH_CHECK(bursty_result.ok());
+    RunningStats recovery;
+    for (const core::BurstRecovery& rec : bursty_result->recoveries) {
+      if (rec.recovery_s >= 0) recovery.Add(rec.recovery_s);
+    }
+
+    table.AddRow({tool, core::ReportTable::Num(st, 1),
+                  core::ReportTable::Num(recovery.mean(), 1),
+                  core::ReportTable::Num(recovery.stddev(), 1),
+                  core::ReportTable::Num(
+                      steady_result->summary.latency_p99_ms, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading the table: higher ST gives headroom; lower and *steadier* "
+      "recovery keeps SLOs during spikes (§5.1.4's takeaway 6).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Model lifecycle management on an external serving tier — the §7
+// capabilities that make external serving "the more attractive
+// alternative" in the paper's discussion: multi-model serving, hot
+// version swaps without touching the stream processor, and queue-depth
+// autoscaling. Also shows a non-paper model (a GRU sequence classifier)
+// benchmarked through the FLOP-fallback cost model.
+//
+// Run: ./model_lifecycle
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/experiment.h"
+#include "model/graph.h"
+#include "serving/external_server.h"
+#include "serving/model_profile.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+int main() {
+  using namespace crayfish;
+  SetLogLevel(LogLevel::kWarning);
+
+  // --- 1. one server, several models, hot redeploys -----------------------
+  sim::Simulation sim(2026);
+  sim::Network network(&sim);
+  CRAYFISH_CHECK_OK(
+      network.AddHost(sim::Host{"app", 16, 8ULL << 30, false}));
+
+  serving::ExternalServerOptions opts;
+  opts.model = serving::ModelProfile::Ffnn();
+  opts.autoscale = true;
+  opts.max_workers = 8;
+  opts.scale_up_queue_depth = 16;
+  opts.autoscale_interval_s = 1.0;
+  auto server =
+      serving::CreateExternalServer(&sim, &network, "tf-serving", opts);
+  CRAYFISH_CHECK(server.ok());
+  (*server)->Start();
+
+  // Deploy a GRU sequence scorer next to the FFNN (no SPS redeploy).
+  model::ModelGraph gru = model::BuildGruClassifier(32, 16, 64, 5);
+  (*server)->DeployModel(serving::ModelProfile::FromGraph(gru));
+
+  int ffnn_ok = 0;
+  int gru_ok = 0;
+  sim.Schedule(10.0, [&]() {
+    for (int i = 0; i < 50; ++i) {
+      (*server)->InvokeModel("app", "ffnn", 1, [&](bool ok) {
+        if (ok) ++ffnn_ok;
+      });
+      (*server)->InvokeModel("app", "gru_classifier", 1, [&](bool ok) {
+        if (ok) ++gru_ok;
+      });
+    }
+  });
+  // Mid-traffic: ship a fine-tuned FFNN (version 2).
+  sim.Schedule(10.01, [&]() {
+    (*server)->DeployModel(serving::ModelProfile::Ffnn());
+  });
+  sim.Run(60.0);
+  std::printf("multi-model server: ffnn answered %d, gru answered %d\n",
+              ffnn_ok, gru_ok);
+  std::printf("ffnn version after hot swap: v%d\n",
+              (*server)->ModelVersion("ffnn"));
+  std::printf("autoscaler settled at %d worker(s)\n\n",
+              (*server)->workers());
+
+  // --- 2. benchmark the GRU model inside the streaming pipeline -----------
+  core::ExperimentConfig cfg;
+  cfg.engine = "flink";
+  cfg.serving = "onnx";
+  cfg.custom_model = serving::ModelProfile::FromGraph(gru);
+  cfg.custom_shape = {32, 16};  // [timesteps, features]
+  cfg.input_rate = 30000.0;
+  cfg.duration_s = 10.0;
+  cfg.drain_s = 1.0;
+  auto result = core::RunExperiment(cfg);
+  CRAYFISH_CHECK(result.ok()) << result.status().ToString();
+  std::printf(
+      "GRU classifier (%lld params, %.2f MFLOPs/seq) on flink+onnx: "
+      "ST = %.1f ev/s\n",
+      static_cast<long long>(cfg.custom_model->parameter_count),
+      static_cast<double>(cfg.custom_model->flops_per_sample) / 1e6,
+      result->summary.throughput_eps);
+  std::printf(
+      "\nEverything above ran against the serving tier alone — the SPS "
+      "never restarted (the §7 argument for external serving).\n");
+  return 0;
+}

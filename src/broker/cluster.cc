@@ -1,0 +1,317 @@
+#include "broker/cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace crayfish::broker {
+
+KafkaCluster::KafkaCluster(sim::Simulation* sim, sim::Network* network,
+                           ClusterConfig config)
+    : sim_(sim), network_(network), config_(std::move(config)) {
+  CRAYFISH_CHECK_GT(config_.num_brokers, 0);
+  for (int i = 0; i < config_.num_brokers; ++i) {
+    const std::string host = config_.host_prefix + std::to_string(i);
+    broker_hosts_.push_back(host);
+    if (!network_->HasHost(host)) {
+      CRAYFISH_CHECK_OK(network_->AddHost(
+          sim::Host{host, /*vcpus=*/4, /*memory_bytes=*/15ULL << 30,
+                    /*has_gpu=*/false}));
+    }
+  }
+}
+
+crayfish::Status KafkaCluster::CreateTopic(const std::string& name,
+                                           int partitions) {
+  if (partitions <= 0) {
+    return crayfish::Status::InvalidArgument("partitions must be > 0");
+  }
+  if (topics_.count(name) > 0) {
+    return crayfish::Status::AlreadyExists("topic: " + name);
+  }
+  TopicState state;
+  state.partitions.resize(static_cast<size_t>(partitions));
+  state.waiters.resize(static_cast<size_t>(partitions));
+  topics_[name] = std::move(state);
+  return crayfish::Status::Ok();
+}
+
+crayfish::Status KafkaCluster::SetTopicRetention(
+    const std::string& name, size_t records_per_partition) {
+  auto it = topics_.find(name);
+  if (it == topics_.end()) {
+    return crayfish::Status::NotFound("topic: " + name);
+  }
+  for (Partition& p : it->second.partitions) {
+    p.SetRetentionRecords(records_per_partition);
+  }
+  return crayfish::Status::Ok();
+}
+
+bool KafkaCluster::HasTopic(const std::string& name) const {
+  return topics_.count(name) > 0;
+}
+
+crayfish::StatusOr<int> KafkaCluster::NumPartitions(
+    const std::string& name) const {
+  auto it = topics_.find(name);
+  if (it == topics_.end()) return crayfish::Status::NotFound("topic: " + name);
+  return static_cast<int>(it->second.partitions.size());
+}
+
+const std::string& KafkaCluster::LeaderHost(const TopicPartition& tp) const {
+  // Round-robin leadership: partition p of any topic lives on broker
+  // p % num_brokers, which spreads a 32-partition topic evenly over the
+  // 4-broker cluster.
+  const size_t idx =
+      static_cast<size_t>(tp.partition) % broker_hosts_.size();
+  return broker_hosts_[idx];
+}
+
+uint64_t KafkaCluster::BatchWireSize(const std::vector<Record>& batch) const {
+  uint64_t total = 0;
+  for (const Record& r : batch) total += r.wire_size + kRecordEnvelopeBytes;
+  return total;
+}
+
+void KafkaCluster::Produce(const std::string& client_host,
+                           const TopicPartition& tp,
+                           std::vector<Record> batch,
+                           std::function<void(crayfish::Status)> on_ack) {
+  auto it = topics_.find(tp.topic);
+  if (it == topics_.end() ||
+      tp.partition >= static_cast<int>(it->second.partitions.size())) {
+    sim_->Schedule(0.0, [on_ack = std::move(on_ack), tp]() {
+      if (on_ack) on_ack(crayfish::Status::NotFound(tp.ToString()));
+    });
+    return;
+  }
+  const uint64_t request_bytes = BatchWireSize(batch);
+  if (request_bytes > config_.max_request_bytes) {
+    sim_->Schedule(0.0, [on_ack = std::move(on_ack)]() {
+      if (on_ack) {
+        on_ack(crayfish::Status::InvalidArgument(
+            "produce request exceeds max.request.size"));
+      }
+    });
+    return;
+  }
+  const std::string leader = LeaderHost(tp);
+  // Client -> broker transfer, then broker-side append, then ack back.
+  network_->Send(
+      client_host, leader, request_bytes,
+      [this, tp, leader, client_host, batch = std::move(batch),
+       on_ack = std::move(on_ack)]() mutable {
+        const double process =
+            config_.request_overhead_s +
+            config_.append_per_record_s * static_cast<double>(batch.size());
+        sim_->Schedule(
+            process, [this, tp, leader, client_host,
+                      batch = std::move(batch),
+                      on_ack = std::move(on_ack)]() mutable {
+              auto topic_it = topics_.find(tp.topic);
+              CRAYFISH_CHECK(topic_it != topics_.end());
+              Partition& part =
+                  topic_it->second.partitions[static_cast<size_t>(
+                      tp.partition)];
+              // LogAppendTime: broker local time at append (§3.3 step 5).
+              for (Record& r : batch) {
+                part.Append(std::move(r), sim_->Now());
+              }
+              WakeWaiters(tp);
+              network_->Send(leader, client_host, /*ack bytes=*/64,
+                             [on_ack = std::move(on_ack)]() {
+                               if (on_ack) on_ack(crayfish::Status::Ok());
+                             });
+            });
+      });
+}
+
+void KafkaCluster::Fetch(const std::string& client_host,
+                         const TopicPartition& tp, int64_t offset,
+                         size_t max_records, uint64_t max_bytes,
+                         double max_wait_s,
+                         std::function<void(std::vector<Record>)> on_records) {
+  auto it = topics_.find(tp.topic);
+  CRAYFISH_CHECK(it != topics_.end()) << "fetch from unknown " << tp.topic;
+  CRAYFISH_CHECK_LT(tp.partition,
+                    static_cast<int>(it->second.partitions.size()));
+  const std::string leader = LeaderHost(tp);
+  // Fetch request (small) travels to the leader.
+  network_->Send(
+      client_host, leader, /*request bytes=*/128,
+      [this, tp, offset, max_records, max_bytes, max_wait_s, client_host,
+       on_records = std::move(on_records)]() mutable {
+        sim_->Schedule(
+            config_.request_overhead_s,
+            [this, tp, offset, max_records, max_bytes, max_wait_s,
+             client_host, on_records = std::move(on_records)]() mutable {
+              auto topic_it = topics_.find(tp.topic);
+              CRAYFISH_CHECK(topic_it != topics_.end());
+              Partition& part =
+                  topic_it->second.partitions[static_cast<size_t>(
+                      tp.partition)];
+              PendingFetch fetch{offset, max_records, max_bytes,
+                                 client_host, std::move(on_records),
+                                 std::make_shared<bool>(false)};
+              if (part.end_offset() > offset) {
+                AnswerFetch(tp, fetch);
+                return;
+              }
+              // Long-poll: park until append or timeout.
+              auto done = fetch.done;
+              topic_it->second.waiters[static_cast<size_t>(tp.partition)]
+                  .push_back(fetch);
+              sim_->Schedule(max_wait_s, [this, tp, done, fetch]() {
+                if (*done) return;
+                *done = true;
+                AnswerFetch(tp, fetch);
+              });
+            });
+      });
+}
+
+void KafkaCluster::AnswerFetch(const TopicPartition& tp,
+                               const PendingFetch& fetch) {
+  auto topic_it = topics_.find(tp.topic);
+  CRAYFISH_CHECK(topic_it != topics_.end());
+  Partition& part =
+      topic_it->second.partitions[static_cast<size_t>(tp.partition)];
+  std::vector<Record> records;
+  int64_t offset = fetch.offset;
+  if (offset < part.log_start_offset()) {
+    // The consumer fell behind retention: auto-reset to the earliest
+    // retained record (auto.offset.reset=earliest); the skipped records
+    // are lost to this consumer, as in Kafka.
+    offset = part.log_start_offset();
+  }
+  crayfish::Status s =
+      part.Fetch(offset, fetch.max_records, fetch.max_bytes, &records);
+  if (!s.ok()) records.clear();
+  const uint64_t response_bytes = 256 + BatchWireSize(records);
+  const std::string leader = LeaderHost(tp);
+  network_->Send(leader, fetch.client_host, response_bytes,
+                 [on_records = fetch.on_records,
+                  records = std::move(records)]() mutable {
+                   if (on_records) on_records(std::move(records));
+                 });
+}
+
+void KafkaCluster::WakeWaiters(const TopicPartition& tp) {
+  auto topic_it = topics_.find(tp.topic);
+  CRAYFISH_CHECK(topic_it != topics_.end());
+  auto& waiters =
+      topic_it->second.waiters[static_cast<size_t>(tp.partition)];
+  if (waiters.empty()) return;
+  std::vector<PendingFetch> to_answer;
+  to_answer.swap(waiters);
+  for (PendingFetch& fetch : to_answer) {
+    if (*fetch.done) continue;
+    *fetch.done = true;
+    AnswerFetch(tp, fetch);
+  }
+}
+
+crayfish::StatusOr<int> KafkaCluster::JoinGroup(
+    const std::string& group, const std::string& topic,
+    RebalanceCallback on_assignment) {
+  if (!HasTopic(topic)) {
+    return crayfish::Status::NotFound("topic: " + topic);
+  }
+  GroupState& state = groups_[group + "/" + topic];
+  const int id = state.next_member_id++;
+  state.members.push_back(GroupMember{id, std::move(on_assignment)});
+  Rebalance(group, topic);
+  return id;
+}
+
+void KafkaCluster::LeaveGroup(const std::string& group,
+                              const std::string& topic, int member_id) {
+  auto it = groups_.find(group + "/" + topic);
+  if (it == groups_.end()) return;
+  auto& members = it->second.members;
+  const size_t before = members.size();
+  members.erase(std::remove_if(members.begin(), members.end(),
+                               [member_id](const GroupMember& m) {
+                                 return m.id == member_id;
+                               }),
+                members.end());
+  if (members.size() != before) Rebalance(group, topic);
+}
+
+int KafkaCluster::GroupSize(const std::string& group,
+                            const std::string& topic) const {
+  auto it = groups_.find(group + "/" + topic);
+  return it == groups_.end() ? 0
+                             : static_cast<int>(it->second.members.size());
+}
+
+void KafkaCluster::Rebalance(const std::string& group,
+                             const std::string& topic) {
+  auto git = groups_.find(group + "/" + topic);
+  CRAYFISH_CHECK(git != groups_.end());
+  auto pit = topics_.find(topic);
+  CRAYFISH_CHECK(pit != topics_.end());
+  const int partitions = static_cast<int>(pit->second.partitions.size());
+  const int member_count = static_cast<int>(git->second.members.size());
+  // Eager rebalance: every member gets its new assignment after the
+  // coordinator round trip (~50 ms, a fraction of a real rebalance since
+  // we do not model the sync barrier in detail).
+  for (int idx = 0; idx < member_count; ++idx) {
+    const GroupMember& member =
+        git->second.members[static_cast<size_t>(idx)];
+    std::vector<int> assignment =
+        RangeAssign(partitions, member_count, idx);
+    sim_->Schedule(0.05, [cb = member.on_assignment,
+                          assignment = std::move(assignment)]() mutable {
+      if (cb) cb(std::move(assignment));
+    });
+  }
+}
+
+void KafkaCluster::CommitOffset(const std::string& group,
+                                const TopicPartition& tp, int64_t offset) {
+  committed_[group][tp.ToString()] = offset;
+}
+
+int64_t KafkaCluster::CommittedOffset(const std::string& group,
+                                      const TopicPartition& tp) const {
+  auto git = committed_.find(group);
+  if (git == committed_.end()) return 0;
+  auto oit = git->second.find(tp.ToString());
+  return oit == git->second.end() ? 0 : oit->second;
+}
+
+crayfish::StatusOr<Partition*> KafkaCluster::GetPartition(
+    const TopicPartition& tp) {
+  auto it = topics_.find(tp.topic);
+  if (it == topics_.end()) {
+    return crayfish::Status::NotFound("topic: " + tp.topic);
+  }
+  if (tp.partition < 0 ||
+      tp.partition >= static_cast<int>(it->second.partitions.size())) {
+    return crayfish::Status::NotFound("partition: " + tp.ToString());
+  }
+  return &it->second.partitions[static_cast<size_t>(tp.partition)];
+}
+
+crayfish::Status KafkaCluster::TrimPartition(const TopicPartition& tp,
+                                             int64_t offset) {
+  CRAYFISH_ASSIGN_OR_RETURN(Partition * part, GetPartition(tp));
+  part->TrimTo(offset);
+  return crayfish::Status::Ok();
+}
+
+std::vector<int> KafkaCluster::RangeAssign(int partitions, int member_count,
+                                           int member_index) {
+  CRAYFISH_CHECK_GT(member_count, 0);
+  CRAYFISH_CHECK_GE(member_index, 0);
+  CRAYFISH_CHECK_LT(member_index, member_count);
+  std::vector<int> mine;
+  for (int p = member_index; p < partitions; p += member_count) {
+    mine.push_back(p);
+  }
+  return mine;
+}
+
+}  // namespace crayfish::broker

@@ -1,0 +1,177 @@
+#ifndef CRAYFISH_BROKER_CLUSTER_H_
+#define CRAYFISH_BROKER_CLUSTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/partition.h"
+#include "broker/record.h"
+#include "common/status.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+namespace crayfish::broker {
+
+/// Cluster-level configuration, matching the paper's deployment (§4.2/§4.3):
+/// 4 brokers, 32 partitions per topic, LogAppendTime timestamps, 50 MB max
+/// request size.
+struct ClusterConfig {
+  int num_brokers = 4;
+  int default_partitions = 32;
+  /// Broker-side processing overhead per produce/fetch request.
+  double request_overhead_s = 100e-6;
+  /// Additional broker-side cost per record appended.
+  double append_per_record_s = 2e-6;
+  /// Maximum produce/fetch request payload (paper: raised to 50 MB to
+  /// allow large latency-experiment batches).
+  uint64_t max_request_bytes = 50ULL * 1024 * 1024;
+  /// Host-name prefix for broker VMs ("kafka-0".."kafka-3").
+  std::string host_prefix = "kafka-";
+};
+
+/// A simulated Apache Kafka cluster.
+///
+/// Topics are partitioned logs; each partition has a leader broker (round-
+/// robin assignment). Produce and fetch requests travel over the simulated
+/// network to the leader host, pay a broker-side processing delay, and
+/// answer back over the network. Fetches long-poll: an empty partition
+/// parks the request until an append arrives or `max_wait` elapses —
+/// exactly the mechanism that makes pull-based clients efficient.
+class KafkaCluster {
+ public:
+  /// Registers broker hosts on the network (4 vCPUs / 15 GB each, as in
+  /// the paper's environment).
+  KafkaCluster(sim::Simulation* sim, sim::Network* network,
+               ClusterConfig config);
+
+  KafkaCluster(const KafkaCluster&) = delete;
+  KafkaCluster& operator=(const KafkaCluster&) = delete;
+
+  crayfish::Status CreateTopic(const std::string& name, int partitions);
+
+  /// Applies per-partition size-based retention (records) to a topic.
+  crayfish::Status SetTopicRetention(const std::string& name,
+                                     size_t records_per_partition);
+  bool HasTopic(const std::string& name) const;
+  crayfish::StatusOr<int> NumPartitions(const std::string& name) const;
+
+  /// Leader broker host for a partition; CHECK-fails on unknown topic.
+  const std::string& LeaderHost(const TopicPartition& tp) const;
+
+  /// Produce a batch of records to one partition. The callback fires when
+  /// the client receives the broker ack. Requests above
+  /// `max_request_bytes` fail fast with InvalidArgument (delivered on the
+  /// next sim instant).
+  void Produce(const std::string& client_host, const TopicPartition& tp,
+               std::vector<Record> batch,
+               std::function<void(crayfish::Status)> on_ack);
+
+  /// Long-polling fetch from one partition starting at `offset`.
+  /// Responds with up to `max_records`/`max_bytes` records once data is
+  /// available, or with an empty vector after `max_wait_s`.
+  void Fetch(const std::string& client_host, const TopicPartition& tp,
+             int64_t offset, size_t max_records, uint64_t max_bytes,
+             double max_wait_s,
+             std::function<void(std::vector<Record>)> on_records);
+
+  // --- consumer-group offset store ---
+  void CommitOffset(const std::string& group, const TopicPartition& tp,
+                    int64_t offset);
+  /// Committed offset or 0 when none.
+  int64_t CommittedOffset(const std::string& group,
+                          const TopicPartition& tp) const;
+
+  // --- group coordinator (dynamic membership) ---
+  //
+  // Members join a (group, topic) pair and receive their partition
+  // assignment through the callback; every join/leave triggers an eager
+  // rebalance that re-invokes every member's callback with its new
+  // assignment (range strategy). Delivery is at-least-once across
+  // rebalances: new owners resume from committed offsets.
+
+  using RebalanceCallback =
+      std::function<void(std::vector<int> partitions)>;
+
+  /// Joins; returns the member id used for LeaveGroup. The callback fires
+  /// (asynchronously, after the rebalance delay) on this and every later
+  /// membership change.
+  crayfish::StatusOr<int> JoinGroup(const std::string& group,
+                                    const std::string& topic,
+                                    RebalanceCallback on_assignment);
+
+  /// Leaves; remaining members are rebalanced. Unknown ids are ignored.
+  void LeaveGroup(const std::string& group, const std::string& topic,
+                  int member_id);
+
+  /// Current member count of a (group, topic) pair.
+  int GroupSize(const std::string& group, const std::string& topic) const;
+
+  /// Direct partition access for tests and the metrics analyzer (reads the
+  /// output topic log "at the broker", per the SUT-separation rule).
+  crayfish::StatusOr<Partition*> GetPartition(const TopicPartition& tp);
+
+  /// Drops consumed records below `offset` (retention).
+  crayfish::Status TrimPartition(const TopicPartition& tp, int64_t offset);
+
+  const ClusterConfig& config() const { return config_; }
+  const std::vector<std::string>& broker_hosts() const {
+    return broker_hosts_;
+  }
+  sim::Simulation* simulation() { return sim_; }
+  sim::Network* network() { return network_; }
+
+  /// Range assignment of a topic's partitions among `member_count` group
+  /// members; returns the partitions of member `member_index`.
+  static std::vector<int> RangeAssign(int partitions, int member_count,
+                                      int member_index);
+
+ private:
+  struct PendingFetch {
+    int64_t offset;
+    size_t max_records;
+    uint64_t max_bytes;
+    std::string client_host;
+    std::function<void(std::vector<Record>)> on_records;
+    /// Set when the waiter has been answered (by data or timeout).
+    std::shared_ptr<bool> done;
+  };
+
+  struct TopicState {
+    std::vector<Partition> partitions;
+    /// Parked long-poll fetches per partition.
+    std::vector<std::vector<PendingFetch>> waiters;
+  };
+
+  /// Completes a fetch at the broker and sends the response back.
+  void AnswerFetch(const TopicPartition& tp, const PendingFetch& fetch);
+  void WakeWaiters(const TopicPartition& tp);
+  uint64_t BatchWireSize(const std::vector<Record>& batch) const;
+
+  struct GroupMember {
+    int id;
+    RebalanceCallback on_assignment;
+  };
+  struct GroupState {
+    std::vector<GroupMember> members;
+    int next_member_id = 0;
+  };
+
+  void Rebalance(const std::string& group, const std::string& topic);
+
+  sim::Simulation* sim_;
+  sim::Network* network_;
+  ClusterConfig config_;
+  std::vector<std::string> broker_hosts_;
+  std::map<std::string, TopicState> topics_;
+  std::map<std::string, std::map<std::string, int64_t>> committed_;
+  /// Keyed by "group/topic".
+  std::map<std::string, GroupState> groups_;
+};
+
+}  // namespace crayfish::broker
+
+#endif  // CRAYFISH_BROKER_CLUSTER_H_

@@ -1,0 +1,206 @@
+#include "broker/consumer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace crayfish::broker {
+
+KafkaConsumer::KafkaConsumer(KafkaCluster* cluster, std::string client_host,
+                             std::string group, ConsumerConfig config)
+    : cluster_(cluster), client_host_(std::move(client_host)),
+      group_(std::move(group)), config_(config),
+      generation_(std::make_shared<uint64_t>(0)),
+      alive_(std::make_shared<bool>(true)) {
+  CRAYFISH_CHECK(cluster != nullptr);
+  CRAYFISH_CHECK(cluster->network()->HasHost(client_host_))
+      << "consumer host " << client_host_ << " not on the network";
+}
+
+KafkaConsumer::~KafkaConsumer() {
+  *alive_ = false;
+  Unsubscribe();
+}
+
+crayfish::Status KafkaConsumer::Assign(const std::string& topic,
+                                       const std::vector<int>& partitions,
+                                       int64_t start_offset) {
+  CRAYFISH_ASSIGN_OR_RETURN(int total, cluster_->NumPartitions(topic));
+  for (int p : partitions) {
+    if (p < 0 || p >= total) {
+      return crayfish::Status::InvalidArgument(
+          "partition out of range: " + topic + "-" + std::to_string(p));
+    }
+    TopicPartition tp{topic, p};
+    assignment_.push_back(tp);
+    const int64_t pos = start_offset >= 0
+                            ? start_offset
+                            : cluster_->CommittedOffset(group_, tp);
+    positions_[tp.ToString()] = pos;
+    paused_[tp.ToString()] = false;
+    StartFetchLoop(tp);
+  }
+  return crayfish::Status::Ok();
+}
+
+crayfish::Status KafkaConsumer::Subscribe(const std::string& topic,
+                                          int member_count,
+                                          int member_index) {
+  CRAYFISH_ASSIGN_OR_RETURN(int total, cluster_->NumPartitions(topic));
+  return Assign(topic,
+                KafkaCluster::RangeAssign(total, member_count, member_index));
+}
+
+crayfish::Status KafkaConsumer::SubscribeDynamic(const std::string& topic) {
+  if (group_member_id_ >= 0) {
+    return crayfish::Status::FailedPrecondition(
+        "already dynamically subscribed");
+  }
+  auto alive = alive_;
+  CRAYFISH_ASSIGN_OR_RETURN(
+      group_member_id_,
+      cluster_->JoinGroup(group_, topic,
+                          [this, alive, topic](std::vector<int> partitions) {
+                            if (!*alive || closed_) return;
+                            Reassign(topic, std::move(partitions));
+                          }));
+  dynamic_topic_ = topic;
+  return crayfish::Status::Ok();
+}
+
+void KafkaConsumer::Unsubscribe() {
+  if (group_member_id_ < 0) return;
+  cluster_->LeaveGroup(group_, dynamic_topic_, group_member_id_);
+  group_member_id_ = -1;
+  dynamic_topic_.clear();
+}
+
+void KafkaConsumer::Reassign(const std::string& topic,
+                             std::vector<int> partitions) {
+  ++rebalances_seen_;
+  // Eager rebalance: commit what we have consumed, stop the old fetch
+  // sessions, drop prefetched-but-undelivered records (their new owner
+  // refetches them from the committed offsets), adopt the assignment.
+  CommitPositions();
+  ++(*generation_);
+  assignment_.clear();
+  positions_.clear();
+  paused_.clear();
+  buffer_.clear();
+  crayfish::Status s = Assign(topic, partitions);
+  CRAYFISH_CHECK(s.ok()) << s.ToString();
+}
+
+void KafkaConsumer::StartFetchLoop(const TopicPartition& tp) {
+  FetchOnce(tp);
+}
+
+void KafkaConsumer::FetchOnce(const TopicPartition& tp) {
+  if (closed_) return;
+  if (buffer_.size() >= config_.max_buffered_records) {
+    paused_[tp.ToString()] = true;
+    return;
+  }
+  const int64_t offset = positions_[tp.ToString()];
+  auto generation = generation_;
+  const uint64_t my_generation = *generation;
+  cluster_->Fetch(
+      client_host_, tp, offset, config_.fetch_max_records,
+      config_.fetch_max_bytes, config_.fetch_max_wait_s,
+      [this, tp, generation, my_generation](std::vector<Record> records) {
+        if (*generation != my_generation) return;  // closed/reassigned
+        if (!records.empty()) {
+          positions_[tp.ToString()] = records.back().offset + 1;
+          // Client-side deserialization before records become visible.
+          const double deser = config_.deserialize_per_record_s *
+                               static_cast<double>(records.size());
+          cluster_->simulation()->Schedule(
+              deser, [this, generation, my_generation, tp,
+                      records = std::move(records)]() mutable {
+                if (*generation != my_generation) return;
+                for (Record& r : records) buffer_.push_back(std::move(r));
+                MaybeDeliver();
+                FetchOnce(tp);
+              });
+          return;
+        }
+        FetchOnce(tp);
+      });
+}
+
+void KafkaConsumer::Poll(double timeout_s, PollCallback on_records) {
+  CRAYFISH_CHECK(!pending_poll_) << "only one outstanding Poll is allowed";
+  pending_poll_ = std::move(on_records);
+  pending_poll_done_ = std::make_shared<bool>(false);
+  auto done = pending_poll_done_;
+  // Deliver immediately when buffered data exists (still async: next sim
+  // instant), otherwise arm the timeout.
+  if (!buffer_.empty()) {
+    cluster_->simulation()->Schedule(0.0, [this, done]() {
+      if (*done) return;
+      MaybeDeliver();
+    });
+    return;
+  }
+  cluster_->simulation()->Schedule(timeout_s, [this, done]() {
+    if (*done) return;
+    *done = true;
+    PollCallback cb = std::move(pending_poll_);
+    pending_poll_ = nullptr;
+    pending_poll_done_ = nullptr;
+    if (cb) cb({});
+  });
+}
+
+void KafkaConsumer::MaybeDeliver() {
+  if (!pending_poll_ || buffer_.empty()) return;
+  std::vector<Record> out;
+  const size_t n = std::min(buffer_.size(), config_.max_poll_records);
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(buffer_.front()));
+    buffer_.pop_front();
+  }
+  records_consumed_ += out.size();
+  *pending_poll_done_ = true;
+  PollCallback cb = std::move(pending_poll_);
+  pending_poll_ = nullptr;
+  pending_poll_done_ = nullptr;
+  ResumePausedLoops();
+  cb(std::move(out));
+}
+
+void KafkaConsumer::ResumePausedLoops() {
+  if (buffer_.size() >= config_.max_buffered_records) return;
+  for (const TopicPartition& tp : assignment_) {
+    bool& paused = paused_[tp.ToString()];
+    if (paused) {
+      paused = false;
+      FetchOnce(tp);
+    }
+  }
+}
+
+void KafkaConsumer::CommitPositions() {
+  for (const TopicPartition& tp : assignment_) {
+    cluster_->CommitOffset(group_, tp, positions_[tp.ToString()]);
+  }
+}
+
+void KafkaConsumer::Close() {
+  closed_ = true;
+  Unsubscribe();
+  ++(*generation_);
+  if (pending_poll_) {
+    *pending_poll_done_ = true;
+    pending_poll_ = nullptr;
+    pending_poll_done_ = nullptr;
+  }
+}
+
+int64_t KafkaConsumer::position(const TopicPartition& tp) const {
+  auto it = positions_.find(tp.ToString());
+  return it == positions_.end() ? -1 : it->second;
+}
+
+}  // namespace crayfish::broker

@@ -1,0 +1,136 @@
+#ifndef CRAYFISH_BROKER_CONSUMER_H_
+#define CRAYFISH_BROKER_CONSUMER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/cluster.h"
+#include "broker/record.h"
+#include "common/status.h"
+
+namespace crayfish::broker {
+
+struct ConsumerConfig {
+  /// Maximum records returned by one Poll.
+  size_t max_poll_records = 500;
+  /// Per-partition fetch size limits.
+  size_t fetch_max_records = 500;
+  uint64_t fetch_max_bytes = 50ULL * 1024 * 1024;
+  /// Broker-side long-poll timeout (Kafka fetch.max.wait.ms).
+  double fetch_max_wait_s = 0.5;
+  /// Prefetch buffer bound; fetch loops pause above this (models
+  /// max.partition.fetch.bytes-style client memory bounding and provides
+  /// backpressure to the broker).
+  size_t max_buffered_records = 5000;
+  /// Client-side deserialization cost per record.
+  double deserialize_per_record_s = 8e-6;
+};
+
+/// Kafka consumer client with background fetch sessions.
+///
+/// After Assign() the consumer runs one long-poll fetch loop per assigned
+/// partition, buffering records client-side; Poll() drains the buffer (or
+/// parks until data arrives / the poll timeout fires). This mirrors the
+/// real client's prefetching and gives pull-based engines their
+/// efficiency.
+class KafkaConsumer {
+ public:
+  using PollCallback = std::function<void(std::vector<Record>)>;
+
+  KafkaConsumer(KafkaCluster* cluster, std::string client_host,
+                std::string group, ConsumerConfig config = {});
+
+  /// Manual partition assignment (the engines map tasks to partitions
+  /// deterministically). Starts fetch loops at the committed offset (or
+  /// `start_offset` when >= 0).
+  crayfish::Status Assign(const std::string& topic,
+                          const std::vector<int>& partitions,
+                          int64_t start_offset = -1);
+
+  /// Subscribe-with-group: range-assigns `member_index` of `member_count`
+  /// consumers across all partitions of the topic (static membership, as
+  /// the engines use).
+  crayfish::Status Subscribe(const std::string& topic, int member_count,
+                             int member_index);
+
+  /// Dynamic group membership through the cluster's coordinator: the
+  /// assignment (and every future rebalance) is adopted automatically —
+  /// current fetch sessions stop, positions are committed, and new
+  /// sessions resume from the group's committed offsets. Delivery is
+  /// at-least-once across rebalances (undelivered prefetched records are
+  /// dropped and refetched by their new owner).
+  crayfish::Status SubscribeDynamic(const std::string& topic);
+
+  /// Leaves a dynamic group (no-op otherwise); also invoked by Close().
+  void Unsubscribe();
+
+  /// Delivers up to max_poll_records buffered records. If the buffer is
+  /// empty, parks until data arrives or `timeout_s` elapses (then delivers
+  /// an empty vector). At most one outstanding Poll at a time.
+  void Poll(double timeout_s, PollCallback on_records);
+
+  /// Synchronously commits the consumed positions for all assigned
+  /// partitions (offset bookkeeping only; no simulated round trip, as
+  /// commits piggyback on fetch sessions).
+  void CommitPositions();
+
+  /// Stops fetch loops; outstanding fetches are dropped on arrival.
+  void Close();
+
+  int64_t position(const TopicPartition& tp) const;
+  size_t buffered() const { return buffer_.size(); }
+  uint64_t records_consumed() const { return records_consumed_; }
+  const std::string& group() const { return group_; }
+  const std::vector<TopicPartition>& assignment() const {
+    return assignment_;
+  }
+
+  /// Consumers must be destroyed only after the simulation stops running
+  /// or after Close(); scheduled callbacks guard on a lifetime token.
+  ~KafkaConsumer();
+
+ private:
+  void StartFetchLoop(const TopicPartition& tp);
+  void FetchOnce(const TopicPartition& tp);
+  void MaybeDeliver();
+  void ResumePausedLoops();
+  /// Adopts a coordinator assignment (dynamic membership).
+  void Reassign(const std::string& topic, std::vector<int> partitions);
+
+  KafkaCluster* cluster_;
+  std::string client_host_;
+  std::string group_;
+  ConsumerConfig config_;
+  std::vector<TopicPartition> assignment_;
+  /// Next offset to fetch per partition.
+  std::map<std::string, int64_t> positions_;
+  /// Partitions whose fetch loop is paused on buffer pressure.
+  std::map<std::string, bool> paused_;
+  std::deque<Record> buffer_;
+  bool closed_ = false;
+  /// Generation counter: Close() bumps it so stale fetch responses are
+  /// ignored.
+  std::shared_ptr<uint64_t> generation_;
+
+  PollCallback pending_poll_;
+  std::shared_ptr<bool> pending_poll_done_;
+  uint64_t records_consumed_ = 0;
+  /// Guards coordinator callbacks against consumer destruction.
+  std::shared_ptr<bool> alive_;
+  /// Dynamic-membership state (-1 = not dynamically subscribed).
+  int group_member_id_ = -1;
+  std::string dynamic_topic_;
+  uint64_t rebalances_seen_ = 0;
+
+ public:
+  uint64_t rebalances_seen() const { return rebalances_seen_; }
+};
+
+}  // namespace crayfish::broker
+
+#endif  // CRAYFISH_BROKER_CONSUMER_H_

@@ -1,0 +1,104 @@
+#include "broker/producer.h"
+
+#include "common/logging.h"
+
+namespace crayfish::broker {
+
+KafkaProducer::KafkaProducer(KafkaCluster* cluster, std::string client_host,
+                             ProducerConfig config)
+    : cluster_(cluster), client_host_(std::move(client_host)),
+      config_(config), alive_(std::make_shared<bool>(true)) {
+  CRAYFISH_CHECK(cluster != nullptr);
+  CRAYFISH_CHECK(cluster->network()->HasHost(client_host_))
+      << "producer host " << client_host_ << " not on the network";
+}
+
+KafkaProducer::~KafkaProducer() { *alive_ = false; }
+
+crayfish::Status KafkaProducer::Send(const std::string& topic, Record record,
+                                     AckCallback on_ack) {
+  CRAYFISH_ASSIGN_OR_RETURN(int partitions, cluster_->NumPartitions(topic));
+  int& rr = round_robin_[topic];
+  const int partition = rr;
+  rr = (rr + 1) % partitions;
+  return SendToPartition(TopicPartition{topic, partition}, std::move(record),
+                         std::move(on_ack));
+}
+
+crayfish::Status KafkaProducer::SendToPartition(const TopicPartition& tp,
+                                                Record record,
+                                                AckCallback on_ack) {
+  CRAYFISH_ASSIGN_OR_RETURN(int partitions, cluster_->NumPartitions(tp.topic));
+  if (tp.partition < 0 || tp.partition >= partitions) {
+    return crayfish::Status::InvalidArgument("partition out of range: " +
+                                             tp.ToString());
+  }
+  const uint64_t record_bytes = record.wire_size + kRecordEnvelopeBytes;
+  if (record_bytes > cluster_->config().max_request_bytes) {
+    return crayfish::Status::InvalidArgument(
+        "record larger than max.request.size");
+  }
+  PendingBatch& batch = pending_[tp];
+  batch.records.push_back(std::move(record));
+  batch.acks.push_back(std::move(on_ack));
+  batch.bytes += record_bytes;
+  if (batch.bytes >= config_.batch_bytes) {
+    FlushPartition(tp);
+    return crayfish::Status::Ok();
+  }
+  if (!batch.flush_scheduled) {
+    batch.flush_scheduled = true;
+    // linger: coalesces records produced within the window into one
+    // request; linger 0 still coalesces same-instant sends.
+    cluster_->simulation()->Schedule(
+        config_.linger_s, [this, tp, alive = alive_]() {
+          if (*alive) FlushPartition(tp);
+        });
+  }
+  return crayfish::Status::Ok();
+}
+
+void KafkaProducer::FlushPartition(const TopicPartition& tp) {
+  auto it = pending_.find(tp);
+  if (it == pending_.end() || it->second.records.empty()) return;
+  PendingBatch batch = std::move(it->second);
+  pending_.erase(it);
+
+  const auto record_count = batch.records.size();
+  // Client-side serialization occupies the producer before the request
+  // goes out.
+  const double serialize =
+      config_.serialize_per_record_s * static_cast<double>(record_count);
+  // The send itself proceeds even if the producer object is destroyed in
+  // the meantime (records handed to Flush() are owed to the broker); only
+  // the statistics counters are guarded by the lifetime token.
+  auto* sim = cluster_->simulation();
+  KafkaCluster* cluster = cluster_;
+  std::string host = client_host_;
+  sim->Schedule(serialize, [this, cluster, host = std::move(host), tp,
+                            record_count, alive = alive_,
+                            batch = std::move(batch)]() mutable {
+    auto acks = std::move(batch.acks);
+    cluster->Produce(
+        host, tp, std::move(batch.records),
+        [this, alive, acks = std::move(acks)](crayfish::Status s) {
+          if (*alive && !s.ok()) ++send_errors_;
+          for (const AckCallback& cb : acks) {
+            if (cb) cb(s);
+          }
+        });
+    if (*alive) {
+      ++batches_sent_;
+      records_sent_ += record_count;
+    }
+  });
+}
+
+void KafkaProducer::Flush() {
+  std::vector<TopicPartition> keys;
+  keys.reserve(pending_.size());
+  for (const auto& [tp, batch] : pending_) keys.push_back(tp);
+  for (const TopicPartition& tp : keys) FlushPartition(tp);
+}
+
+}  // namespace crayfish::broker

@@ -1,0 +1,74 @@
+#ifndef CRAYFISH_COMMON_BYTES_H_
+#define CRAYFISH_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace crayfish {
+
+using Bytes = std::vector<uint8_t>;
+
+/// Little-endian binary encoder. Used by the model-format serializers and
+/// broker record codecs.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF32(float v);
+  void PutF64(double v);
+  /// Length-prefixed (u32) string.
+  void PutString(const std::string& s);
+  /// Length-prefixed (u64) raw block.
+  void PutBlock(const uint8_t* data, size_t len);
+  void PutRaw(const uint8_t* data, size_t len);
+  /// Length-prefixed (u64) array of f32.
+  void PutF32Array(const float* data, size_t len);
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Little-endian binary decoder over a borrowed buffer. All getters return
+/// Status on truncation instead of reading out of bounds.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit ByteReader(const Bytes& b) : data_(b.data()), len_(b.size()) {}
+
+  StatusOr<uint8_t> GetU8();
+  StatusOr<uint32_t> GetU32();
+  StatusOr<uint64_t> GetU64();
+  StatusOr<int64_t> GetI64();
+  StatusOr<float> GetF32();
+  StatusOr<double> GetF64();
+  StatusOr<std::string> GetString();
+  StatusOr<Bytes> GetBlock();
+  StatusOr<std::vector<float>> GetF32Array();
+
+  size_t remaining() const { return len_ - pos_; }
+  bool AtEnd() const { return pos_ == len_; }
+  size_t position() const { return pos_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace crayfish
+
+#endif  // CRAYFISH_COMMON_BYTES_H_

@@ -1,0 +1,102 @@
+#ifndef CRAYFISH_COMMON_LOGGING_H_
+#define CRAYFISH_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace crayfish {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level below which log statements are discarded.
+/// Defaults to kInfo; tests lower it to kDebug, benchmarks raise it.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after emitting. Used by CHECK macros.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+struct Voidify {
+  void operator&(std::ostream&) {}
+  void operator&(NullStream&) {}
+};
+
+bool LevelEnabled(LogLevel level);
+
+}  // namespace internal_logging
+}  // namespace crayfish
+
+#define CRAYFISH_LOG_INTERNAL(level)                                        \
+  ::crayfish::internal_logging::LogMessage(level, __FILE__, __LINE__)      \
+      .stream()
+
+#define CRAYFISH_LOG(severity)                                              \
+  !::crayfish::internal_logging::LevelEnabled(                              \
+      ::crayfish::LogLevel::k##severity)                                    \
+      ? (void)0                                                             \
+      : ::crayfish::internal_logging::Voidify() &                           \
+            CRAYFISH_LOG_INTERNAL(::crayfish::LogLevel::k##severity)
+
+/// Aborts the process with a message when `cond` is false. Active in all
+/// build modes; use for programmer errors, not data-dependent failures.
+#define CRAYFISH_CHECK(cond)                                                \
+  (cond) ? (void)0                                                          \
+         : ::crayfish::internal_logging::Voidify() &                        \
+               ::crayfish::internal_logging::FatalLogMessage(__FILE__,      \
+                                                             __LINE__)      \
+                   .stream()                                                \
+               << "Check failed: " #cond " "
+
+#define CRAYFISH_CHECK_OK(expr)                                             \
+  do {                                                                      \
+    const ::crayfish::Status& _s = (expr);                                  \
+    CRAYFISH_CHECK(_s.ok()) << _s.ToString();                               \
+  } while (0)
+
+#define CRAYFISH_CHECK_EQ(a, b) CRAYFISH_CHECK((a) == (b))
+#define CRAYFISH_CHECK_NE(a, b) CRAYFISH_CHECK((a) != (b))
+#define CRAYFISH_CHECK_LT(a, b) CRAYFISH_CHECK((a) < (b))
+#define CRAYFISH_CHECK_LE(a, b) CRAYFISH_CHECK((a) <= (b))
+#define CRAYFISH_CHECK_GT(a, b) CRAYFISH_CHECK((a) > (b))
+#define CRAYFISH_CHECK_GE(a, b) CRAYFISH_CHECK((a) >= (b))
+
+#endif  // CRAYFISH_COMMON_LOGGING_H_

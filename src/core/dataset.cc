@@ -1,0 +1,49 @@
+#include "core/dataset.h"
+
+#include <fstream>
+
+namespace crayfish::core {
+
+crayfish::StatusOr<std::vector<CrayfishDataBatch>> LoadDataset(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return crayfish::Status::NotFound("dataset file: " + path);
+  std::vector<CrayfishDataBatch> batches;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto batch = CrayfishDataBatch::FromJson(line);
+    if (!batch.ok()) {
+      return crayfish::Status::Corruption(
+          path + ":" + std::to_string(lineno) + ": " +
+          batch.status().ToString());
+    }
+    batches.push_back(std::move(*batch));
+  }
+  if (batches.empty()) {
+    return crayfish::Status::InvalidArgument("dataset is empty: " + path);
+  }
+  const auto& first = batches.front();
+  for (const CrayfishDataBatch& b : batches) {
+    if (b.shape != first.shape || b.batch_size() != first.batch_size()) {
+      return crayfish::Status::InvalidArgument(
+          "dataset batches must share shape and batch size: " + path);
+    }
+  }
+  return batches;
+}
+
+crayfish::Status WriteDataset(const std::string& path,
+                              const std::vector<CrayfishDataBatch>& batches) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return crayfish::Status::IoError("cannot open: " + path);
+  for (const CrayfishDataBatch& b : batches) {
+    out << b.ToJson() << "\n";
+  }
+  if (!out) return crayfish::Status::IoError("short write: " + path);
+  return crayfish::Status::Ok();
+}
+
+}  // namespace crayfish::core

@@ -1,0 +1,28 @@
+#ifndef CRAYFISH_CORE_DATASET_H_
+#define CRAYFISH_CORE_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/data_batch.h"
+
+namespace crayfish::core {
+
+/// Real-dataset support (§3.1: the input producer "can be configured to
+/// ... read real datasets"). Datasets are JSON-lines files: one
+/// CrayfishDataBatch JSON object per line.
+
+/// Loads every batch from a JSON-lines file. All batches must share the
+/// same per-sample shape and batch size (the pipeline's unit of
+/// computation is fixed per experiment).
+crayfish::StatusOr<std::vector<CrayfishDataBatch>> LoadDataset(
+    const std::string& path);
+
+/// Writes batches as JSON-lines (creates/truncates the file).
+crayfish::Status WriteDataset(const std::string& path,
+                              const std::vector<CrayfishDataBatch>& batches);
+
+}  // namespace crayfish::core
+
+#endif  // CRAYFISH_CORE_DATASET_H_

@@ -1,0 +1,214 @@
+#include "core/experiment.h"
+
+#include <memory>
+#include <sstream>
+
+#include "broker/cluster.h"
+#include "common/logging.h"
+#include "common/stats.h"
+#include "core/dataset.h"
+#include "core/input_producer.h"
+#include "model/formats.h"
+#include "model/graph.h"
+#include "serving/calibration.h"
+#include "serving/embedded_library.h"
+#include "serving/external_server.h"
+#include "serving/model_profile.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+#include "sps/engine.h"
+
+namespace crayfish::core {
+
+std::vector<int64_t> ExperimentConfig::SampleShape() const {
+  if (custom_model.has_value()) {
+    if (!custom_shape.empty()) return custom_shape;
+    return {custom_model->input_elements};
+  }
+  if (model == "ffnn") return {28, 28};
+  if (model == "resnet50") return {224, 224, 3};
+  return {serving::ModelProfile::ByName(model).input_elements};
+}
+
+RateSchedule ExperimentConfig::Schedule() const {
+  RateSchedule s;
+  s.base_rate = input_rate;
+  s.bursty = bursty;
+  s.burst_rate = burst_rate;
+  s.burst_duration_s = burst_duration_s;
+  s.time_between_bursts_s = time_between_bursts_s;
+  s.first_burst_at_s = first_burst_at_s;
+  return s;
+}
+
+std::string ExperimentConfig::Label() const {
+  std::ostringstream os;
+  os << engine << "/" << serving << "/" << model << " bsz=" << batch_size
+     << " ir=" << input_rate << " mp=" << parallelism;
+  if (use_gpu) os << " gpu";
+  return os.str();
+}
+
+crayfish::StatusOr<ExperimentResult> RunExperiment(
+    const ExperimentConfig& config) {
+  if (config.batch_size <= 0 || config.parallelism <= 0 ||
+      config.input_rate <= 0.0) {
+    return crayfish::Status::InvalidArgument(
+        "batch_size, parallelism and input_rate must be positive");
+  }
+  const bool external = serving::IsExternalTool(config.serving);
+  if (!external && !serving::IsEmbeddedLibrary(config.serving)) {
+    return crayfish::Status::InvalidArgument("unknown serving tool: " +
+                                             config.serving);
+  }
+
+  sim::Simulation sim(config.seed);
+  sim::Network network(&sim);
+
+  // Kafka cluster (4 brokers, 32-partition topics, LogAppendTime).
+  broker::ClusterConfig cluster_config;
+  broker::KafkaCluster cluster(&sim, &network, cluster_config);
+  CRAYFISH_RETURN_IF_ERROR(
+      cluster.CreateTopic("crayfish-in", config.topic_partitions));
+  CRAYFISH_RETURN_IF_ERROR(
+      cluster.CreateTopic("crayfish-out", config.topic_partitions));
+  if (config.retention_records > 0) {
+    CRAYFISH_RETURN_IF_ERROR(cluster.SetTopicRetention(
+        "crayfish-in", config.retention_records));
+    CRAYFISH_RETURN_IF_ERROR(cluster.SetTopicRetention(
+        "crayfish-out", config.retention_records));
+  }
+
+  const serving::ModelProfile profile =
+      config.custom_model.has_value()
+          ? *config.custom_model
+          : serving::ModelProfile::ByName(config.model);
+
+  // Serving tool.
+  std::unique_ptr<serving::EmbeddedLibrary> library;
+  std::unique_ptr<serving::ExternalServingServer> server;
+  if (external) {
+    serving::ExternalServerOptions opts;
+    opts.workers = config.parallelism;
+    opts.use_gpu = config.use_gpu;
+    opts.model = profile;
+    CRAYFISH_ASSIGN_OR_RETURN(
+        server, serving::CreateExternalServer(&sim, &network,
+                                              config.serving, opts));
+    server->Start();
+  } else {
+    CRAYFISH_ASSIGN_OR_RETURN(library,
+                              serving::CreateEmbeddedLibrary(config.serving));
+    if (config.validate_real_inference) {
+      if (config.model != "ffnn") {
+        return crayfish::Status::InvalidArgument(
+            "validate_real_inference supports model=ffnn");
+      }
+      // Honest load path: a real pre-trained model serialized in the
+      // library's native format, parsed by the library itself.
+      model::ModelGraph graph = model::BuildFfnn();
+      crayfish::Rng weight_rng(config.seed ^ 0x5eedULL);
+      graph.InitializeWeights(&weight_rng);
+      CRAYFISH_ASSIGN_OR_RETURN(
+          Bytes serialized,
+          model::Serialize(graph, library->native_format()));
+      CRAYFISH_RETURN_IF_ERROR(library->Load(serialized));
+    }
+  }
+
+  // Data processor (the SUT).
+  sps::EngineConfig engine_config;
+  engine_config.parallelism = config.parallelism;
+  engine_config.source_parallelism = config.source_parallelism;
+  engine_config.sink_parallelism = config.sink_parallelism;
+  engine_config.overrides = config.engine_overrides;
+  sps::ScoringConfig scoring;
+  scoring.external = external;
+  scoring.library = library.get();
+  scoring.server = server.get();
+  scoring.model = profile;
+  scoring.use_gpu = config.use_gpu;
+  CRAYFISH_ASSIGN_OR_RETURN(
+      std::unique_ptr<sps::StreamEngine> engine,
+      sps::CreateEngine(config.engine, &sim, &network, &cluster,
+                        engine_config, scoring));
+
+  // Measurement endpoints (outside the SUT, §3.5).
+  OutputConsumer::Options oc_opts;
+  oc_opts.max_measurements = config.max_measurements;
+  OutputConsumer output_consumer(&sim, &cluster, oc_opts);
+
+  std::optional<DataGenerator> generator;
+  if (!config.dataset_path.empty()) {
+    CRAYFISH_ASSIGN_OR_RETURN(std::vector<CrayfishDataBatch> dataset,
+                              LoadDataset(config.dataset_path));
+    generator.emplace(std::move(dataset), sim.ForkRng());
+  } else {
+    generator.emplace(config.SampleShape(), config.batch_size,
+                      sim.ForkRng());
+  }
+  InputProducer::Options ip_opts;
+  ip_opts.schedule = config.Schedule();
+  ip_opts.max_events = config.max_events;
+  ip_opts.stop_at_s = config.duration_s;
+  ip_opts.materialize_payloads = config.validate_real_inference;
+  InputProducer producer(&sim, &cluster, std::move(*generator), ip_opts);
+
+  CRAYFISH_RETURN_IF_ERROR(engine->Start());
+  output_consumer.Start();
+  producer.Start();
+
+  sim.Run(config.duration_s + config.drain_s);
+
+  engine->Stop();
+  producer.Stop();
+  output_consumer.Stop();
+
+  ExperimentResult result;
+  result.measurements = output_consumer.measurements();
+  result.summary = MetricsAnalyzer::Summarize(result.measurements);
+  if (config.bursty) {
+    result.recoveries = MetricsAnalyzer::BurstRecoveryTimes(
+        result.measurements, ip_opts.schedule, sim.Now());
+  }
+  result.events_sent = producer.events_sent();
+  result.events_scored = engine->events_scored();
+  result.real_inferences = engine->real_inferences();
+  result.sim_end_s = sim.Now();
+  result.sim_events_executed = sim.events_executed();
+  return result;
+}
+
+crayfish::StatusOr<std::vector<ExperimentResult>> RunRepeated(
+    ExperimentConfig config, int repeats) {
+  std::vector<ExperimentResult> results;
+  for (int i = 0; i < repeats; ++i) {
+    config.seed = config.seed * 1000003 + static_cast<uint64_t>(i) + 1;
+    CRAYFISH_ASSIGN_OR_RETURN(ExperimentResult r, RunExperiment(config));
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+namespace {
+Aggregate AggregateMetric(const std::vector<ExperimentResult>& results,
+                          double (*metric)(const ExperimentResult&)) {
+  crayfish::RunningStats stats;
+  for (const ExperimentResult& r : results) stats.Add(metric(r));
+  return Aggregate{stats.mean(), stats.stddev()};
+}
+}  // namespace
+
+Aggregate AggregateThroughput(const std::vector<ExperimentResult>& results) {
+  return AggregateMetric(results, [](const ExperimentResult& r) {
+    return r.summary.throughput_eps;
+  });
+}
+
+Aggregate AggregateLatencyMean(const std::vector<ExperimentResult>& results) {
+  return AggregateMetric(results, [](const ExperimentResult& r) {
+    return r.summary.latency_mean_ms;
+  });
+}
+
+}  // namespace crayfish::core

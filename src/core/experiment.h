@@ -1,0 +1,115 @@
+#ifndef CRAYFISH_CORE_EXPERIMENT_H_
+#define CRAYFISH_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "core/generator.h"
+#include "core/metrics.h"
+#include "core/output_consumer.h"
+#include "serving/model_profile.h"
+
+namespace crayfish::core {
+
+/// One Crayfish benchmark configuration: an SPS, a serving tool, a
+/// pre-trained model, and the Table 1 workload parameters.
+struct ExperimentConfig {
+  // --- SUT selection ---
+  std::string engine = "flink";  ///< flink|kafka-streams|spark|ray
+  /// Serving tool: embedded ("dl4j"|"onnx"|"savedmodel") or external
+  /// ("tf-serving"|"torchserve"|"ray-serve").
+  std::string serving = "onnx";
+  std::string model = "ffnn";  ///< "ffnn" | "resnet50"
+  /// User-supplied model (§3.2: "users can indicate ... any stored model
+  /// they wish to test"). When set, overrides `model`; unknown models
+  /// derive service times from their FLOP counts. Build one with
+  /// serving::ModelProfile::FromGraph on any ModelGraph.
+  std::optional<serving::ModelProfile> custom_model;
+  /// Per-sample tensor shape for a custom model (defaults to flat
+  /// [input_elements]).
+  std::vector<int64_t> custom_shape;
+  /// Optional JSON-lines dataset to replay instead of synthetic data
+  /// (§3.1); overrides batch_size/shape with the dataset's.
+  std::string dataset_path;
+  /// Validation mode: materialize real payloads and have the embedded
+  /// scoring operators run *true* inference on every batch (load a real
+  /// model through the library's native format, parse the JSON, forward
+  /// pass) while the simulation keeps its calibrated timing. Supported
+  /// for embedded serving with model="ffnn" (ResNet50's real compute is
+  /// deliberately out of the simulated hot path).
+  bool validate_real_inference = false;
+
+  // --- workload (Table 1) ---
+  int batch_size = 1;       ///< bsz
+  double input_rate = 1.0;  ///< ir, events/s
+  int parallelism = 1;      ///< mp
+  bool bursty = false;
+  double burst_rate = 0.0;            ///< events/s during bursts
+  double burst_duration_s = 30.0;     ///< bd
+  double time_between_bursts_s = 120.0;  ///< tbb
+  double first_burst_at_s = 60.0;
+
+  // --- deployment ---
+  bool use_gpu = false;
+  /// Flink operator-level parallelism (Fig. 12); 0 = chained default.
+  int source_parallelism = 0;
+  int sink_parallelism = 0;
+  int topic_partitions = 32;
+  /// Per-partition retention (records); bounds memory in overload runs.
+  size_t retention_records = 20000;
+  crayfish::Config engine_overrides;
+
+  // --- run control ---
+  double duration_s = 30.0;  ///< producer generation window (sim time)
+  double drain_s = 10.0;     ///< extra time for in-flight work
+  uint64_t max_events = 0;
+  uint64_t max_measurements = 0;
+  uint64_t seed = 42;
+
+  /// Per-sample tensor shape for the generator, by model name.
+  std::vector<int64_t> SampleShape() const;
+  RateSchedule Schedule() const;
+  std::string Label() const;
+};
+
+/// Everything a bench needs from one run.
+struct ExperimentResult {
+  MetricsSummary summary;
+  std::vector<Measurement> measurements;
+  std::vector<BurstRecovery> recoveries;
+  uint64_t events_sent = 0;
+  uint64_t events_scored = 0;
+  /// Real forward passes executed inside the pipeline (validation mode).
+  uint64_t real_inferences = 0;
+  double sim_end_s = 0.0;
+  uint64_t sim_events_executed = 0;
+};
+
+/// Builds the full simulated deployment (9-VM-style topology: producer,
+/// 4 Kafka brokers, data processor, serving VM, output consumer), runs the
+/// workload, and analyzes the output log. Each call is hermetic and
+/// deterministic under its seed.
+crayfish::StatusOr<ExperimentResult> RunExperiment(
+    const ExperimentConfig& config);
+
+/// Runs the experiment `repeats` times with derived seeds and returns all
+/// results (the paper reports mean and stddev over two runs).
+crayfish::StatusOr<std::vector<ExperimentResult>> RunRepeated(
+    ExperimentConfig config, int repeats);
+
+/// Mean / stddev of a metric across repeated results.
+struct Aggregate {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+Aggregate AggregateThroughput(const std::vector<ExperimentResult>& results);
+Aggregate AggregateLatencyMean(const std::vector<ExperimentResult>& results);
+
+}  // namespace crayfish::core
+
+#endif  // CRAYFISH_CORE_EXPERIMENT_H_

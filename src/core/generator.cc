@@ -1,0 +1,83 @@
+#include "core/generator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace crayfish::core {
+
+double RateSchedule::RateAt(double t) const {
+  if (!bursty) return base_rate;
+  return InBurst(t) ? burst_rate : base_rate;
+}
+
+bool RateSchedule::InBurst(double t) const {
+  if (!bursty || t < first_burst_at_s) return false;
+  const double cycle = burst_duration_s + time_between_bursts_s;
+  const double phase = std::fmod(t - first_burst_at_s, cycle);
+  return phase < burst_duration_s;
+}
+
+DataGenerator::DataGenerator(std::vector<int64_t> sample_shape,
+                             int batch_size, crayfish::Rng rng)
+    : sample_shape_(std::move(sample_shape)), batch_size_(batch_size),
+      rng_(rng) {
+  CRAYFISH_CHECK_GT(batch_size, 0);
+  CRAYFISH_CHECK(!sample_shape_.empty());
+  elements_per_sample_ = 1;
+  for (int64_t d : sample_shape_) {
+    CRAYFISH_CHECK_GT(d, 0);
+    elements_per_sample_ *= d;
+  }
+}
+
+DataGenerator::DataGenerator(std::vector<CrayfishDataBatch> dataset,
+                             crayfish::Rng rng)
+    : rng_(rng), dataset_(std::move(dataset)) {
+  CRAYFISH_CHECK(!dataset_.empty());
+  sample_shape_ = dataset_.front().shape;
+  batch_size_ = static_cast<int>(dataset_.front().batch_size());
+  CRAYFISH_CHECK_GT(batch_size_, 0);
+  elements_per_sample_ = dataset_.front().elements_per_sample();
+  uint64_t total = 0;
+  for (const CrayfishDataBatch& b : dataset_) {
+    CRAYFISH_CHECK(b.shape == sample_shape_);
+    total += b.ToJson().size();
+  }
+  dataset_wire_bytes_ = total / dataset_.size();
+}
+
+CrayfishDataBatch DataGenerator::NextMetadataOnly(double created_at) {
+  CrayfishDataBatch batch;
+  batch.id = next_id_++;
+  batch.created_at = created_at;
+  batch.shape = sample_shape_;
+  return batch;
+}
+
+CrayfishDataBatch DataGenerator::NextMaterialized(double created_at) {
+  if (replaying_dataset()) {
+    CrayfishDataBatch batch =
+        dataset_[static_cast<size_t>(next_id_ % dataset_.size())];
+    batch.id = next_id_++;
+    batch.created_at = created_at;
+    return batch;
+  }
+  CrayfishDataBatch batch = NextMetadataOnly(created_at);
+  batch.data.resize(static_cast<size_t>(elements_per_sample_ *
+                                        batch_size_));
+  for (float& v : batch.data) {
+    v = static_cast<float>(rng_.NextDouble());
+  }
+  return batch;
+}
+
+uint64_t DataGenerator::BatchWireBytes() const {
+  if (replaying_dataset()) return dataset_wire_bytes_;
+  // ~4 JSON characters per element plus the envelope; see
+  // serving::ModelProfile for the same accounting on the model side.
+  return 160 + 4ULL * static_cast<uint64_t>(elements_per_sample_) *
+                   static_cast<uint64_t>(batch_size_);
+}
+
+}  // namespace crayfish::core

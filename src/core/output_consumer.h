@@ -1,0 +1,65 @@
+#ifndef CRAYFISH_CORE_OUTPUT_CONSUMER_H_
+#define CRAYFISH_CORE_OUTPUT_CONSUMER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/cluster.h"
+#include "broker/consumer.h"
+#include "sim/simulation.h"
+
+namespace crayfish::core {
+
+/// One completed measurement: a scored batch observed on the output topic.
+struct Measurement {
+  uint64_t batch_id = 0;
+  double create_time = 0.0;
+  /// Output-topic LogAppendTime (§3.3 step 5) — the end timestamp.
+  double append_time = 0.0;
+  uint32_t batch_size = 1;
+
+  double latency_s() const { return append_time - create_time; }
+};
+
+/// The output-consumer component (Fig. 1): reads the Kafka output topic
+/// and extracts per-batch end-to-end latencies. Runs on its own host —
+/// measurement collection stays outside the SUT (§3.5).
+class OutputConsumer {
+ public:
+  struct Options {
+    std::string client_host = "consumer";
+    std::string topic = "crayfish-out";
+    /// Stop collecting after this many measurements (0 = unlimited) —
+    /// the paper caps runs at 1M measurements.
+    uint64_t max_measurements = 0;
+  };
+
+  OutputConsumer(sim::Simulation* sim, broker::KafkaCluster* cluster,
+                 Options options);
+
+  void Start();
+  void Stop();
+
+  const std::vector<Measurement>& measurements() const {
+    return measurements_;
+  }
+  uint64_t count() const { return measurements_.size(); }
+  bool done() const { return done_; }
+
+ private:
+  void PollLoop();
+
+  sim::Simulation* sim_;
+  broker::KafkaCluster* cluster_;
+  Options options_;
+  std::unique_ptr<broker::KafkaConsumer> consumer_;
+  std::vector<Measurement> measurements_;
+  bool stopped_ = false;
+  bool done_ = false;
+};
+
+}  // namespace crayfish::core
+
+#endif  // CRAYFISH_CORE_OUTPUT_CONSUMER_H_

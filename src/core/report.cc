@@ -1,0 +1,90 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace crayfish::core {
+
+ReportTable::ReportTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  CRAYFISH_CHECK(!columns_.empty());
+}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  CRAYFISH_CHECK_EQ(cells.size(), columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportTable::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string ReportTable::ToString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << "  ";
+      os << cells[c];
+      for (size_t pad = cells[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << "\n";
+  };
+  emit_row(columns_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void ReportTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+namespace {
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+crayfish::Status ReportTable::WriteCsv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return crayfish::Status::IoError("cannot open " + path);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out << ",";
+    out << CsvEscape(columns_[c]);
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ",";
+      out << CsvEscape(row[c]);
+    }
+    out << "\n";
+  }
+  if (!out) return crayfish::Status::IoError("short write: " + path);
+  return crayfish::Status::Ok();
+}
+
+}  // namespace crayfish::core

@@ -1,0 +1,40 @@
+#ifndef CRAYFISH_CORE_REPORT_H_
+#define CRAYFISH_CORE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace crayfish::core {
+
+/// Aligned plain-text table builder for bench output (one per paper
+/// table/figure) with CSV export for downstream plotting.
+class ReportTable {
+ public:
+  ReportTable(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 2);
+
+  /// Renders the aligned table with title and column rule.
+  std::string ToString() const;
+  /// Prints ToString() to stdout.
+  void Print() const;
+  /// Writes RFC-4180-ish CSV (quoted only when needed).
+  crayfish::Status WriteCsv(const std::string& path) const;
+
+  size_t rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crayfish::core
+
+#endif  // CRAYFISH_CORE_REPORT_H_

@@ -1,0 +1,25 @@
+#ifndef CRAYFISH_CORE_STANDALONE_H_
+#define CRAYFISH_CORE_STANDALONE_H_
+
+#include "common/status.h"
+#include "core/experiment.h"
+
+namespace crayfish::core {
+
+/// Runs the Fig. 13 comparison pipeline: a *self-contained* Flink job that
+/// generates input in-process and records output timestamps at the sink —
+/// no Kafka hops on either side (the paper's "no-kafka" configuration,
+/// §6.2). Only engine="flink" with embedded serving is supported, exactly
+/// matching the paper's experiment (standalone Flink + ONNX + FFNN).
+///
+/// Costs mirror the Kafka-based pipeline minus the broker legs: the
+/// generator charge, Flink source/score/sink charges and the scoring
+/// apply-time are identical; what disappears is producer batching/
+/// serialization, two network transfers, broker processing, and the
+/// consumer fetch path.
+crayfish::StatusOr<ExperimentResult> RunStandaloneFlink(
+    const ExperimentConfig& config);
+
+}  // namespace crayfish::core
+
+#endif  // CRAYFISH_CORE_STANDALONE_H_

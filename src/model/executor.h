@@ -1,0 +1,35 @@
+#ifndef CRAYFISH_MODEL_EXECUTOR_H_
+#define CRAYFISH_MODEL_EXECUTOR_H_
+
+#include "common/status.h"
+#include "model/graph.h"
+#include "tensor/tensor.h"
+
+namespace crayfish::model {
+
+/// Executes a model graph forward pass on real tensors.
+///
+/// The input carries a leading batch dimension; per-sample shape must match
+/// the graph's input layer. This is the honest `apply` behind the
+/// CrayfishModel contract — tests and examples run real inference through
+/// it, while the simulation consumes only the graph's FLOP counts.
+class Executor {
+ public:
+  explicit Executor(const ModelGraph* graph);
+
+  /// Runs the forward pass; returns the last layer's output with batch
+  /// dimension prepended.
+  crayfish::StatusOr<tensor::Tensor> Run(const tensor::Tensor& input) const;
+
+  /// Runs and returns the per-sample argmax class indices. Requires the
+  /// final output to be rank-2 [batch, classes].
+  crayfish::StatusOr<std::vector<int64_t>> Classify(
+      const tensor::Tensor& input) const;
+
+ private:
+  const ModelGraph* graph_;
+};
+
+}  // namespace crayfish::model
+
+#endif  // CRAYFISH_MODEL_EXECUTOR_H_

@@ -1,0 +1,44 @@
+#ifndef CRAYFISH_MODEL_FORMATS_H_
+#define CRAYFISH_MODEL_FORMATS_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "model/graph.h"
+
+namespace crayfish::model {
+
+/// On-disk model formats, mirroring the four export formats the paper
+/// benchmarks (Table 2): native ONNX, TensorFlow SavedModel, native
+/// PyTorch, and Keras H5. Each format is a distinct binary encoding with
+/// its own metadata layout and overhead profile, so serialized sizes
+/// reproduce the table's ordering (SavedModel largest; ONNX leanest).
+enum class ModelFormat {
+  kOnnx,
+  kSavedModel,
+  kTorch,
+  kH5,
+};
+
+const char* ModelFormatName(ModelFormat format);
+/// Conventional file extension (".onnx", ".pb", ".pt", ".h5").
+const char* ModelFormatExtension(ModelFormat format);
+crayfish::StatusOr<ModelFormat> ModelFormatFromName(const std::string& name);
+
+/// Serializes a shape-inferred graph (topology + all weights) in the given
+/// format.
+crayfish::StatusOr<Bytes> Serialize(const ModelGraph& graph,
+                                    ModelFormat format);
+
+/// Reconstructs a graph from serialized bytes. The format is detected from
+/// the leading magic; shapes are re-inferred and weights restored, so
+/// Deserialize(Serialize(g)) executes identically to g.
+crayfish::StatusOr<ModelGraph> Deserialize(const Bytes& bytes);
+
+/// Detects the format of serialized bytes without full decoding.
+crayfish::StatusOr<ModelFormat> DetectFormat(const Bytes& bytes);
+
+}  // namespace crayfish::model
+
+#endif  // CRAYFISH_MODEL_FORMATS_H_

@@ -1,0 +1,79 @@
+#include "model/repository.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace crayfish::model {
+
+namespace fs = std::filesystem;
+
+ModelRepository::ModelRepository(std::string root_dir)
+    : root_(std::move(root_dir)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) {
+    CRAYFISH_LOG(Warning) << "could not create model repository root "
+                          << root_ << ": " << ec.message();
+  }
+}
+
+std::string ModelRepository::PathFor(const std::string& name,
+                                     ModelFormat format) const {
+  return root_ + "/" + name + ModelFormatExtension(format);
+}
+
+crayfish::StatusOr<std::string> ModelRepository::Save(
+    const ModelGraph& graph, ModelFormat format) const {
+  CRAYFISH_ASSIGN_OR_RETURN(Bytes bytes, Serialize(graph, format));
+  const std::string path = PathFor(graph.name(), format);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return crayfish::Status::IoError("cannot open for write: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) return crayfish::Status::IoError("short write: " + path);
+  return path;
+}
+
+crayfish::StatusOr<ModelGraph> ModelRepository::Load(
+    const std::string& name, ModelFormat format) const {
+  return LoadFromFile(PathFor(name, format));
+}
+
+crayfish::StatusOr<ModelGraph> ModelRepository::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return crayfish::Status::NotFound("model file: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes bytes(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) return crayfish::Status::IoError("short read: " + path);
+  return Deserialize(bytes);
+}
+
+crayfish::StatusOr<uint64_t> ModelRepository::FileSize(
+    const std::string& name, ModelFormat format) const {
+  std::error_code ec;
+  const auto size = fs::file_size(PathFor(name, format), ec);
+  if (ec) {
+    return crayfish::Status::NotFound("model file: " + PathFor(name, format));
+  }
+  return static_cast<uint64_t>(size);
+}
+
+crayfish::StatusOr<std::vector<std::string>> ModelRepository::List() const {
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  if (ec) return crayfish::Status::IoError("cannot list: " + root_);
+  return names;
+}
+
+}  // namespace crayfish::model

@@ -1,0 +1,50 @@
+#ifndef CRAYFISH_MODEL_REPOSITORY_H_
+#define CRAYFISH_MODEL_REPOSITORY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/formats.h"
+#include "model/graph.h"
+
+namespace crayfish::model {
+
+/// On-disk store of exported models, mirroring Crayfish's configuration
+/// that lets users "indicate the format and location of any stored model"
+/// (§3.2). Files are named `<model>.<format extension>` inside a root
+/// directory.
+class ModelRepository {
+ public:
+  /// Creates the root directory if missing.
+  explicit ModelRepository(std::string root_dir);
+
+  /// Serializes and writes a model. Returns the file path.
+  crayfish::StatusOr<std::string> Save(const ModelGraph& graph,
+                                       ModelFormat format) const;
+
+  /// Loads `<name><ext(format)>` from the root.
+  crayfish::StatusOr<ModelGraph> Load(const std::string& name,
+                                      ModelFormat format) const;
+
+  /// Loads a model from an explicit path (format auto-detected).
+  static crayfish::StatusOr<ModelGraph> LoadFromFile(const std::string& path);
+
+  /// File size in bytes of a stored model; NotFound if absent.
+  crayfish::StatusOr<uint64_t> FileSize(const std::string& name,
+                                        ModelFormat format) const;
+
+  /// Lists stored model file names (not paths).
+  crayfish::StatusOr<std::vector<std::string>> List() const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string PathFor(const std::string& name, ModelFormat format) const;
+
+  std::string root_;
+};
+
+}  // namespace crayfish::model
+
+#endif  // CRAYFISH_MODEL_REPOSITORY_H_

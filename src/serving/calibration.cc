@@ -1,0 +1,218 @@
+#include "serving/calibration.h"
+
+#include "common/logging.h"
+
+namespace crayfish::serving {
+
+namespace {
+
+// All figures cited below are from the paper (EDBT 2024). Derivations:
+// Table 4 (Flink, FFNN, bsz=1, mp=1) gives whole-chain per-event times of
+//   DL4J 1.270 ms, ONNX 0.728 ms, SavedModel 0.775 ms, TF-Serving
+//   1.620 ms, TorchServe 4.443 ms;
+// Fig. 12 (flink[32-N-32], N=1 -> 5373 ev/s) isolates the scoring stage at
+//   0.186 ms/event, fixing Flink's chained source+sink at ~0.542 ms and
+//   the scoring wrapper at ~0.04 ms. Subtracting these yields the library
+//   apply-times used here. External tools additionally subtract the
+//   measured LAN round trip (~0.9 ms for a 3 KB request, §4.2).
+
+EmbeddedCosts MakeDl4jCosts() {
+  EmbeddedCosts c;
+  // Keras H5 import is the slowest load path of the three.
+  c.load_fixed_s = 0.35;
+  c.load_bytes_per_s = 80.0 * 1024 * 1024;
+  c.ffi_overhead_s = 100e-6;
+  c.per_sample_s = {
+      // Solves Table 4's 787.5 ev/s after Flink's measured 0.592 ms
+      // chain overhead and the saturation inflation (1 + beta).
+      {"ffnn", 539e-6},
+      {"resnet50", 560e-3},  // extrapolated; DL4J/ResNet50 not in Table 4
+  };
+  c.fallback_flops_per_s = 0.55e9;
+  // Fig. 6: DL4J peaks at ~2.8k ev/s at mp=8 and stops scaling beyond
+  // ((1 + 7a) = 3.34 from the whole-chain budget at mp=8).
+  c.contention_alpha = 0.334;
+  c.max_useful_parallelism = 8;
+  c.gpu_speedup = 1.15;
+  c.jitter_cv = 0.07;
+  c.slow_jitter_cv = 0.05;
+  c.overload_beta = 0.06;
+  return c;
+}
+
+EmbeddedCosts MakeOnnxCosts() {
+  EmbeddedCosts c;
+  c.load_fixed_s = 0.08;
+  c.load_bytes_per_s = 250.0 * 1024 * 1024;
+  c.ffi_overhead_s = 80e-6;
+  c.per_sample_s = {
+      {"ffnn", 50e-6},         // apply(1) ~ 0.137 ms (Table 4: 1373 ev/s)
+      {"resnet50", 316.4e-3},  // Table 4: 2.85 ev/s after 18.6 ms decode
+  };
+  c.fallback_flops_per_s = 1.2e9;
+  // Fig. 6: ONNX reaches ~13.6k ev/s at mp=16; with the 0.592 ms chain
+  // replicated per slot this solves to (1 + 15a) = 4.3.
+  c.contention_alpha = 0.22;
+  c.max_useful_parallelism = 0;
+  // Fig. 9: onnx-gpu improves end-to-end ResNet50 latency by 16.4%.
+  c.gpu_speedup = 1.28;
+  c.jitter_cv = 0.05;
+  // Fig. 8: ONNX shows the steadiest recovery behaviour.
+  c.slow_jitter_cv = 0.03;
+  c.overload_beta = 0.05;
+  return c;
+}
+
+EmbeddedCosts MakeSavedModelCosts() {
+  EmbeddedCosts c;
+  c.load_fixed_s = 0.12;
+  c.load_bytes_per_s = 220.0 * 1024 * 1024;
+  c.ffi_overhead_s = 100e-6;
+  c.per_sample_s = {
+      {"ffnn", 73e-6},       // apply(1) ~ 0.183 ms (Table 4: 1289.7 ev/s)
+      {"resnet50", 380e-3},  // extrapolated (not in Table 4)
+  };
+  c.fallback_flops_per_s = 1.0e9;
+  // Fig. 6: SavedModel peaks ~10.4k ev/s at mp=16 -> (1 + 15a) = 5.17.
+  c.contention_alpha = 0.278;
+  c.max_useful_parallelism = 0;
+  c.gpu_speedup = 1.30;
+  // Fig. 6 reports a ~2300 ev/s std-dev for SavedModel at mp=16: the
+  // highest run-to-run noise of the embedded tools.
+  c.jitter_cv = 0.12;
+  c.slow_jitter_cv = 0.15;
+  c.overload_beta = 0.06;
+  return c;
+}
+
+ExternalCosts MakeTfServingCosts() {
+  ExternalCosts c;
+  c.protocol = Protocol::kGrpc;
+  // 60 us stub cost minus the mean of the slowdown-only drift (~38 us on
+  // a ~0.97 ms round trip) keeps the Table 4 mean on target.
+  c.client_overhead_s = 22e-6;
+  c.server_overhead_s = 50e-6;
+  c.per_sample_s = {
+      {"ffnn", 58e-6},       // Table 4: 617.2 ev/s after ~0.87 ms RTT
+      {"resnet50", 345e-3},  // Table 4: 2.62 ev/s (drift-mean adjusted)
+  };
+  c.fallback_flops_per_s = 1.3e9;
+  // §4.3 pins intra-op parallelism to 1: compute serializes on a shared
+  // pool. Irrelevant for FFNN (58 us/event), decisive for ResNet50
+  // (Fig. 7's flat scaling).
+  c.shared_intra_op_pool = true;
+  c.worker_contention_alpha = 0.001;
+  c.load_fixed_s = 0.8;
+  // Fig. 9: tf-serving-gpu improves end-to-end latency by 24.1%.
+  c.gpu_speedup = 1.47;
+  // Fig. 8: TF-Serving recovery varies strongly between bursts.
+  c.jitter_cv = 0.13;
+  c.slow_jitter_cv = 0.10;
+  c.overload_beta = 0.12;
+  return c;
+}
+
+ExternalCosts MakeTorchServeCosts() {
+  ExternalCosts c;
+  c.protocol = Protocol::kGrpc;
+  c.client_overhead_s = 60e-6;
+  // Python handler wraps every request (§3.4.3); reduced by the mean of
+  // the slowdown-only drift (~91 us on a ~3.8 ms round trip).
+  c.server_overhead_s = 260e-6;
+  c.per_sample_s = {
+      {"ffnn", 2.58e-3},      // Table 4: 225.1 ev/s
+      {"resnet50", 1.041},    // Table 4: 0.91 ev/s (drift-mean adjusted)
+  };
+  c.fallback_flops_per_s = 0.45e9;
+  // Worker *processes* each own their compute: TorchServe keeps scaling
+  // on ResNet50 and overtakes TF-Serving past mp=8 (Fig. 7).
+  c.shared_intra_op_pool = false;
+  c.worker_contention_alpha = 0.019;
+  c.load_fixed_s = 1.2;
+  c.gpu_speedup = 1.40;
+  c.jitter_cv = 0.10;
+  c.slow_jitter_cv = 0.06;
+  c.overload_beta = 0.10;
+  return c;
+}
+
+ExternalCosts MakeRayServeCosts() {
+  ExternalCosts c;
+  // Ray Serve's gRPC ingress is experimental; the paper uses HTTP.
+  c.protocol = Protocol::kHttp;
+  c.client_overhead_s = 100e-6;
+  // Includes the slowdown-only drift compensation (~80 us mean).
+  c.server_overhead_s = 30e-6;
+  c.per_sample_s = {
+      {"ffnn", 60e-6},
+      {"resnet50", 400e-3},
+  };
+  c.fallback_flops_per_s = 0.9e9;
+  c.shared_intra_op_pool = false;
+  c.worker_contention_alpha = 0.01;
+  // One HTTP proxy per node forwards every request; its occupancy caps
+  // vertical scaling at ~455 ev/s (Fig. 11).
+  c.proxy_per_request_s = 2.2e-3;
+  c.load_fixed_s = 0.6;
+  c.gpu_speedup = 1.35;
+  c.jitter_cv = 0.08;
+  c.slow_jitter_cv = 0.06;
+  c.overload_beta = 0.10;
+  return c;
+}
+
+}  // namespace
+
+const EmbeddedCosts& GetEmbeddedCosts(const std::string& library) {
+  static const auto& dl4j = *new EmbeddedCosts(MakeDl4jCosts());
+  static const auto& onnx = *new EmbeddedCosts(MakeOnnxCosts());
+  static const auto& saved = *new EmbeddedCosts(MakeSavedModelCosts());
+  if (library == "dl4j") return dl4j;
+  if (library == "onnx") return onnx;
+  if (library == "savedmodel") return saved;
+  CRAYFISH_CHECK(false) << "unknown embedded library: " << library;
+  return onnx;
+}
+
+const ExternalCosts& GetExternalCosts(const std::string& tool) {
+  static const auto& tfs = *new ExternalCosts(MakeTfServingCosts());
+  static const auto& ts = *new ExternalCosts(MakeTorchServeCosts());
+  static const auto& rs = *new ExternalCosts(MakeRayServeCosts());
+  if (tool == "tf-serving") return tfs;
+  if (tool == "torchserve") return ts;
+  if (tool == "ray-serve") return rs;
+  CRAYFISH_CHECK(false) << "unknown external tool: " << tool;
+  return tfs;
+}
+
+const GpuCosts& GetGpuCosts() {
+  static const auto& gpu = *new GpuCosts();
+  return gpu;
+}
+
+bool IsEmbeddedLibrary(const std::string& name) {
+  return name == "dl4j" || name == "onnx" || name == "savedmodel";
+}
+
+bool IsExternalTool(const std::string& name) {
+  return name == "tf-serving" || name == "torchserve" || name == "ray-serve";
+}
+
+std::vector<std::string> EmbeddedLibraryNames() {
+  return {"dl4j", "onnx", "savedmodel"};
+}
+
+std::vector<std::string> ExternalToolNames() {
+  return {"tf-serving", "torchserve", "ray-serve"};
+}
+
+double PerSampleSeconds(const std::map<std::string, double>& table,
+                        double fallback_flops_per_s,
+                        const ModelProfile& profile) {
+  auto it = table.find(profile.name);
+  if (it != table.end()) return it->second;
+  CRAYFISH_CHECK_GT(fallback_flops_per_s, 0.0);
+  return static_cast<double>(profile.flops_per_sample) / fallback_flops_per_s;
+}
+
+}  // namespace crayfish::serving

@@ -1,0 +1,146 @@
+#ifndef CRAYFISH_SERVING_CALIBRATION_H_
+#define CRAYFISH_SERVING_CALIBRATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serving/model_profile.h"
+
+namespace crayfish::serving {
+
+/// RPC protocol used by an external serving tool. The paper uses gRPC for
+/// TF-Serving and TorchServe, and HTTP for Ray Serve (its gRPC ingress was
+/// experimental, §3.4.4).
+enum class Protocol { kGrpc, kHttp };
+
+/// Calibrated service-time parameters of an embedded interoperability
+/// library (DL4J, ONNX Runtime, SavedModel).
+///
+/// CALIBRATION PROVENANCE: `per_sample_s` and `ffi_overhead_s` are derived
+/// from the paper's own measurements. With Flink's chained source+sink
+/// costing ~0.542 ms/event and the scoring-operator wrapper ~0.04 ms
+/// (consistent with Fig. 12's flink[32-N-32] scoring-only rate of
+/// 5373 ev/s), Table 4's throughputs solve to apply-times of ~0.146 ms
+/// (ONNX), ~0.193 ms (SavedModel) and ~0.687 ms (DL4J) per single-sample
+/// FFNN event, and ~350 ms for ONNX/ResNet50. `contention_alpha` is solved
+/// from Fig. 6's scaling peaks (see DESIGN.md §3).
+struct EmbeddedCosts {
+  /// Fixed model-load cost plus per-byte parse cost (disk + format parse).
+  double load_fixed_s = 0.05;
+  double load_bytes_per_s = 200.0 * 1024 * 1024;
+  /// Foreign-function-interface overhead per apply() call (JNI hop,
+  /// input/output tensor wrapping).
+  double ffi_overhead_s = 100e-6;
+  /// JVM/JIT warmup: for the first `warmup_duration_s` after the job
+  /// starts, applies run up to `warmup_factor`x slower, decaying linearly
+  /// to steady state. This is what the paper's "discard the first 25% of
+  /// measurements" protocol (§4.2) exists to cut away; the analyzer's
+  /// warmup discard makes it vanish from reported numbers.
+  double warmup_duration_s = 4.0;
+  double warmup_factor = 2.5;
+  /// Per-sample inference time by model name.
+  std::map<std::string, double> per_sample_s;
+  /// Fallback throughput for unknown models: time = flops / this.
+  double fallback_flops_per_s = 1.0e9;
+  /// Resource-sharing contention: service inflates by
+  /// (1 + alpha * (mp - 1)) because the library shares cores with the SPS.
+  double contention_alpha = 0.05;
+  /// Parallelism beyond which the library stops scaling (internal global
+  /// locks); 0 = unlimited. DL4J plateaus at 8 (Fig. 6).
+  int max_useful_parallelism = 0;
+  /// End-to-end compute speedup when the model runs on the GPU
+  /// (calibrated to the paper's *measured* T4 improvement, Fig. 9 — the
+  /// modest factor absorbs their unoptimized transfer/conversion path).
+  double gpu_speedup = 1.0;
+  /// Lognormal multiplicative service-time noise (coefficient of
+  /// variation), independent per apply.
+  double jitter_cv = 0.05;
+  /// Slow capacity drift: a mean-one lognormal factor resampled every
+  /// ~10 s (GC cycles, JIT recompilation, co-located load). Drives the
+  /// run-to-run standard deviations the paper reports (e.g. SavedModel's
+  /// ~2.3k ev/s at mp=16, Fig. 6) and the burst-to-burst recovery
+  /// variation of Fig. 8.
+  double slow_jitter_cv = 0.03;
+  /// Service inflation under deep queues (GC/allocator pressure during
+  /// overload); drives Fig. 8 recovery times.
+  double overload_beta = 0.05;
+  /// GC-debt stress hook: sustained deep queues degrade service by up to
+  /// `stress_gamma`, building with time constant `stress_tau_up_s` and
+  /// decaying with `stress_tau_down_s` (see sps::StreamEngine). Disabled
+  /// (0) for the stock tools: any gamma large enough to reproduce the
+  /// paper's 46-56 s burst recoveries also contaminates saturation
+  /// measurements (see EXPERIMENTS.md, Fig. 8 discussion). The hook stays
+  /// available for custom tools.
+  double stress_gamma = 0.0;
+  double stress_tau_up_s = 25.0;
+  double stress_tau_down_s = 50.0;
+};
+
+/// Calibrated parameters of an external serving service (TF-Serving,
+/// TorchServe, Ray Serve). See EmbeddedCosts for provenance; external
+/// apply-times solve from Table 4 after subtracting the measured network
+/// round trip (~0.9 ms for a 3 KB gRPC request on the paper's LAN).
+struct ExternalCosts {
+  Protocol protocol = Protocol::kGrpc;
+  /// Client-side stub/serialization overhead per call (occupies the
+  /// calling operator thread).
+  double client_overhead_s = 60e-6;
+  /// Server-side request handling per call (parallel across workers).
+  double server_overhead_s = 100e-6;
+  /// Per-sample inference time by model name.
+  std::map<std::string, double> per_sample_s;
+  double fallback_flops_per_s = 1.2e9;
+  /// When true, model compute is executed on a shared single-thread
+  /// intra-op pool (§4.3 pins inter-/intra-op parallelism to 1). This is
+  /// what makes TF-Serving scale on FFNN but stay flat on ResNet50
+  /// (Fig. 7): the tiny model never saturates the shared pool, the big
+  /// one serializes on it.
+  bool shared_intra_op_pool = false;
+  /// Mild per-worker contention on the dedicated serving host.
+  double worker_contention_alpha = 0.002;
+  /// Ray Serve routes every request through one HTTP proxy per node; this
+  /// is the per-request proxy occupancy (vertical-scaling ceiling,
+  /// Fig. 11). 0 = no proxy stage.
+  double proxy_per_request_s = 0.0;
+  double load_fixed_s = 0.5;
+  double load_bytes_per_s = 300.0 * 1024 * 1024;
+  double gpu_speedup = 1.0;
+  double jitter_cv = 0.10;
+  /// See EmbeddedCosts::slow_jitter_cv.
+  double slow_jitter_cv = 0.05;
+  double overload_beta = 0.10;
+  /// See EmbeddedCosts::stress_gamma (disabled for stock tools).
+  double stress_gamma = 0.0;
+  double stress_tau_up_s = 25.0;
+  double stress_tau_down_s = 50.0;
+};
+
+/// Cluster-level GPU constants (NVIDIA T4 over PCIe 3.0 x16).
+struct GpuCosts {
+  double pcie_bytes_per_s = 12.0 * 1024 * 1024 * 1024;
+  double kernel_launch_s = 30e-6;
+};
+
+/// Lookup calibrated costs; CHECK-fails on unknown names.
+const EmbeddedCosts& GetEmbeddedCosts(const std::string& library);
+const ExternalCosts& GetExternalCosts(const std::string& tool);
+const GpuCosts& GetGpuCosts();
+
+bool IsEmbeddedLibrary(const std::string& name);
+bool IsExternalTool(const std::string& name);
+
+/// Names in canonical order ("dl4j","onnx","savedmodel") /
+/// ("tf-serving","torchserve","ray-serve").
+std::vector<std::string> EmbeddedLibraryNames();
+std::vector<std::string> ExternalToolNames();
+
+/// Per-sample seconds for `profile` under a per-model table with FLOP
+/// fallback.
+double PerSampleSeconds(const std::map<std::string, double>& table,
+                        double fallback_flops_per_s,
+                        const ModelProfile& profile);
+
+}  // namespace crayfish::serving
+
+#endif  // CRAYFISH_SERVING_CALIBRATION_H_

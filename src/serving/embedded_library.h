@@ -1,0 +1,124 @@
+#ifndef CRAYFISH_SERVING_EMBEDDED_LIBRARY_H_
+#define CRAYFISH_SERVING_EMBEDDED_LIBRARY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "model/executor.h"
+#include "model/formats.h"
+#include "model/graph.h"
+#include "serving/calibration.h"
+#include "serving/model_profile.h"
+#include "tensor/tensor.h"
+
+namespace crayfish::serving {
+
+/// An embedded interoperability library: the CrayfishModel contract
+/// (`load` + `apply`, §3.2) plus a calibrated service-time model for the
+/// simulation.
+///
+/// The *real* path (Load/Apply) parses a serialized model in the library's
+/// native format and executes true forward passes — tests and examples use
+/// it. The *simulated* path (LoadTimeSeconds/ApplyTimeSeconds) returns the
+/// time such a call takes in the paper's environment; stream-engine
+/// scoring operators charge that time to the simulation clock.
+class EmbeddedLibrary {
+ public:
+  virtual ~EmbeddedLibrary() = default;
+
+  EmbeddedLibrary(const EmbeddedLibrary&) = delete;
+  EmbeddedLibrary& operator=(const EmbeddedLibrary&) = delete;
+
+  const std::string& name() const { return name_; }
+  /// The serialization format this library consumes (DL4J reads Keras H5,
+  /// ONNX Runtime reads .onnx, SavedModel reads TF .pb).
+  virtual model::ModelFormat native_format() const = 0;
+  const EmbeddedCosts& costs() const { return costs_; }
+
+  // --- real CrayfishModel contract ---
+
+  /// Loads a model from serialized bytes; rejects bytes that are not in
+  /// the library's native format (as the real libraries do).
+  crayfish::Status Load(const Bytes& serialized);
+  /// Loads an in-memory graph directly (test convenience).
+  crayfish::Status LoadGraph(model::ModelGraph graph);
+  bool loaded() const { return graph_.has_value(); }
+  const model::ModelGraph& graph() const;
+
+  /// Runs a real forward pass on a batch ([batch, ...sample shape]).
+  crayfish::StatusOr<tensor::Tensor> Apply(const tensor::Tensor& batch) const;
+
+  // --- simulated service times ---
+
+  /// Time to load the model into operator memory at job start.
+  double LoadTimeSeconds(const ModelProfile& profile) const;
+
+  /// Occupancy of one apply() call on the scoring operator thread.
+  ///
+  /// `mp` is the scoring parallelism of the hosting SPS: embedded
+  /// libraries share cores with the stream processor, so service inflates
+  /// with mp (and plateaus at max_useful_parallelism). `queue_depth` is
+  /// the caller's input-queue depth, driving overload inflation (burst
+  /// recovery). `rng` (optional) adds lognormal jitter.
+  double ApplyTimeSeconds(const ModelProfile& profile, int batch_size,
+                          double mp, bool gpu, size_t queue_depth,
+                          crayfish::Rng* rng) const;
+
+ protected:
+  EmbeddedLibrary(std::string name, EmbeddedCosts costs)
+      : name_(std::move(name)), costs_(std::move(costs)) {}
+
+  /// Number of simulated apply() calls so far (drives JIT warmup decay).
+  uint64_t simulated_applies() const { return simulated_applies_; }
+
+ private:
+  std::string name_;
+  EmbeddedCosts costs_;
+  std::optional<model::ModelGraph> graph_;
+  std::unique_ptr<model::Executor> executor_;
+  /// Mutable state of the *simulated* library instance: warmup progresses
+  /// as the hosting job applies the model.
+  mutable uint64_t simulated_applies_ = 0;
+};
+
+/// DeepLearning4j: end-to-end JVM deep learning; Crayfish uses its Keras
+/// H5 model import (§3.4.2). Tight Java integration but the slowest apply
+/// path and an internal bottleneck past parallelism 8.
+class Dl4jLibrary : public EmbeddedLibrary {
+ public:
+  Dl4jLibrary() : EmbeddedLibrary("dl4j", GetEmbeddedCosts("dl4j")) {}
+  model::ModelFormat native_format() const override {
+    return model::ModelFormat::kH5;
+  }
+};
+
+/// ONNX Runtime with native .onnx models: the fastest embedded option in
+/// the paper's study (Table 4).
+class OnnxRuntimeLibrary : public EmbeddedLibrary {
+ public:
+  OnnxRuntimeLibrary() : EmbeddedLibrary("onnx", GetEmbeddedCosts("onnx")) {}
+  model::ModelFormat native_format() const override {
+    return model::ModelFormat::kOnnx;
+  }
+};
+
+/// TensorFlow SavedModel runtime: a format-specialized embedded tool.
+class SavedModelLibrary : public EmbeddedLibrary {
+ public:
+  SavedModelLibrary()
+      : EmbeddedLibrary("savedmodel", GetEmbeddedCosts("savedmodel")) {}
+  model::ModelFormat native_format() const override {
+    return model::ModelFormat::kSavedModel;
+  }
+};
+
+/// Factory by canonical name ("dl4j" | "onnx" | "savedmodel").
+crayfish::StatusOr<std::unique_ptr<EmbeddedLibrary>> CreateEmbeddedLibrary(
+    const std::string& name);
+
+}  // namespace crayfish::serving
+
+#endif  // CRAYFISH_SERVING_EMBEDDED_LIBRARY_H_

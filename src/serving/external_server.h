@@ -1,0 +1,171 @@
+#ifndef CRAYFISH_SERVING_EXTERNAL_SERVER_H_
+#define CRAYFISH_SERVING_EXTERNAL_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "serving/calibration.h"
+#include "serving/model_profile.h"
+#include "sim/network.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+
+namespace crayfish::serving {
+
+struct ExternalServerOptions {
+  /// Host name of the serving VM (paper: 16 vCPUs / 60 GB, own machine).
+  std::string host = "serving";
+  /// Worker threads/processes handling requests (the experiments' mp).
+  int workers = 1;
+  /// Serve the model on the GPU (Fig. 9 experiments).
+  bool use_gpu = false;
+  /// Default model the server hosts (more can be added — §7 multi-model).
+  ModelProfile model;
+
+  // --- §7 extensions (off by default; the paper's runs use none) ---
+
+  /// Adaptive batching (Clipper/InferLine-style, §7.1): requests are
+  /// grouped up to `max_batch` samples or `batch_timeout_s`, then
+  /// executed as one amortized inference.
+  bool adaptive_batching = false;
+  int max_batch = 32;
+  double batch_timeout_s = 0.005;
+
+  /// Queue-depth autoscaler (the "auto-scaling" external tools offer,
+  /// §7.2): every `autoscale_interval_s`, add a worker when the queue
+  /// exceeds `scale_up_queue_depth`, remove one when it is empty.
+  bool autoscale = false;
+  int min_workers = 1;
+  int max_workers = 16;
+  size_t scale_up_queue_depth = 32;
+  double autoscale_interval_s = 2.0;
+};
+
+/// A standalone model-serving service (TF-Serving / TorchServe /
+/// Ray Serve) as a simulated process on its own host.
+///
+/// Request path:  client --network--> [HTTP proxy (Ray Serve only)] -->
+/// worker pool --> (shared intra-op pool | per-worker compute | GPU) -->
+/// response --network--> client.
+///
+/// The worker pool is an M-server queue; the shared intra-op pool and the
+/// GPU are single-lane serial resources — these two structural choices
+/// reproduce Fig. 7 (TF-Serving flat on ResNet50, TorchServe scaling past
+/// it) and Fig. 11 (Ray Serve's proxy ceiling) without per-figure tuning.
+class ExternalServingServer {
+ public:
+  ExternalServingServer(sim::Simulation* sim, sim::Network* network,
+                        std::string tool_name, ExternalServerOptions options);
+
+  ExternalServingServer(const ExternalServingServer&) = delete;
+  ExternalServingServer& operator=(const ExternalServingServer&) = delete;
+
+  /// Begins model loading; requests arriving before loading completes
+  /// queue until the model is ready.
+  void Start();
+
+  /// Issues one inference RPC from `client_host` for `batch_size` samples
+  /// against the default model. `on_response` fires at the simulated
+  /// instant the client receives the response. The caller is responsible
+  /// for modeling its own (blocking) thread occupancy (§4.3: all external
+  /// calls execute as blocking).
+  void Invoke(const std::string& client_host, int batch_size,
+              std::function<void()> on_response);
+
+  /// Multi-model variant (§7: "deploy and serve thousands of models
+  /// concurrently"): targets a model registered via DeployModel.
+  /// Unknown model names answer with an error flag.
+  void InvokeModel(const std::string& client_host,
+                   const std::string& model_name, int batch_size,
+                   std::function<void(bool ok)> on_response);
+
+  /// Registers (or hot-swaps, bumping the version) a model. The new
+  /// version serves after its load time; in-flight requests for the
+  /// model keep using the timings of whatever is loaded (§7 model
+  /// versioning without redeploying the SPS).
+  void DeployModel(const ModelProfile& profile);
+
+  /// Current version of a deployed model (1-based; 0 = unknown).
+  int ModelVersion(const std::string& model_name) const;
+
+  /// Re-provisions the worker pool (the serving-side mp knob).
+  void SetWorkers(int workers);
+  int workers() const;
+
+  const std::string& tool_name() const { return tool_name_; }
+  const std::string& host() const { return options_.host; }
+  const ExternalCosts& costs() const { return costs_; }
+  const ModelProfile& model() const { return options_.model; }
+  bool ready() const { return ready_; }
+  uint64_t requests_served() const { return requests_served_; }
+  size_t queue_depth() const;
+
+ private:
+  struct PendingRequest {
+    std::string client_host;
+    std::string model_name;
+    int batch_size = 1;
+    std::function<void()> on_response;
+  };
+
+  /// Server-side handling once the request bytes arrive.
+  void HandleArrival(PendingRequest request);
+  void RunOnWorkers(PendingRequest request);
+  /// Adaptive-batching path: queue and flush groups.
+  void EnqueueForBatching(PendingRequest request);
+  void FlushBatch();
+  void RunGroupOnWorkers(std::vector<PendingRequest> group);
+  void Respond(const std::string& client_host, int batch_size,
+               std::function<void()> on_response);
+  void AutoscaleTick();
+  const ModelProfile& ResolveModel(const std::string& name) const;
+  double ComputeSeconds(const ModelProfile& model, int batch_size);
+  uint64_t RequestWireBytes(const ModelProfile& model,
+                            int batch_size) const;
+  uint64_t ResponseWireBytes(const ModelProfile& model,
+                             int batch_size) const;
+
+  sim::Simulation* sim_;
+  sim::Network* network_;
+  std::string tool_name_;
+  ExternalServerOptions options_;
+  ExternalCosts costs_;
+  crayfish::Rng rng_;
+  bool ready_ = false;
+  std::unique_ptr<sim::ServerPool> workers_;
+  /// Shared single-thread compute pool (TF-Serving intra-op, §4.3).
+  std::unique_ptr<sim::SerialExecutor> intra_op_pool_;
+  /// Ray Serve's per-node HTTP proxy.
+  std::unique_ptr<sim::SerialExecutor> http_proxy_;
+  /// The single accelerator on the serving VM.
+  std::unique_ptr<sim::SerialExecutor> gpu_;
+  uint64_t requests_served_ = 0;
+  double slow_factor_ = 1.0;
+  double slow_resample_at_ = 0.0;
+  /// Additional models by name (the default model is always present).
+  std::map<std::string, ModelProfile> models_;
+  std::map<std::string, int> model_versions_;
+  /// Adaptive-batching queue.
+  std::vector<PendingRequest> batch_queue_;
+  bool batch_timer_armed_ = false;
+  uint64_t batches_executed_ = 0;
+
+ public:
+  uint64_t batches_executed() const { return batches_executed_; }
+};
+
+/// Factory for the three supported tools ("tf-serving" | "torchserve" |
+/// "ray-serve").
+crayfish::StatusOr<std::unique_ptr<ExternalServingServer>>
+CreateExternalServer(sim::Simulation* sim, sim::Network* network,
+                     const std::string& tool_name,
+                     ExternalServerOptions options);
+
+}  // namespace crayfish::serving
+
+#endif  // CRAYFISH_SERVING_EXTERNAL_SERVER_H_

@@ -1,0 +1,78 @@
+#include "serving/model_profile.h"
+
+#include "common/logging.h"
+
+namespace crayfish::serving {
+
+namespace {
+/// Average serialized JSON characters per tensor element (fixed-precision
+/// "0.472," style rendering). 784 elements * 4 B ~= 3.1 KB matches the
+/// paper's "one FFNN input data point (3 KB)".
+constexpr uint64_t kJsonBytesPerElement = 4;
+/// CrayfishDataBatch JSON envelope: batch id, creation timestamp, shape
+/// metadata, braces/keys.
+constexpr uint64_t kBatchEnvelopeBytes = 160;
+}  // namespace
+
+ModelProfile ModelProfile::FromGraph(const model::ModelGraph& graph) {
+  CRAYFISH_CHECK(graph.shapes_inferred());
+  ModelProfile p;
+  p.name = graph.name();
+  p.flops_per_sample = graph.Flops(1);
+  p.input_elements = graph.input_shape().NumElements();
+  p.output_elements = graph.output_shape().NumElements();
+  p.weight_bytes = graph.WeightBytes();
+  p.parameter_count = graph.ParamCount();
+  return p;
+}
+
+ModelProfile ModelProfile::Ffnn() {
+  // Pinned from FromGraph(BuildFfnn()); asserted in model tests.
+  ModelProfile p;
+  p.name = "ffnn";
+  p.flops_per_sample = 55154;
+  p.input_elements = 784;   // 28 x 28
+  p.output_elements = 10;
+  p.parameter_count = 27562;
+  p.weight_bytes = 27562ULL * sizeof(float);
+  return p;
+}
+
+ModelProfile ModelProfile::ResNet50() {
+  // Pinned from FromGraph(BuildResNet50()); asserted in model tests.
+  ModelProfile p;
+  p.name = "resnet50";
+  p.flops_per_sample = 7764220808LL;  // ~7.76 GFLOPs (3.9 GMACs)
+  p.input_elements = 150528;          // 224 x 224 x 3
+  p.output_elements = 1000;
+  p.parameter_count = 25636712;
+  p.weight_bytes = 25636712ULL * sizeof(float);
+  return p;
+}
+
+ModelProfile ModelProfile::ByName(const std::string& name) {
+  if (name == "ffnn") return Ffnn();
+  if (name == "resnet50") return ResNet50();
+  CRAYFISH_CHECK(false) << "unknown model profile: " << name;
+  return {};
+}
+
+uint64_t ModelProfile::InputWireBytesPerSample() const {
+  return static_cast<uint64_t>(input_elements) * kJsonBytesPerElement;
+}
+
+uint64_t ModelProfile::OutputWireBytesPerSample() const {
+  return static_cast<uint64_t>(output_elements) * kJsonBytesPerElement;
+}
+
+uint64_t ModelProfile::InputBatchWireBytes(int batch_size) const {
+  return kBatchEnvelopeBytes +
+         InputWireBytesPerSample() * static_cast<uint64_t>(batch_size);
+}
+
+uint64_t ModelProfile::OutputBatchWireBytes(int batch_size) const {
+  return kBatchEnvelopeBytes +
+         OutputWireBytesPerSample() * static_cast<uint64_t>(batch_size);
+}
+
+}  // namespace crayfish::serving

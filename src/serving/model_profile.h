@@ -1,0 +1,51 @@
+#ifndef CRAYFISH_SERVING_MODEL_PROFILE_H_
+#define CRAYFISH_SERVING_MODEL_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "model/graph.h"
+
+namespace crayfish::serving {
+
+/// The architecture-derived quantities the simulation needs about a model.
+/// Profiles are computed from the real model graphs (src/model), so the
+/// cost models consume honest FLOP/size numbers.
+struct ModelProfile {
+  std::string name;
+  /// Forward-pass floating point ops for one sample (MACs counted as 2).
+  int64_t flops_per_sample = 0;
+  /// Input tensor elements per sample (e.g. 28*28 = 784 for FFNN).
+  int64_t input_elements = 0;
+  /// Output tensor elements per sample (10 for FFNN, 1000 for ResNet50).
+  int64_t output_elements = 0;
+  /// Total serialized weight bytes (raw f32).
+  uint64_t weight_bytes = 0;
+  int64_t parameter_count = 0;
+
+  /// Computes a profile from a shape-inferred graph.
+  static ModelProfile FromGraph(const model::ModelGraph& graph);
+
+  /// Canonical profiles of the paper's two models. Values are pinned
+  /// constants asserted against FromGraph(Build*()) in tests, so profile
+  /// lookups don't require materializing 100 MB of ResNet weights.
+  static ModelProfile Ffnn();
+  static ModelProfile ResNet50();
+  /// Lookup by name ("ffnn" / "resnet50"); CHECK-fails otherwise.
+  static ModelProfile ByName(const std::string& name);
+
+  /// Serialized bytes of one sample on the wire. Crayfish serializes
+  /// batches as JSON (§3.1); the synthetic generator emits fixed-precision
+  /// values averaging ~4.8 characters per element, close to the 3 KB the
+  /// paper measured for one FFNN data point.
+  uint64_t InputWireBytesPerSample() const;
+  uint64_t OutputWireBytesPerSample() const;
+  /// Full CrayfishDataBatch wire size for `batch_size` samples (payload +
+  /// JSON envelope).
+  uint64_t InputBatchWireBytes(int batch_size) const;
+  uint64_t OutputBatchWireBytes(int batch_size) const;
+};
+
+}  // namespace crayfish::serving
+
+#endif  // CRAYFISH_SERVING_MODEL_PROFILE_H_

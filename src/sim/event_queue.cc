@@ -1,0 +1,28 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace crayfish::sim {
+
+uint64_t EventQueue::Push(SimTime time, std::function<void()> action) {
+  const uint64_t seq = next_seq_++;
+  heap_.push(Event{time, seq, std::move(action)});
+  return seq;
+}
+
+SimTime EventQueue::next_time() const {
+  CRAYFISH_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+Event EventQueue::Pop() {
+  CRAYFISH_CHECK(!heap_.empty());
+  // priority_queue::top() returns const&; move out via const_cast is UB —
+  // copy the function instead. Events are popped once, so copy cost is the
+  // std::function copy only.
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace crayfish::sim

@@ -1,0 +1,53 @@
+#ifndef CRAYFISH_SIM_EVENT_QUEUE_H_
+#define CRAYFISH_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace crayfish::sim {
+
+/// Simulated time in seconds since experiment start.
+using SimTime = double;
+
+/// A scheduled callback. Events with equal times fire in scheduling order
+/// (the sequence number breaks ties), which keeps simulations deterministic.
+struct Event {
+  SimTime time = 0.0;
+  uint64_t seq = 0;
+  std::function<void()> action;
+};
+
+/// Min-heap of events ordered by (time, seq).
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Enqueues an action at an absolute time. Returns the event's sequence
+  /// number (usable for debugging; cancellation is handled by guards at the
+  /// call sites, not by the queue).
+  uint64_t Push(SimTime time, std::function<void()> action);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  SimTime next_time() const;
+
+  /// Removes and returns the earliest event.
+  Event Pop();
+
+ private:
+  struct Compare {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Compare> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace crayfish::sim
+
+#endif  // CRAYFISH_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,102 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace crayfish::sim {
+
+Link::Link(Simulation* sim, LinkSpec spec) : sim_(sim), spec_(spec) {
+  CRAYFISH_CHECK_GE(spec.latency_s, 0.0);
+  CRAYFISH_CHECK_GT(spec.bandwidth_bytes_per_s, 0.0);
+}
+
+double Link::IdleTransferTime(uint64_t bytes) const {
+  return spec_.latency_s +
+         static_cast<double>(bytes) / spec_.bandwidth_bytes_per_s;
+}
+
+void Link::Transfer(uint64_t bytes, std::function<void()> on_delivered) {
+  const SimTime now = sim_->Now();
+  const double tx_time =
+      static_cast<double>(bytes) / spec_.bandwidth_bytes_per_s;
+  const SimTime tx_start = std::max(now, tx_free_at_);
+  tx_free_at_ = tx_start + tx_time;
+  const SimTime deliver_at = tx_free_at_ + spec_.latency_s;
+  bytes_sent_ += bytes;
+  ++transfers_;
+  sim_->ScheduleAt(deliver_at, std::move(on_delivered));
+}
+
+Network::Network(Simulation* sim) : sim_(sim) {}
+
+crayfish::Status Network::AddHost(Host host) {
+  if (hosts_.count(host.name) > 0) {
+    return crayfish::Status::AlreadyExists("host: " + host.name);
+  }
+  hosts_[host.name] = std::move(host);
+  return crayfish::Status::Ok();
+}
+
+bool Network::HasHost(const std::string& name) const {
+  return hosts_.count(name) > 0;
+}
+
+crayfish::StatusOr<Host> Network::GetHost(const std::string& name) const {
+  auto it = hosts_.find(name);
+  if (it == hosts_.end()) return crayfish::Status::NotFound("host: " + name);
+  return it->second;
+}
+
+void Network::SetLinkSpec(const std::string& from, const std::string& to,
+                          LinkSpec spec) {
+  const auto key = std::make_pair(from, to);
+  spec_overrides_[key] = spec;
+  links_.erase(key);
+}
+
+Link* Network::GetOrCreateLink(const std::string& from,
+                               const std::string& to) {
+  const auto key = std::make_pair(from, to);
+  auto it = links_.find(key);
+  if (it != links_.end()) return it->second.get();
+  LinkSpec spec = default_spec_;
+  auto ov = spec_overrides_.find(key);
+  if (ov != spec_overrides_.end()) spec = ov->second;
+  auto link = std::make_unique<Link>(sim_, spec);
+  Link* raw = link.get();
+  links_[key] = std::move(link);
+  return raw;
+}
+
+void Network::Send(const std::string& from, const std::string& to,
+                   uint64_t bytes, std::function<void()> on_delivered) {
+  CRAYFISH_CHECK(HasHost(from)) << "unknown host " << from;
+  CRAYFISH_CHECK(HasHost(to)) << "unknown host " << to;
+  if (from == to) {
+    // Loopback: delivered within the same event-loop instant.
+    sim_->Schedule(0.0, std::move(on_delivered));
+    return;
+  }
+  GetOrCreateLink(from, to)->Transfer(bytes, std::move(on_delivered));
+}
+
+double Network::IdleTransferTime(const std::string& from,
+                                 const std::string& to,
+                                 uint64_t bytes) const {
+  if (from == to) return 0.0;
+  LinkSpec spec = default_spec_;
+  auto ov = spec_overrides_.find(std::make_pair(from, to));
+  if (ov != spec_overrides_.end()) spec = ov->second;
+  return spec.latency_s +
+         static_cast<double>(bytes) / spec.bandwidth_bytes_per_s;
+}
+
+uint64_t Network::total_bytes_sent() const {
+  uint64_t total = 0;
+  for (const auto& [key, link] : links_) total += link->bytes_sent();
+  return total;
+}
+
+}  // namespace crayfish::sim

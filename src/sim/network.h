@@ -1,0 +1,109 @@
+#ifndef CRAYFISH_SIM_NETWORK_H_
+#define CRAYFISH_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "sim/simulation.h"
+
+namespace crayfish::sim {
+
+/// Parameters of a point-to-point link. Defaults are calibrated from the
+/// paper's environment (§4.2): GCP LAN, measured *round-trip* ping of
+/// 0.945 ms for a 3 KB echo and 1.565 ms for 64 KB. An echo transfers the
+/// payload twice, so 0.62 ms / (2 x 61 KB) gives ~190 MB/s effective
+/// bandwidth and ~0.42 ms one-way propagation.
+struct LinkSpec {
+  double latency_s = 0.00042;
+  double bandwidth_bytes_per_s = 190.0 * 1024.0 * 1024.0;
+};
+
+/// A directed link: propagation latency plus a FIFO-serialized bandwidth
+/// component (one transfer occupies the transmit path at a time; the
+/// latency component overlaps between transfers).
+class Link {
+ public:
+  Link(Simulation* sim, LinkSpec spec);
+
+  /// Delivers `bytes` to the receiver, invoking `on_delivered` at the
+  /// simulated arrival instant.
+  void Transfer(uint64_t bytes, std::function<void()> on_delivered);
+
+  /// Time a transfer of `bytes` would take on an idle link.
+  double IdleTransferTime(uint64_t bytes) const;
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t transfers() const { return transfers_; }
+  const LinkSpec& spec() const { return spec_; }
+
+ private:
+  Simulation* sim_;
+  LinkSpec spec_;
+  SimTime tx_free_at_ = 0.0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t transfers_ = 0;
+};
+
+/// A machine in the simulated cluster. Hosts are bookkeeping entities: they
+/// name endpoints for the network and describe the resources (vCPUs,
+/// memory) the paper allocates per component VM.
+struct Host {
+  std::string name;
+  int vcpus = 4;
+  uint64_t memory_bytes = 15ULL << 30;
+  bool has_gpu = false;
+};
+
+/// The simulated cluster network: a set of hosts plus directed links
+/// between them. Links are created lazily with the default spec; tests and
+/// experiments can override per-pair specs (e.g. to model a degraded path).
+class Network {
+ public:
+  explicit Network(Simulation* sim);
+
+  /// Registers a host. Returns AlreadyExists if the name is taken.
+  crayfish::Status AddHost(Host host);
+  bool HasHost(const std::string& name) const;
+  crayfish::StatusOr<Host> GetHost(const std::string& name) const;
+
+  /// Overrides the spec used for the (from, to) directed pair; affects the
+  /// link created on first use (or re-creates an existing one).
+  void SetLinkSpec(const std::string& from, const std::string& to,
+                   LinkSpec spec);
+  /// Default spec for pairs with no override.
+  void SetDefaultLinkSpec(LinkSpec spec) { default_spec_ = spec; }
+  const LinkSpec& default_spec() const { return default_spec_; }
+
+  /// Sends `bytes` from `from` to `to`; `on_delivered` fires at arrival.
+  /// Transfers between a host and itself are instantaneous (loopback).
+  /// CHECK-fails on unknown hosts (topology errors are programmer errors).
+  void Send(const std::string& from, const std::string& to, uint64_t bytes,
+            std::function<void()> on_delivered);
+
+  /// Idle-link transfer estimate between two hosts.
+  double IdleTransferTime(const std::string& from, const std::string& to,
+                          uint64_t bytes) const;
+
+  uint64_t total_bytes_sent() const;
+  size_t host_count() const { return hosts_.size(); }
+
+ private:
+  Link* GetOrCreateLink(const std::string& from, const std::string& to);
+
+  Simulation* sim_;
+  LinkSpec default_spec_;
+  std::map<std::string, Host> hosts_;
+  std::map<std::pair<std::string, std::string>, LinkSpec> spec_overrides_;
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Link>> links_;
+};
+
+}  // namespace crayfish::sim
+
+#endif  // CRAYFISH_SIM_NETWORK_H_

@@ -1,0 +1,95 @@
+#include "sim/resource.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace crayfish::sim {
+
+ServerPool::ServerPool(Simulation* sim, std::string name, int servers)
+    : sim_(sim), name_(std::move(name)), servers_(servers),
+      created_at_(sim->Now()) {
+  CRAYFISH_CHECK_GT(servers, 0);
+}
+
+void ServerPool::Submit(SimTime service_time,
+                        std::function<void(SimTime)> on_done) {
+  Job job{sim_->Now(), service_time, std::move(on_done)};
+  if (busy_ < servers_) {
+    StartJob(std::move(job));
+  } else {
+    queue_.push_back(std::move(job));
+  }
+}
+
+void ServerPool::Resize(int servers) {
+  CRAYFISH_CHECK_GT(servers, 0);
+  servers_ = servers;
+  while (busy_ < servers_ && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    StartJob(std::move(job));
+  }
+}
+
+void ServerPool::StartJob(Job job) {
+  ++busy_;
+  const SimTime wait = sim_->Now() - job.enqueue_time;
+  wait_stats_.Add(wait);
+  service_stats_.Add(job.service_time);
+  busy_time_ += job.service_time;
+  auto done = std::move(job.on_done);
+  sim_->Schedule(job.service_time, [this, done = std::move(done), wait]() {
+    OnJobDone();
+    if (done) done(wait);
+  });
+}
+
+void ServerPool::OnJobDone() {
+  --busy_;
+  ++completed_;
+  if (busy_ < servers_ && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    StartJob(std::move(job));
+  }
+}
+
+double ServerPool::Utilization() const {
+  const double span = sim_->Now() - created_at_;
+  if (span <= 0.0) return 0.0;
+  return busy_time_ / (span * static_cast<double>(servers_));
+}
+
+SerialExecutor::SerialExecutor(Simulation* sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+void SerialExecutor::Post(SimTime duration, std::function<void()> on_done) {
+  PostDeferred([duration]() { return duration; }, std::move(on_done));
+}
+
+void SerialExecutor::PostDeferred(std::function<SimTime()> duration_fn,
+                                  std::function<void()> on_done) {
+  queue_.push_back(Item{std::move(duration_fn), std::move(on_done)});
+  if (!busy_) StartNext();
+}
+
+void SerialExecutor::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Item item = std::move(queue_.front());
+  queue_.pop_front();
+  const SimTime duration = item.duration_fn();
+  CRAYFISH_CHECK_GE(duration, 0.0);
+  busy_time_ += duration;
+  sim_->Schedule(duration, [this, on_done = std::move(item.on_done)]() {
+    ++completed_;
+    if (on_done) on_done();
+    StartNext();
+  });
+}
+
+}  // namespace crayfish::sim

@@ -1,0 +1,110 @@
+#ifndef CRAYFISH_SIM_RESOURCE_H_
+#define CRAYFISH_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/stats.h"
+#include "sim/simulation.h"
+
+namespace crayfish::sim {
+
+/// An M-server FIFO queueing station over simulated time.
+///
+/// Models a pool of `servers` identical workers (e.g. the worker processes
+/// of an external serving service, or the task slots of an executor). Jobs
+/// are submitted with a service duration; when all servers are busy they
+/// wait in FIFO order. Completion callbacks fire at the simulated instant
+/// the job finishes.
+class ServerPool {
+ public:
+  ServerPool(Simulation* sim, std::string name, int servers);
+
+  /// Enqueues a job taking `service_time` seconds of one server's time.
+  /// `on_done(wait_time)` fires at completion with the time the job spent
+  /// queued (not serving).
+  void Submit(SimTime service_time, std::function<void(SimTime)> on_done);
+
+  /// Changes the number of servers. Growing dispatches queued jobs
+  /// immediately; shrinking takes effect as running jobs finish.
+  void Resize(int servers);
+
+  int servers() const { return servers_; }
+  int busy() const { return busy_; }
+  size_t queue_depth() const { return queue_.size(); }
+  uint64_t completed() const { return completed_; }
+
+  /// Fraction of server-time spent busy since construction.
+  double Utilization() const;
+  const crayfish::RunningStats& wait_stats() const { return wait_stats_; }
+  const crayfish::RunningStats& service_stats() const {
+    return service_stats_;
+  }
+
+ private:
+  struct Job {
+    SimTime enqueue_time;
+    SimTime service_time;
+    std::function<void(SimTime)> on_done;
+  };
+
+  void StartJob(Job job);
+  void OnJobDone();
+
+  Simulation* sim_;
+  std::string name_;
+  int servers_;
+  int busy_ = 0;
+  std::deque<Job> queue_;
+  uint64_t completed_ = 0;
+  double busy_time_ = 0.0;
+  SimTime created_at_;
+  crayfish::RunningStats wait_stats_;
+  crayfish::RunningStats service_stats_;
+};
+
+/// A single logical execution thread: processes work items strictly one at
+/// a time in submission order. Used for operator tasks (a Flink task, a
+/// Kafka Streams stream thread, a Ray actor) whose defining property is
+/// serial execution.
+class SerialExecutor {
+ public:
+  SerialExecutor(Simulation* sim, std::string name);
+
+  /// Appends a work item taking `duration` seconds; `on_done` fires at its
+  /// simulated completion. Items run back to back.
+  void Post(SimTime duration, std::function<void()> on_done);
+
+  /// Like Post but the duration is computed when the item *starts*
+  /// executing — needed when the cost depends on queue state at start time.
+  void PostDeferred(std::function<SimTime()> duration_fn,
+                    std::function<void()> on_done);
+
+  size_t queue_depth() const { return queue_.size(); }
+  bool busy() const { return busy_; }
+  /// Total busy seconds accumulated.
+  double busy_time() const { return busy_time_; }
+  uint64_t completed() const { return completed_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Item {
+    std::function<SimTime()> duration_fn;
+    std::function<void()> on_done;
+  };
+
+  void StartNext();
+
+  Simulation* sim_;
+  std::string name_;
+  bool busy_ = false;
+  std::deque<Item> queue_;
+  double busy_time_ = 0.0;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace crayfish::sim
+
+#endif  // CRAYFISH_SIM_RESOURCE_H_

@@ -1,0 +1,40 @@
+#include "sim/simulation.h"
+
+#include "common/logging.h"
+
+namespace crayfish::sim {
+
+Simulation::Simulation(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+void Simulation::Schedule(SimTime delay, std::function<void()> action) {
+  if (delay < 0.0) delay = 0.0;
+  queue_.Push(now_ + delay, std::move(action));
+}
+
+void Simulation::ScheduleAt(SimTime time, std::function<void()> action) {
+  if (time < now_) time = now_;
+  queue_.Push(time, std::move(action));
+}
+
+uint64_t Simulation::Run(SimTime until) {
+  uint64_t executed = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > until) break;
+    Event e = queue_.Pop();
+    CRAYFISH_CHECK_GE(e.time, now_);
+    now_ = e.time;
+    if (e.action) e.action();
+    ++executed;
+    ++events_executed_;
+  }
+  if (!stop_requested_ && now_ < until &&
+      until != std::numeric_limits<SimTime>::infinity()) {
+    // Advance the clock to the horizon so repeated Run(until) calls observe
+    // monotonically increasing time even when events remain beyond it.
+    now_ = until;
+  }
+  return executed;
+}
+
+}  // namespace crayfish::sim

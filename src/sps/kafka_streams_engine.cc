@@ -1,0 +1,145 @@
+#include "sps/kafka_streams_engine.h"
+
+#include "common/logging.h"
+
+namespace crayfish::sps {
+
+KafkaStreamsEngine::KafkaStreamsEngine(sim::Simulation* sim,
+                                       sim::Network* network,
+                                       broker::KafkaCluster* cluster,
+                                       EngineConfig config,
+                                       ScoringConfig scoring)
+    : StreamEngine(sim, network, cluster, std::move(config),
+                   std::move(scoring)) {
+  costs_.record_fixed_s = config_.overrides.GetDoubleOr(
+      "kafka_streams.record_fixed_s", costs_.record_fixed_s);
+  costs_.idle_pickup_s = config_.overrides.GetDoubleOr(
+      "kafka_streams.idle_pickup_s", costs_.idle_pickup_s);
+}
+
+KafkaStreamsEngine::~KafkaStreamsEngine() { Stop(); }
+
+crayfish::Status KafkaStreamsEngine::Start() {
+  CRAYFISH_ASSIGN_OR_RETURN(int partitions,
+                            cluster_->NumPartitions(config_.input_topic));
+  const int n = config_.parallelism;
+  for (int i = 0; i < n; ++i) {
+    StreamThread thread;
+    thread.consumer = std::make_unique<broker::KafkaConsumer>(
+        cluster_, config_.host, "kafka-streams");
+    CRAYFISH_RETURN_IF_ERROR(thread.consumer->Assign(
+        config_.input_topic,
+        broker::KafkaCluster::RangeAssign(partitions, n, i)));
+    thread.producer =
+        std::make_unique<broker::KafkaProducer>(cluster_, config_.host);
+    threads_.push_back(std::move(thread));
+  }
+  // The transform operator loads the model at initialization time
+  // (§3.4.1) before the threads start pulling.
+  double load_delay = 0.0;
+  if (!scoring_.external) {
+    load_delay = scoring_.library->LoadTimeSeconds(scoring_.model);
+  }
+  sim_->Schedule(load_delay, [this]() {
+    if (stopped_) return;
+    for (int i = 0; i < static_cast<int>(threads_.size()); ++i) {
+      PollLoop(i);
+    }
+  });
+  return crayfish::Status::Ok();
+}
+
+void KafkaStreamsEngine::PollLoop(int thread) {
+  if (stopped_) return;
+  StreamThread& t = threads_[static_cast<size_t>(thread)];
+  // Periodic offset commit (commit.interval.ms).
+  if (sim_->Now() - t.last_commit >= costs_.commit_interval_s) {
+    t.last_commit = sim_->Now();
+    t.consumer->CommitPositions();
+    sim_->Schedule(costs_.commit_s, [this, thread]() { PollLoop(thread); });
+    return;
+  }
+  t.consumer->Poll(costs_.poll_timeout_s,
+                   [this, thread](std::vector<broker::Record> records) {
+                     if (stopped_) return;
+                     StreamThread& th =
+                         threads_[static_cast<size_t>(thread)];
+                     if (records.empty()) {
+                       th.was_idle = true;
+                       PollLoop(thread);
+                       return;
+                     }
+                     auto batch =
+                         std::make_shared<std::vector<broker::Record>>(
+                             std::move(records));
+                     if (th.was_idle) {
+                       // Idle->active wake-up path (see KafkaStreamsCosts).
+                       th.was_idle = false;
+                       sim_->Schedule(costs_.idle_pickup_s,
+                                      [this, thread, batch]() {
+                                        ProcessRecords(thread, batch, 0);
+                                      });
+                       return;
+                     }
+                     ProcessRecords(thread, std::move(batch), 0);
+                   });
+}
+
+void KafkaStreamsEngine::ProcessRecords(
+    int thread, std::shared_ptr<std::vector<broker::Record>> records,
+    size_t index) {
+  if (stopped_) return;
+  if (index >= records->size()) {
+    // Depth-first processing finished: pull the next batch.
+    PollLoop(thread);
+    return;
+  }
+  const broker::Record& r = (*records)[index];
+  const double ingest = costs_.record_fixed_s +
+                        costs_.record_per_byte_s *
+                            static_cast<double>(r.wire_size) +
+                        costs_.transform_wrapper_s;
+  auto emit = [this, thread, records, index]() {
+    if (stopped_) return;
+    ++events_scored_;
+    const broker::Record& rec = (*records)[index];
+    const double produce =
+        costs_.produce_fixed_s +
+        costs_.produce_per_byte_s *
+            static_cast<double>(scoring_.model.OutputBatchWireBytes(
+                static_cast<int>(rec.batch_size)));
+    sim_->Schedule(produce, [this, thread, records, index]() {
+      if (stopped_) return;
+      CRAYFISH_CHECK_OK(EmitScored(
+          threads_[static_cast<size_t>(thread)].producer.get(),
+          (*records)[index]));
+      ProcessRecords(thread, records, index + 1);
+    });
+  };
+  const size_t depth =
+      threads_[static_cast<size_t>(thread)].consumer->buffered();
+  if (scoring_.external) {
+    sim_->Schedule(ingest + scoring_.server->costs().client_overhead_s,
+                   [this, records, index, depth, emit]() {
+                     if (stopped_) return;
+                     InvokeExternalWithStress(
+                         static_cast<int>((*records)[index].batch_size),
+                         depth, emit);
+                   });
+    return;
+  }
+  MaybeRealApply(r);
+  const double apply =
+      EmbeddedApplySeconds(static_cast<int>(r.batch_size), depth);
+  sim_->Schedule(ingest + apply, emit);
+}
+
+void KafkaStreamsEngine::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& t : threads_) {
+    if (t.consumer) t.consumer->Close();
+  }
+}
+
+}  // namespace crayfish::sps

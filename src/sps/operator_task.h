@@ -1,0 +1,70 @@
+#ifndef CRAYFISH_SPS_OPERATOR_TASK_H_
+#define CRAYFISH_SPS_OPERATOR_TASK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "broker/record.h"
+#include "sim/simulation.h"
+
+namespace crayfish::sps {
+
+/// One operator task: a logical thread with a bounded input queue that
+/// processes records strictly one at a time.
+///
+/// The processing function receives a `done` continuation; the task stays
+/// busy until `done` runs — which is how blocking external RPCs occupy the
+/// scoring thread for their full round trip. Bounded queues propagate
+/// backpressure: `Offer` fails when full, and the producer side registers
+/// a space-available callback to resume (credit-based flow control in the
+/// Flink pipeline).
+class OperatorTask {
+ public:
+  using ProcessFn =
+      std::function<void(broker::Record record, std::function<void()> done)>;
+
+  OperatorTask(sim::Simulation* sim, std::string name, ProcessFn process,
+               size_t max_queue);
+
+  OperatorTask(const OperatorTask&) = delete;
+  OperatorTask& operator=(const OperatorTask&) = delete;
+
+  /// Enqueues the record; returns false when the queue is full.
+  bool Offer(broker::Record record);
+
+  /// True when another Offer would succeed.
+  bool HasCapacity() const;
+
+  size_t queue_depth() const { return queue_.size(); }
+  uint64_t processed() const { return processed_; }
+  bool busy() const { return busy_; }
+  const std::string& name() const { return name_; }
+
+  /// Invoked (once per transition to non-full) after space frees up.
+  void SetSpaceAvailableCallback(std::function<void()> cb) {
+    space_available_ = std::move(cb);
+  }
+
+  /// Drops queued records and stops accepting work.
+  void Stop();
+
+ private:
+  void StartNext();
+
+  sim::Simulation* sim_;
+  std::string name_;
+  ProcessFn process_;
+  size_t max_queue_;
+  std::deque<broker::Record> queue_;
+  bool busy_ = false;
+  bool stopped_ = false;
+  bool was_full_ = false;
+  uint64_t processed_ = 0;
+  std::function<void()> space_available_;
+};
+
+}  // namespace crayfish::sps
+
+#endif  // CRAYFISH_SPS_OPERATOR_TASK_H_

@@ -1,0 +1,328 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace crayfish::tensor {
+
+namespace {
+
+/// Inner GEMM kernel: C(MxN) += A(MxK) * B(KxN), row-major, with a simple
+/// k-loop hoist. Not vectorized by hand; the compiler autovectorizes the
+/// inner loop.
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float aval = a[i * k + p];
+      if (aval == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += aval * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int64_t ConvOutputSize(int64_t input, int64_t window, int64_t stride,
+                       Padding padding) {
+  if (padding == Padding::kSame) {
+    return (input + stride - 1) / stride;
+  }
+  return (input - window) / stride + 1;
+}
+
+crayfish::StatusOr<Tensor> MatMul(const Tensor& a, const Tensor& b) {
+  if (a.shape().rank() != 2 || b.shape().rank() != 2) {
+    return crayfish::Status::InvalidArgument(
+        "MatMul requires rank-2 tensors, got " + a.shape().ToString() +
+        " and " + b.shape().ToString());
+  }
+  const int64_t m = a.shape()[0];
+  const int64_t k = a.shape()[1];
+  const int64_t n = b.shape()[1];
+  if (b.shape()[0] != k) {
+    return crayfish::Status::InvalidArgument(
+        "MatMul inner dimensions differ: " + a.shape().ToString() + " x " +
+        b.shape().ToString());
+  }
+  Tensor c(Shape{m, n});
+  Gemm(a.data(), b.data(), c.data(), m, k, n);
+  return c;
+}
+
+crayfish::StatusOr<Tensor> BiasAdd(const Tensor& x, const Tensor& bias) {
+  if (bias.shape().rank() != 1) {
+    return crayfish::Status::InvalidArgument("bias must be rank-1");
+  }
+  const int64_t c = bias.shape()[0];
+  if (x.shape().rank() < 1 || x.shape()[x.shape().rank() - 1] != c) {
+    return crayfish::Status::InvalidArgument(
+        "bias length " + std::to_string(c) + " does not match last axis of " +
+        x.shape().ToString());
+  }
+  Tensor out = x;
+  float* d = out.data();
+  const float* bp = bias.data();
+  const int64_t total = out.NumElements();
+  for (int64_t i = 0; i < total; ++i) {
+    d[i] += bp[i % c];
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& x) {
+  Tensor out = x;
+  float* d = out.data();
+  const int64_t n = out.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+  }
+  return out;
+}
+
+crayfish::StatusOr<Tensor> Add(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    return crayfish::Status::InvalidArgument(
+        "Add shape mismatch: " + a.shape().ToString() + " vs " +
+        b.shape().ToString());
+  }
+  Tensor out = a;
+  float* d = out.data();
+  const float* s = b.data();
+  const int64_t n = out.NumElements();
+  for (int64_t i = 0; i < n; ++i) d[i] += s[i];
+  return out;
+}
+
+Tensor Softmax(const Tensor& x) {
+  CRAYFISH_CHECK_GE(x.shape().rank(), 1);
+  const int64_t cols = x.shape()[x.shape().rank() - 1];
+  const int64_t rows = x.NumElements() / cols;
+  Tensor out = x;
+  float* d = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = d + r * cols;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < cols; ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (int64_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+crayfish::StatusOr<Tensor> Conv2D(const Tensor& input, const Tensor& filter,
+                                  int64_t stride, Padding padding) {
+  if (input.shape().rank() != 4) {
+    return crayfish::Status::InvalidArgument("Conv2D input must be NHWC");
+  }
+  if (filter.shape().rank() != 4) {
+    return crayfish::Status::InvalidArgument("Conv2D filter must be HWIO");
+  }
+  if (stride < 1) {
+    return crayfish::Status::InvalidArgument("Conv2D stride must be >= 1");
+  }
+  const int64_t batch = input.shape()[0];
+  const int64_t in_h = input.shape()[1];
+  const int64_t in_w = input.shape()[2];
+  const int64_t in_c = input.shape()[3];
+  const int64_t kh = filter.shape()[0];
+  const int64_t kw = filter.shape()[1];
+  const int64_t fc_in = filter.shape()[2];
+  const int64_t out_c = filter.shape()[3];
+  if (fc_in != in_c) {
+    return crayfish::Status::InvalidArgument(
+        "Conv2D channel mismatch: input " + input.shape().ToString() +
+        " filter " + filter.shape().ToString());
+  }
+  const int64_t out_h = ConvOutputSize(in_h, kh, stride, padding);
+  const int64_t out_w = ConvOutputSize(in_w, kw, stride, padding);
+  int64_t pad_top = 0;
+  int64_t pad_left = 0;
+  if (padding == Padding::kSame) {
+    const int64_t pad_h =
+        std::max<int64_t>(0, (out_h - 1) * stride + kh - in_h);
+    const int64_t pad_w =
+        std::max<int64_t>(0, (out_w - 1) * stride + kw - in_w);
+    pad_top = pad_h / 2;
+    pad_left = pad_w / 2;
+  }
+
+  // im2col: rows = out_h*out_w, cols = kh*kw*in_c, per batch image.
+  const int64_t patch = kh * kw * in_c;
+  Tensor out(Shape{batch, out_h, out_w, out_c});
+  std::vector<float> col(static_cast<size_t>(out_h * out_w * patch));
+  const float* in_data = input.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    std::fill(col.begin(), col.end(), 0.0f);
+    const float* img = in_data + b * in_h * in_w * in_c;
+    for (int64_t oy = 0; oy < out_h; ++oy) {
+      for (int64_t ox = 0; ox < out_w; ++ox) {
+        float* crow = col.data() + (oy * out_w + ox) * patch;
+        for (int64_t ky = 0; ky < kh; ++ky) {
+          const int64_t iy = oy * stride + ky - pad_top;
+          if (iy < 0 || iy >= in_h) continue;
+          for (int64_t kx = 0; kx < kw; ++kx) {
+            const int64_t ix = ox * stride + kx - pad_left;
+            if (ix < 0 || ix >= in_w) continue;
+            const float* src = img + (iy * in_w + ix) * in_c;
+            float* dst = crow + (ky * kw + kx) * in_c;
+            std::copy(src, src + in_c, dst);
+          }
+        }
+      }
+    }
+    // GEMM: [out_h*out_w, patch] x [patch, out_c].
+    Gemm(col.data(), filter.data(),
+         out.data() + b * out_h * out_w * out_c, out_h * out_w, patch,
+         out_c);
+  }
+  return out;
+}
+
+crayfish::StatusOr<Tensor> MaxPool2D(const Tensor& input, int64_t window,
+                                     int64_t stride, Padding padding) {
+  if (input.shape().rank() != 4) {
+    return crayfish::Status::InvalidArgument("MaxPool2D input must be NHWC");
+  }
+  const int64_t batch = input.shape()[0];
+  const int64_t in_h = input.shape()[1];
+  const int64_t in_w = input.shape()[2];
+  const int64_t c = input.shape()[3];
+  const int64_t out_h = ConvOutputSize(in_h, window, stride, padding);
+  const int64_t out_w = ConvOutputSize(in_w, window, stride, padding);
+  int64_t pad_top = 0;
+  int64_t pad_left = 0;
+  if (padding == Padding::kSame) {
+    const int64_t pad_h =
+        std::max<int64_t>(0, (out_h - 1) * stride + window - in_h);
+    const int64_t pad_w =
+        std::max<int64_t>(0, (out_w - 1) * stride + window - in_w);
+    pad_top = pad_h / 2;
+    pad_left = pad_w / 2;
+  }
+  Tensor out(Shape{batch, out_h, out_w, c});
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t oy = 0; oy < out_h; ++oy) {
+      for (int64_t ox = 0; ox < out_w; ++ox) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+          float mx = -std::numeric_limits<float>::infinity();
+          for (int64_t ky = 0; ky < window; ++ky) {
+            const int64_t iy = oy * stride + ky - pad_top;
+            if (iy < 0 || iy >= in_h) continue;
+            for (int64_t kx = 0; kx < window; ++kx) {
+              const int64_t ix = ox * stride + kx - pad_left;
+              if (ix < 0 || ix >= in_w) continue;
+              mx = std::max(mx, input.at4(b, iy, ix, ch));
+            }
+          }
+          out.at4(b, oy, ox, ch) = mx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+crayfish::StatusOr<Tensor> GlobalAvgPool(const Tensor& input) {
+  if (input.shape().rank() != 4) {
+    return crayfish::Status::InvalidArgument(
+        "GlobalAvgPool input must be NHWC");
+  }
+  const int64_t batch = input.shape()[0];
+  const int64_t h = input.shape()[1];
+  const int64_t w = input.shape()[2];
+  const int64_t c = input.shape()[3];
+  Tensor out(Shape{batch, c});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        const float* px = input.data() + ((b * h + y) * w + x) * c;
+        float* dst = out.data() + b * c;
+        for (int64_t ch = 0; ch < c; ++ch) dst[ch] += px[ch];
+      }
+    }
+  }
+  float* d = out.data();
+  for (int64_t i = 0; i < batch * c; ++i) d[i] *= inv;
+  return out;
+}
+
+crayfish::StatusOr<Tensor> BatchNorm(const Tensor& x, const Tensor& gamma,
+                                     const Tensor& beta, const Tensor& mean,
+                                     const Tensor& variance, float epsilon) {
+  const int64_t rank = x.shape().rank();
+  if (rank < 1) {
+    return crayfish::Status::InvalidArgument("BatchNorm needs rank >= 1");
+  }
+  const int64_t c = x.shape()[rank - 1];
+  for (const Tensor* p : {&gamma, &beta, &mean, &variance}) {
+    if (p->shape().rank() != 1 || p->shape()[0] != c) {
+      return crayfish::Status::InvalidArgument(
+          "BatchNorm parameter shape mismatch, channels=" +
+          std::to_string(c));
+    }
+  }
+  // Precompute scale = gamma / sqrt(var + eps), shift = beta - scale*mean.
+  std::vector<float> scale(static_cast<size_t>(c));
+  std::vector<float> shift(static_cast<size_t>(c));
+  for (int64_t i = 0; i < c; ++i) {
+    const float s = gamma.at(i) / std::sqrt(variance.at(i) + epsilon);
+    scale[static_cast<size_t>(i)] = s;
+    shift[static_cast<size_t>(i)] = beta.at(i) - s * mean.at(i);
+  }
+  Tensor out = x;
+  float* d = out.data();
+  const int64_t n = out.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t ch = i % c;
+    d[i] = d[i] * scale[static_cast<size_t>(ch)] +
+           shift[static_cast<size_t>(ch)];
+  }
+  return out;
+}
+
+crayfish::StatusOr<Tensor> FlattenBatch(const Tensor& x) {
+  if (x.shape().rank() < 1) {
+    return crayfish::Status::InvalidArgument("FlattenBatch needs rank >= 1");
+  }
+  const int64_t batch = x.shape()[0];
+  const int64_t rest = x.NumElements() / batch;
+  return x.Reshape(Shape{batch, rest});
+}
+
+crayfish::StatusOr<std::vector<int64_t>> Argmax(const Tensor& x) {
+  if (x.shape().rank() != 2) {
+    return crayfish::Status::InvalidArgument("Argmax requires rank-2");
+  }
+  const int64_t rows = x.shape()[0];
+  const int64_t cols = x.shape()[1];
+  std::vector<int64_t> out(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t best = 0;
+    float best_val = x.at2(r, 0);
+    for (int64_t c = 1; c < cols; ++c) {
+      const float v = x.at2(r, c);
+      if (v > best_val) {
+        best_val = v;
+        best = c;
+      }
+    }
+    out[static_cast<size_t>(r)] = best;
+  }
+  return out;
+}
+
+}  // namespace crayfish::tensor

@@ -1,0 +1,59 @@
+#ifndef CRAYFISH_TENSOR_OPS_H_
+#define CRAYFISH_TENSOR_OPS_H_
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace crayfish::tensor {
+
+/// Padding policy for spatial ops, matching TensorFlow semantics:
+/// kSame pads so that output size = ceil(input / stride); kValid pads
+/// nothing.
+enum class Padding { kSame, kValid };
+
+/// C = A(MxK) * B(KxN). Rank-2 inputs required.
+crayfish::StatusOr<Tensor> MatMul(const Tensor& a, const Tensor& b);
+
+/// Adds a rank-1 bias along the last axis of `x` (broadcast).
+crayfish::StatusOr<Tensor> BiasAdd(const Tensor& x, const Tensor& bias);
+
+/// Elementwise ops.
+Tensor Relu(const Tensor& x);
+crayfish::StatusOr<Tensor> Add(const Tensor& a, const Tensor& b);
+
+/// Row-wise softmax over the last axis (any rank >= 1).
+Tensor Softmax(const Tensor& x);
+
+/// 2D convolution over NHWC input with HWIO filter
+/// ([kh, kw, in_channels, out_channels]). Implemented via im2col + GEMM.
+crayfish::StatusOr<Tensor> Conv2D(const Tensor& input, const Tensor& filter,
+                                  int64_t stride, Padding padding);
+
+/// Max pooling over NHWC input.
+crayfish::StatusOr<Tensor> MaxPool2D(const Tensor& input, int64_t window,
+                                     int64_t stride, Padding padding);
+
+/// Mean over the spatial axes of an NHWC input: [N,H,W,C] -> [N,C].
+crayfish::StatusOr<Tensor> GlobalAvgPool(const Tensor& input);
+
+/// Inference-mode batch normalization along the channel (last) axis:
+/// y = gamma * (x - mean) / sqrt(var + eps) + beta. gamma/beta/mean/var are
+/// rank-1 of length C.
+crayfish::StatusOr<Tensor> BatchNorm(const Tensor& x, const Tensor& gamma,
+                                     const Tensor& beta, const Tensor& mean,
+                                     const Tensor& variance,
+                                     float epsilon = 1e-5f);
+
+/// Flattens all but the leading (batch) axis: [N, ...] -> [N, prod(...)].
+crayfish::StatusOr<Tensor> FlattenBatch(const Tensor& x);
+
+/// Index of the maximum element in each row of a rank-2 tensor.
+crayfish::StatusOr<std::vector<int64_t>> Argmax(const Tensor& x);
+
+/// Output spatial size for a conv/pool dimension.
+int64_t ConvOutputSize(int64_t input, int64_t window, int64_t stride,
+                       Padding padding);
+
+}  // namespace crayfish::tensor
+
+#endif  // CRAYFISH_TENSOR_OPS_H_

@@ -1,0 +1,140 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace crayfish::tensor {
+
+int64_t Shape::dim(int64_t i) const {
+  CRAYFISH_CHECK_GE(i, 0);
+  CRAYFISH_CHECK_LT(i, rank());
+  return dims_[static_cast<size_t>(i)];
+}
+
+int64_t Shape::NumElements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+Shape Shape::WithDim(int64_t i, int64_t value) const {
+  CRAYFISH_CHECK_GE(i, 0);
+  CRAYFISH_CHECK_LT(i, rank());
+  std::vector<int64_t> dims = dims_;
+  dims[static_cast<size_t>(i)] = value;
+  return Shape(std::move(dims));
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_.NumElements()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  CRAYFISH_CHECK_EQ(static_cast<int64_t>(data_.size()), shape_.NumElements())
+      << "shape " << shape_.ToString() << " vs " << data_.size()
+      << " elements";
+}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  std::fill(t.data_.begin(), t.data_.end(), value);
+  return t;
+}
+
+Tensor Tensor::Random(Shape shape, crayfish::Rng* rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::HeNormal(Shape shape, crayfish::Rng* rng, int64_t fan_in) {
+  CRAYFISH_CHECK_GT(fan_in, 0);
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng->Gaussian(0.0, stddev));
+  }
+  return t;
+}
+
+float Tensor::at2(int64_t r, int64_t c) const {
+  CRAYFISH_CHECK_EQ(shape_.rank(), 2);
+  return data_[static_cast<size_t>(r * shape_[1] + c)];
+}
+
+float Tensor::at4(int64_t n, int64_t h, int64_t w, int64_t c) const {
+  CRAYFISH_CHECK_EQ(shape_.rank(), 4);
+  const int64_t idx =
+      ((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c;
+  return data_[static_cast<size_t>(idx)];
+}
+
+float& Tensor::at4(int64_t n, int64_t h, int64_t w, int64_t c) {
+  CRAYFISH_CHECK_EQ(shape_.rank(), 4);
+  const int64_t idx =
+      ((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c;
+  return data_[static_cast<size_t>(idx)];
+}
+
+crayfish::StatusOr<Tensor> Tensor::Reshape(Shape new_shape) const {
+  if (new_shape.NumElements() != shape_.NumElements()) {
+    return crayfish::Status::InvalidArgument(
+        "reshape " + shape_.ToString() + " -> " + new_shape.ToString() +
+        " changes element count");
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+bool Tensor::AllClose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+float Tensor::Sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Tensor::Max() const {
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : data_) m = std::max(m, v);
+  return m;
+}
+
+std::string Tensor::DebugString(int64_t max_elements) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.ToString() << " {";
+  const int64_t n =
+      std::min<int64_t>(max_elements, static_cast<int64_t>(data_.size()));
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[static_cast<size_t>(i)];
+  }
+  if (n < static_cast<int64_t>(data_.size())) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace crayfish::tensor

@@ -1,0 +1,100 @@
+#ifndef CRAYFISH_TENSOR_TENSOR_H_
+#define CRAYFISH_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace crayfish::tensor {
+
+/// Dense tensor shape. Dimensions are ordered outermost-first; image
+/// tensors use NHWC layout ([batch, height, width, channels]).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int64_t rank() const { return static_cast<int64_t>(dims_.size()); }
+  int64_t dim(int64_t i) const;
+  int64_t operator[](int64_t i) const { return dim(i); }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Product of all dimensions; 1 for a scalar (rank 0).
+  int64_t NumElements() const;
+
+  /// Returns a copy with dimension `i` replaced.
+  Shape WithDim(int64_t i, int64_t value) const;
+
+  /// "[2, 224, 224, 3]"
+  std::string ToString() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+/// Dense float32 tensor with value semantics (copies are deep). The tensor
+/// library backs the *real* model execution path used by tests and
+/// examples; the simulation path uses only FLOP counts derived from the
+/// same model graphs.
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(Shape shape, float value);
+  /// Uniform random values in [lo, hi) from the caller's RNG stream.
+  static Tensor Random(Shape shape, crayfish::Rng* rng, float lo = 0.0f,
+                       float hi = 1.0f);
+  /// He-normal initialization (for conv/dense weights in builders/tests).
+  static Tensor HeNormal(Shape shape, crayfish::Rng* rng, int64_t fan_in);
+
+  const Shape& shape() const { return shape_; }
+  int64_t NumElements() const { return shape_.NumElements(); }
+  uint64_t ByteSize() const {
+    return static_cast<uint64_t>(NumElements()) * sizeof(float);
+  }
+
+  const float* data() const { return data_.data(); }
+  float* data() { return data_.data(); }
+  const std::vector<float>& values() const { return data_; }
+
+  float at(int64_t i) const { return data_[static_cast<size_t>(i)]; }
+  float& at(int64_t i) { return data_[static_cast<size_t>(i)]; }
+
+  /// Element access for rank-2 tensors ([row, col]).
+  float at2(int64_t r, int64_t c) const;
+  /// Element access for rank-4 NHWC tensors.
+  float at4(int64_t n, int64_t h, int64_t w, int64_t c) const;
+  float& at4(int64_t n, int64_t h, int64_t w, int64_t c);
+
+  /// Reshape preserving the number of elements; returns error on mismatch.
+  crayfish::StatusOr<Tensor> Reshape(Shape new_shape) const;
+
+  /// True when shapes match and all elements differ by at most `tol`.
+  bool AllClose(const Tensor& other, float tol = 1e-5f) const;
+
+  /// Sum / maximum over all elements (0 / -inf for empty).
+  float Sum() const;
+  float Max() const;
+
+  std::string DebugString(int64_t max_elements = 16) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace crayfish::tensor
+
+#endif  // CRAYFISH_TENSOR_TENSOR_H_

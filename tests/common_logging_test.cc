@@ -1,0 +1,66 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace crayfish {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelGateControlsEmission) {
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_FALSE(internal_logging::LevelEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(internal_logging::LevelEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(internal_logging::LevelEnabled(LogLevel::kWarning));
+  EXPECT_TRUE(internal_logging::LevelEnabled(LogLevel::kError));
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(internal_logging::LevelEnabled(LogLevel::kDebug));
+}
+
+TEST_F(LoggingTest, DisabledLevelsDoNotEvaluateStreamedExpressions) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "payload";
+  };
+  CRAYFISH_LOG(Debug) << expensive();
+  CRAYFISH_LOG(Info) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  CRAYFISH_LOG(Error) << "test-expected error line: " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, CheckPassesSilentlyOnTrue) {
+  CRAYFISH_CHECK(true) << "never shown";
+  CRAYFISH_CHECK_EQ(2 + 2, 4);
+  CRAYFISH_CHECK_LT(1, 2);
+  CRAYFISH_CHECK_GE(2, 2);
+  CRAYFISH_CHECK_OK(Status::Ok());
+}
+
+using LoggingDeathTest = LoggingTest;
+
+TEST_F(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ CRAYFISH_CHECK(1 == 2) << "boom"; }, "Check failed: 1 == 2");
+}
+
+TEST_F(LoggingDeathTest, CheckOkAbortsWithStatusMessage) {
+  EXPECT_DEATH({ CRAYFISH_CHECK_OK(Status::NotFound("missing topic")); },
+               "missing topic");
+}
+
+TEST_F(LoggingDeathTest, ComparisonMacrosAbortWithExpression) {
+  EXPECT_DEATH({ CRAYFISH_CHECK_EQ(3, 4); }, "Check failed");
+  EXPECT_DEATH({ CRAYFISH_CHECK_GT(1, 5); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace crayfish

@@ -1,0 +1,125 @@
+#include "common/status.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace crayfish {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::NotFound("topic missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "topic missing");
+  EXPECT_EQ(s.ToString(), "NotFound: topic missing");
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kResourceExhausted,
+      StatusCode::kUnimplemented,
+      StatusCode::kInternal,
+      StatusCode::kIoError,
+      StatusCode::kTimeout,
+      StatusCode::kCorruption,
+  };
+  for (size_t i = 0; i < std::size(codes); ++i) {
+    for (size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_STRNE(StatusCodeName(codes[i]), StatusCodeName(codes[j]));
+    }
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::IoError("x"));
+}
+
+TEST(StatusTest, PredicateHelpers) {
+  EXPECT_TRUE(Status::InvalidArgument("").IsInvalidArgument());
+  EXPECT_TRUE(Status::ResourceExhausted("").IsResourceExhausted());
+  EXPECT_TRUE(Status::Timeout("").IsTimeout());
+  EXPECT_FALSE(Status::Ok().IsNotFound());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, ValueOrReturnsValueWhenOk) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v.value_or("fallback"), "hello");
+}
+
+TEST(StatusOrTest, MoveOnlyTypesSupported) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, ArrowOperatorAccessesMembers) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UsePositive(int x, int* out) {
+  CRAYFISH_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagatesErrors) {
+  int out = 0;
+  EXPECT_TRUE(UsePositive(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  Status s = UsePositive(-1, &out);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(out, 10);  // untouched on error
+}
+
+Status ChainTwo(bool fail_first) {
+  CRAYFISH_RETURN_IF_ERROR(fail_first ? Status::Internal("first")
+                                      : Status::Ok());
+  return Status::IoError("second");
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorShortCircuits) {
+  EXPECT_EQ(ChainTwo(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(ChainTwo(false).code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace crayfish

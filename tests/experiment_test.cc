@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace crayfish::core {
+namespace {
+
+ExperimentConfig QuickConfig(const std::string& engine,
+                             const std::string& serving) {
+  ExperimentConfig cfg;
+  cfg.engine = engine;
+  cfg.serving = serving;
+  cfg.model = "ffnn";
+  cfg.input_rate = 200.0;
+  cfg.duration_s = 8.0;
+  cfg.drain_s = 4.0;
+  return cfg;
+}
+
+TEST(ExperimentTest, RejectsInvalidParameters) {
+  ExperimentConfig cfg = QuickConfig("flink", "onnx");
+  cfg.batch_size = 0;
+  EXPECT_FALSE(RunExperiment(cfg).ok());
+  cfg = QuickConfig("flink", "onnx");
+  cfg.input_rate = 0.0;
+  EXPECT_FALSE(RunExperiment(cfg).ok());
+  cfg = QuickConfig("flink", "clipper");
+  EXPECT_FALSE(RunExperiment(cfg).ok());
+  cfg = QuickConfig("storm", "onnx");
+  EXPECT_FALSE(RunExperiment(cfg).ok());
+}
+
+TEST(ExperimentTest, SampleShapesFollowModel) {
+  ExperimentConfig cfg;
+  cfg.model = "ffnn";
+  EXPECT_EQ(cfg.SampleShape(), (std::vector<int64_t>{28, 28}));
+  cfg.model = "resnet50";
+  EXPECT_EQ(cfg.SampleShape(), (std::vector<int64_t>{224, 224, 3}));
+}
+
+TEST(ExperimentTest, LabelDescribesConfiguration) {
+  ExperimentConfig cfg = QuickConfig("spark", "tf-serving");
+  cfg.use_gpu = true;
+  const std::string label = cfg.Label();
+  EXPECT_NE(label.find("spark"), std::string::npos);
+  EXPECT_NE(label.find("tf-serving"), std::string::npos);
+  EXPECT_NE(label.find("gpu"), std::string::npos);
+}
+
+class EngineServingMatrixTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string>> {};
+
+TEST_P(EngineServingMatrixTest, PipelineDeliversMeasurements) {
+  const auto& [engine, serving] = GetParam();
+  ExperimentConfig cfg = QuickConfig(engine, serving);
+  // Ray's per-event costs are high; keep its offered load sustainable so
+  // the run drains within the horizon.
+  if (engine == "ray") cfg.input_rate = 50.0;
+  auto result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->events_sent, 0u);
+  EXPECT_GT(result->events_scored, 0u);
+  EXPECT_GT(result->summary.measurements, 0u);
+  EXPECT_GT(result->summary.latency_mean_ms, 0.0);
+  EXPECT_GT(result->summary.throughput_eps, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EngineServingMatrixTest,
+    ::testing::Combine(::testing::Values("flink", "kafka-streams", "spark",
+                                         "ray"),
+                       ::testing::Values("onnx", "tf-serving")),
+    [](const auto& info) {
+      std::string n = std::get<0>(info.param) + "_" +
+                      std::get<1>(info.param);
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(ExperimentTest, DeterministicUnderSameSeed) {
+  ExperimentConfig cfg = QuickConfig("flink", "onnx");
+  cfg.seed = 99;
+  auto a = RunExperiment(cfg);
+  auto b = RunExperiment(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->events_sent, b->events_sent);
+  EXPECT_EQ(a->events_scored, b->events_scored);
+  EXPECT_EQ(a->summary.measurements, b->summary.measurements);
+  EXPECT_DOUBLE_EQ(a->summary.latency_mean_ms, b->summary.latency_mean_ms);
+  EXPECT_EQ(a->sim_events_executed, b->sim_events_executed);
+}
+
+TEST(ExperimentTest, DifferentSeedsProduceDifferentJitter) {
+  ExperimentConfig cfg = QuickConfig("flink", "onnx");
+  cfg.seed = 1;
+  auto a = RunExperiment(cfg);
+  cfg.seed = 2;
+  auto b = RunExperiment(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->summary.latency_mean_ms, b->summary.latency_mean_ms);
+}
+
+TEST(ExperimentTest, SustainableLoadScoresEverythingSent) {
+  ExperimentConfig cfg = QuickConfig("flink", "onnx");
+  cfg.input_rate = 100.0;  // far below ONNX/Flink capacity (~1.3k)
+  auto result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->events_scored, result->events_sent);
+  // Well under capacity: latency stays in the low tens of ms.
+  EXPECT_LT(result->summary.latency_mean_ms, 50.0);
+}
+
+TEST(ExperimentTest, OverloadSaturatesAtSustainableThroughput) {
+  ExperimentConfig cfg = QuickConfig("flink", "onnx");
+  cfg.input_rate = 30000.0;
+  cfg.duration_s = 10.0;
+  cfg.drain_s = 1.0;
+  auto result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok());
+  // Paper Table 4: ~1373 ev/s for Flink+ONNX+FFNN.
+  EXPECT_GT(result->summary.throughput_eps, 1000.0);
+  EXPECT_LT(result->summary.throughput_eps, 1800.0);
+  // Overloaded: latency explodes relative to the sustainable case.
+  EXPECT_GT(result->summary.latency_mean_ms, 500.0);
+}
+
+TEST(ExperimentTest, MaxEventsCapsGeneration) {
+  ExperimentConfig cfg = QuickConfig("flink", "onnx");
+  cfg.max_events = 100;
+  cfg.input_rate = 1000.0;
+  auto result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->events_sent, 100u);
+  EXPECT_EQ(result->events_scored, 100u);
+}
+
+TEST(ExperimentTest, BurstyRunProducesRecoveryAnalysis) {
+  ExperimentConfig cfg = QuickConfig("flink", "onnx");
+  cfg.bursty = true;
+  cfg.input_rate = 900.0;          // ~70% of ST
+  cfg.burst_rate = 1500.0;         // ~115% of ST
+  cfg.burst_duration_s = 10.0;
+  cfg.time_between_bursts_s = 30.0;
+  cfg.first_burst_at_s = 20.0;
+  cfg.duration_s = 100.0;
+  cfg.drain_s = 10.0;
+  auto result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->recoveries.size(), 2u);
+  for (const BurstRecovery& r : result->recoveries) {
+    EXPECT_GT(r.burst_end_s, r.burst_start_s);
+  }
+  // At least the first burst must recover within the run.
+  EXPECT_GE(result->recoveries[0].recovery_s, 0.0);
+}
+
+TEST(ExperimentTest, GpuReducesResNetLatency) {
+  ExperimentConfig cpu;
+  cpu.engine = "flink";
+  cpu.serving = "onnx";
+  cpu.model = "resnet50";
+  cpu.batch_size = 8;
+  cpu.input_rate = 0.2;
+  cpu.duration_s = 60.0;
+  cpu.drain_s = 15.0;
+  ExperimentConfig gpu = cpu;
+  gpu.use_gpu = true;
+  auto r_cpu = RunExperiment(cpu);
+  auto r_gpu = RunExperiment(gpu);
+  ASSERT_TRUE(r_cpu.ok());
+  ASSERT_TRUE(r_gpu.ok());
+  EXPECT_LT(r_gpu->summary.latency_mean_ms, r_cpu->summary.latency_mean_ms);
+}
+
+TEST(ExperimentTest, RunRepeatedAggregatesAcrossSeeds) {
+  ExperimentConfig cfg = QuickConfig("kafka-streams", "onnx");
+  auto results = RunRepeated(cfg, 2);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  Aggregate thr = AggregateThroughput(*results);
+  EXPECT_GT(thr.mean, 0.0);
+  Aggregate lat = AggregateLatencyMean(*results);
+  EXPECT_GT(lat.mean, 0.0);
+}
+
+TEST(ExperimentTest, Fig12OperatorParallelismBeatsChained) {
+  ExperimentConfig chained = QuickConfig("flink", "onnx");
+  chained.input_rate = 30000.0;
+  chained.duration_s = 8.0;
+  chained.drain_s = 1.0;
+  ExperimentConfig unchained = chained;
+  unchained.source_parallelism = 32;
+  unchained.sink_parallelism = 32;
+  auto r_chained = RunExperiment(chained);
+  auto r_unchained = RunExperiment(unchained);
+  ASSERT_TRUE(r_chained.ok());
+  ASSERT_TRUE(r_unchained.ok());
+  // Fig. 12: ~3.8x at N=1.
+  EXPECT_GT(r_unchained->summary.throughput_eps,
+            r_chained->summary.throughput_eps * 2.0);
+}
+
+
+TEST(ExperimentTest, ValidationModeRunsRealInferenceInThePipeline) {
+  // Every scored batch triggers a true forward pass inside the scoring
+  // operator: JSON payload -> tensor -> model loaded through the
+  // library's native format. Simulated metrics stay calibrated.
+  ExperimentConfig cfg = QuickConfig("flink", "onnx");
+  cfg.input_rate = 50.0;
+  cfg.duration_s = 4.0;
+  cfg.drain_s = 2.0;
+  cfg.validate_real_inference = true;
+  auto r = RunExperiment(cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->events_scored, 0u);
+  EXPECT_EQ(r->real_inferences, r->events_scored);
+  // Without the flag, no real compute happens.
+  cfg.validate_real_inference = false;
+  auto plain = RunExperiment(cfg);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->real_inferences, 0u);
+}
+
+TEST(ExperimentTest, ValidationModeWorksOnEveryEngineAndLibrary) {
+  for (const char* engine : {"flink", "kafka-streams", "spark", "ray"}) {
+    for (const char* lib : {"dl4j", "onnx", "savedmodel"}) {
+      ExperimentConfig cfg = QuickConfig(engine, lib);
+      cfg.input_rate = 20.0;
+      cfg.duration_s = 3.0;
+      cfg.drain_s = 3.0;
+      cfg.validate_real_inference = true;
+      auto r = RunExperiment(cfg);
+      ASSERT_TRUE(r.ok()) << engine << "/" << lib << ": "
+                          << r.status().ToString();
+      EXPECT_EQ(r->real_inferences, r->events_scored)
+          << engine << "/" << lib;
+    }
+  }
+}
+
+TEST(ExperimentTest, ValidationModeRejectsUnsupportedModels) {
+  ExperimentConfig cfg = QuickConfig("flink", "onnx");
+  cfg.model = "resnet50";
+  cfg.validate_real_inference = true;
+  EXPECT_TRUE(RunExperiment(cfg).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace crayfish::core

@@ -1,0 +1,187 @@
+// Property-style parameterized sweeps over the simulation's invariants:
+// conservation (no record lost or duplicated), monotonicity of latency in
+// batch size, throughput saturation, and determinism across the whole
+// engine x serving matrix.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "serving/calibration.h"
+#include "serving/embedded_library.h"
+#include "serving/model_profile.h"
+
+namespace crayfish::core {
+namespace {
+
+// ------------------------------------------ conservation across the matrix
+
+class ConservationTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(ConservationTest, EveryEventScoredExactlyOnceUnderModerateLoad) {
+  const auto& [engine, serving] = GetParam();
+  ExperimentConfig cfg;
+  cfg.engine = engine;
+  cfg.serving = serving;
+  cfg.input_rate = engine == "ray" ? 40.0 : 120.0;
+  cfg.duration_s = 6.0;
+  cfg.drain_s = 6.0;
+  auto result = RunExperiment(cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->events_scored, result->events_sent);
+  // The output log must contain every scored batch exactly once.
+  EXPECT_EQ(result->measurements.size(), result->events_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ConservationTest,
+    ::testing::Combine(::testing::Values("flink", "kafka-streams", "spark",
+                                         "ray"),
+                       ::testing::Values("onnx", "dl4j", "savedmodel",
+                                         "tf-serving", "torchserve")),
+    [](const auto& info) {
+      std::string n =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+// --------------------------------------------------- latency monotonicity
+
+class BatchSizeLatencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchSizeLatencyTest, LatencyGrowsWithBatchSize) {
+  const int bsz = GetParam();
+  ExperimentConfig small;
+  small.engine = "flink";
+  small.serving = "onnx";
+  small.input_rate = 1.0;
+  small.batch_size = bsz;
+  small.duration_s = 20.0;
+  small.drain_s = 5.0;
+  ExperimentConfig bigger = small;
+  bigger.batch_size = bsz * 4;
+  auto r_small = RunExperiment(small);
+  auto r_big = RunExperiment(bigger);
+  ASSERT_TRUE(r_small.ok());
+  ASSERT_TRUE(r_big.ok());
+  EXPECT_GT(r_big->summary.latency_mean_ms,
+            r_small->summary.latency_mean_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatchSizeLatencyTest,
+                         ::testing::Values(1, 8, 32, 128));
+
+// ------------------------------------------------- throughput saturation
+
+class ParallelismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelismTest, ThroughputNonDecreasingInParallelismForExternal) {
+  // External tools scale without the embedded resource-sharing plateau
+  // (§7.1): throughput at mp must be >= throughput at mp/2.
+  const int mp = GetParam();
+  ExperimentConfig cfg;
+  cfg.engine = "flink";
+  cfg.serving = "tf-serving";
+  cfg.input_rate = 30000.0;
+  cfg.duration_s = 6.0;
+  cfg.drain_s = 1.0;
+  cfg.parallelism = mp;
+  ExperimentConfig half = cfg;
+  half.parallelism = mp / 2;
+  auto r_full = RunExperiment(cfg);
+  auto r_half = RunExperiment(half);
+  ASSERT_TRUE(r_full.ok());
+  ASSERT_TRUE(r_half.ok());
+  EXPECT_GE(r_full->summary.throughput_eps,
+            r_half->summary.throughput_eps * 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallelism, ParallelismTest,
+                         ::testing::Values(2, 4, 8, 16));
+
+// ----------------------------------------------------------- determinism
+
+class DeterminismTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(DeterminismTest, IdenticalSeedsYieldIdenticalRuns) {
+  const auto& [engine, serving] = GetParam();
+  ExperimentConfig cfg;
+  cfg.engine = engine;
+  cfg.serving = serving;
+  cfg.input_rate = 80.0;
+  cfg.duration_s = 4.0;
+  cfg.drain_s = 4.0;
+  cfg.seed = 1234;
+  auto a = RunExperiment(cfg);
+  auto b = RunExperiment(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->sim_events_executed, b->sim_events_executed);
+  ASSERT_EQ(a->measurements.size(), b->measurements.size());
+  for (size_t i = 0; i < a->measurements.size(); ++i) {
+    EXPECT_EQ(a->measurements[i].batch_id, b->measurements[i].batch_id);
+    EXPECT_DOUBLE_EQ(a->measurements[i].append_time,
+                     b->measurements[i].append_time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DeterminismTest,
+    ::testing::Combine(::testing::Values("flink", "kafka-streams", "spark",
+                                         "ray"),
+                       ::testing::Values("onnx", "tf-serving")),
+    [](const auto& info) {
+      std::string n =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+// ------------------------------------------------ serving-time invariants
+
+class ApplyTimeMonotonicityTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ApplyTimeMonotonicityTest, MonotoneInBatchAndParallelism) {
+  auto lib = serving::CreateEmbeddedLibrary(GetParam());
+  ASSERT_TRUE(lib.ok());
+  const serving::ModelProfile ffnn = serving::ModelProfile::Ffnn();
+  double prev = 0.0;
+  for (int bsz : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+    const double t =
+        (*lib)->ApplyTimeSeconds(ffnn, bsz, 1, false, 0, nullptr);
+    EXPECT_GT(t, prev) << "bsz=" << bsz;
+    prev = t;
+  }
+  prev = 0.0;
+  for (int mp : {1, 2, 4, 8, 16, 32}) {
+    const double t =
+        (*lib)->ApplyTimeSeconds(ffnn, 1, mp, false, 0, nullptr);
+    EXPECT_GE(t, prev) << "mp=" << mp;
+    prev = t;
+  }
+}
+
+TEST_P(ApplyTimeMonotonicityTest, LargerModelTakesLonger) {
+  auto lib = serving::CreateEmbeddedLibrary(GetParam());
+  ASSERT_TRUE(lib.ok());
+  const double small = (*lib)->ApplyTimeSeconds(
+      serving::ModelProfile::Ffnn(), 1, 1, false, 0, nullptr);
+  const double large = (*lib)->ApplyTimeSeconds(
+      serving::ModelProfile::ResNet50(), 1, 1, false, 0, nullptr);
+  EXPECT_GT(large, small * 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Libraries, ApplyTimeMonotonicityTest,
+                         ::testing::Values("dl4j", "onnx", "savedmodel"));
+
+}  // namespace
+}  // namespace crayfish::core

@@ -1,0 +1,499 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "common/rng.h"
+#include "model/formats.h"
+#include "model/graph.h"
+#include "serving/calibration.h"
+#include "serving/embedded_library.h"
+#include "serving/external_server.h"
+#include "serving/model_profile.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+#include "tensor/tensor.h"
+
+namespace crayfish::serving {
+namespace {
+
+// ----------------------------------------------------------- calibration --
+
+TEST(CalibrationTest, KnownToolsResolve) {
+  for (const std::string& lib : EmbeddedLibraryNames()) {
+    EXPECT_TRUE(IsEmbeddedLibrary(lib));
+    EXPECT_FALSE(IsExternalTool(lib));
+    EXPECT_GT(GetEmbeddedCosts(lib).ffi_overhead_s, 0.0);
+  }
+  for (const std::string& tool : ExternalToolNames()) {
+    EXPECT_TRUE(IsExternalTool(tool));
+    EXPECT_FALSE(IsEmbeddedLibrary(tool));
+    EXPECT_GT(GetExternalCosts(tool).server_overhead_s, 0.0);
+  }
+}
+
+TEST(CalibrationTest, PerSampleTableWithFlopFallback) {
+  std::map<std::string, double> table = {{"ffnn", 1e-4}};
+  ModelProfile ffnn = ModelProfile::Ffnn();
+  EXPECT_DOUBLE_EQ(PerSampleSeconds(table, 1e9, ffnn), 1e-4);
+  ModelProfile unknown;
+  unknown.name = "custom";
+  unknown.flops_per_sample = 2'000'000'000;
+  EXPECT_DOUBLE_EQ(PerSampleSeconds(table, 1e9, unknown), 2.0);
+}
+
+TEST(CalibrationTest, EmbeddedOrderingMatchesTable4) {
+  // Table 4 (FFNN): ONNX fastest, then SavedModel, then DL4J.
+  ModelProfile ffnn = ModelProfile::Ffnn();
+  const double onnx = PerSampleSeconds(GetEmbeddedCosts("onnx").per_sample_s,
+                                       1e9, ffnn);
+  const double saved = PerSampleSeconds(
+      GetEmbeddedCosts("savedmodel").per_sample_s, 1e9, ffnn);
+  const double dl4j = PerSampleSeconds(GetEmbeddedCosts("dl4j").per_sample_s,
+                                       1e9, ffnn);
+  EXPECT_LT(onnx, saved);
+  EXPECT_LT(saved, dl4j);
+}
+
+TEST(CalibrationTest, RayServeUsesHttpWithProxy) {
+  const ExternalCosts& rs = GetExternalCosts("ray-serve");
+  EXPECT_EQ(rs.protocol, Protocol::kHttp);
+  EXPECT_GT(rs.proxy_per_request_s, 0.0);
+  EXPECT_EQ(GetExternalCosts("tf-serving").protocol, Protocol::kGrpc);
+  EXPECT_DOUBLE_EQ(GetExternalCosts("tf-serving").proxy_per_request_s, 0.0);
+}
+
+TEST(CalibrationTest, TfServingSharesIntraOpPoolTorchServeDoesNot) {
+  EXPECT_TRUE(GetExternalCosts("tf-serving").shared_intra_op_pool);
+  EXPECT_FALSE(GetExternalCosts("torchserve").shared_intra_op_pool);
+}
+
+// ------------------------------------------------------ embedded library --
+
+TEST(EmbeddedLibraryTest, FactoryAndNativeFormats) {
+  auto dl4j = CreateEmbeddedLibrary("dl4j");
+  ASSERT_TRUE(dl4j.ok());
+  EXPECT_EQ((*dl4j)->native_format(), model::ModelFormat::kH5);
+  auto onnx = CreateEmbeddedLibrary("onnx");
+  ASSERT_TRUE(onnx.ok());
+  EXPECT_EQ((*onnx)->native_format(), model::ModelFormat::kOnnx);
+  auto saved = CreateEmbeddedLibrary("savedmodel");
+  ASSERT_TRUE(saved.ok());
+  EXPECT_EQ((*saved)->native_format(), model::ModelFormat::kSavedModel);
+  EXPECT_FALSE(CreateEmbeddedLibrary("pytorch").ok());
+}
+
+TEST(EmbeddedLibraryTest, LoadRejectsForeignFormat) {
+  model::ModelGraph g = model::BuildFfnn();
+  auto onnx_bytes = model::Serialize(g, model::ModelFormat::kOnnx);
+  ASSERT_TRUE(onnx_bytes.ok());
+  Dl4jLibrary dl4j;
+  EXPECT_TRUE(dl4j.Load(*onnx_bytes).IsInvalidArgument());
+  OnnxRuntimeLibrary onnx;
+  EXPECT_TRUE(onnx.Load(*onnx_bytes).ok());
+  EXPECT_TRUE(onnx.loaded());
+}
+
+TEST(EmbeddedLibraryTest, RealApplyRunsInference) {
+  model::ModelGraph g = model::BuildFfnn();
+  crayfish::Rng rng(5);
+  g.InitializeWeights(&rng);
+  auto bytes = model::Serialize(g, model::ModelFormat::kH5);
+  ASSERT_TRUE(bytes.ok());
+  Dl4jLibrary lib;
+  ASSERT_TRUE(lib.Load(*bytes).ok());
+  tensor::Tensor input =
+      tensor::Tensor::Random(tensor::Shape{2, 28, 28}, &rng);
+  auto out = lib.Apply(input);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), tensor::Shape({2, 10}));
+}
+
+TEST(EmbeddedLibraryTest, ApplyWithoutLoadFails) {
+  OnnxRuntimeLibrary lib;
+  EXPECT_EQ(lib.Apply(tensor::Tensor(tensor::Shape{1, 28, 28}))
+                .status()
+                .code(),
+            crayfish::StatusCode::kFailedPrecondition);
+}
+
+TEST(EmbeddedLibraryTest, ApplyTimeMatchesTable4Calibration) {
+  // ONNX/FFNN apply(1) is calibrated to ~0.130 ms pre-saturation
+  // (0.137 ms saturated), which reproduces Table 4's 1373 ev/s after
+  // Flink's ~0.59 ms chain overhead.
+  OnnxRuntimeLibrary onnx;
+  const double t = onnx.ApplyTimeSeconds(ModelProfile::Ffnn(), 1, 1, false,
+                                         0, nullptr);
+  EXPECT_NEAR(t, 130e-6, 5e-6);
+  // ResNet50: ~316 ms compute + 18.6 ms source decode -> 2.85 ev/s.
+  const double tr = onnx.ApplyTimeSeconds(ModelProfile::ResNet50(), 1, 1,
+                                          false, 0, nullptr);
+  EXPECT_NEAR(tr, 0.3165, 0.002);
+}
+
+TEST(EmbeddedLibraryTest, ApplyTimeScalesWithBatch) {
+  SavedModelLibrary lib;
+  const ModelProfile ffnn = ModelProfile::Ffnn();
+  const double t1 = lib.ApplyTimeSeconds(ffnn, 1, 1, false, 0, nullptr);
+  const double t64 = lib.ApplyTimeSeconds(ffnn, 64, 1, false, 0, nullptr);
+  EXPECT_GT(t64, 40 * t1 / 2);  // roughly linear in batch
+  EXPECT_LT(t64, 64 * t1);      // FFI amortizes
+}
+
+TEST(EmbeddedLibraryTest, ContentionInflatesWithParallelism) {
+  // Fig. 6 calibration: ONNX at mp=16 inflates by (1 + 15 * 0.22) = 4.3.
+  OnnxRuntimeLibrary lib;
+  const ModelProfile ffnn = ModelProfile::Ffnn();
+  const double t1 = lib.ApplyTimeSeconds(ffnn, 1, 1, false, 0, nullptr);
+  const double t16 = lib.ApplyTimeSeconds(ffnn, 1, 16, false, 0, nullptr);
+  EXPECT_NEAR(t16 / t1, 4.3, 0.01);
+}
+
+TEST(EmbeddedLibraryTest, Dl4jPlateausBeyondParallelism8) {
+  // Throughput mp/t(mp) must be ~flat past 8 (Fig. 6).
+  Dl4jLibrary lib;
+  const ModelProfile ffnn = ModelProfile::Ffnn();
+  const double thr8 =
+      8.0 / lib.ApplyTimeSeconds(ffnn, 1, 8, false, 0, nullptr);
+  const double thr16 =
+      16.0 / lib.ApplyTimeSeconds(ffnn, 1, 16, false, 0, nullptr);
+  EXPECT_NEAR(thr16, thr8, thr8 * 0.05);
+}
+
+TEST(EmbeddedLibraryTest, GpuReducesLargeModelApplyTime) {
+  OnnxRuntimeLibrary lib;
+  const ModelProfile resnet = ModelProfile::ResNet50();
+  const double cpu = lib.ApplyTimeSeconds(resnet, 8, 1, false, 0, nullptr);
+  const double gpu = lib.ApplyTimeSeconds(resnet, 8, 1, true, 0, nullptr);
+  EXPECT_LT(gpu, cpu);
+  // Fig. 9 calibration: ~1.28x compute speedup.
+  EXPECT_NEAR(cpu / gpu, 1.28, 0.05);
+}
+
+TEST(EmbeddedLibraryTest, OverloadInflatesServiceUnderDeepQueues) {
+  // Overload inflation saturates at (1 + beta); beta = 0.05 for ONNX.
+  OnnxRuntimeLibrary lib;
+  const ModelProfile ffnn = ModelProfile::Ffnn();
+  const double idle = lib.ApplyTimeSeconds(ffnn, 1, 1, false, 0, nullptr);
+  const double deep = lib.ApplyTimeSeconds(ffnn, 1, 1, false, 1000, nullptr);
+  EXPECT_NEAR(deep / idle, 1.05, 1e-9);
+  // Shallow queues inflate proportionally.
+  const double half = lib.ApplyTimeSeconds(ffnn, 1, 1, false, 32, nullptr);
+  EXPECT_NEAR(half / idle, 1.025, 1e-9);
+}
+
+TEST(EmbeddedLibraryTest, JitterIsMeanPreservingNoise) {
+  OnnxRuntimeLibrary lib;
+  const ModelProfile ffnn = ModelProfile::Ffnn();
+  const double base = lib.ApplyTimeSeconds(ffnn, 1, 1, false, 0, nullptr);
+  crayfish::Rng rng(7);
+  crayfish::RunningStats s;
+  for (int i = 0; i < 5000; ++i) {
+    s.Add(lib.ApplyTimeSeconds(ffnn, 1, 1, false, 0, &rng));
+  }
+  EXPECT_NEAR(s.mean(), base, base * 0.02);
+  EXPECT_GT(s.stddev(), 0.0);
+}
+
+TEST(EmbeddedLibraryTest, LoadTimeGrowsWithModelSize) {
+  Dl4jLibrary lib;
+  EXPECT_GT(lib.LoadTimeSeconds(ModelProfile::ResNet50()),
+            lib.LoadTimeSeconds(ModelProfile::Ffnn()));
+}
+
+// ------------------------------------------------------- external server --
+
+class ExternalServerTest : public ::testing::Test {
+ protected:
+  ExternalServerTest() : sim_(3), network_(&sim_) {
+    CRAYFISH_CHECK_OK(
+        network_.AddHost(sim::Host{"client", 64, 1ULL << 30, false}));
+  }
+
+  std::unique_ptr<ExternalServingServer> Make(const std::string& tool,
+                                              int workers,
+                                              const std::string& model,
+                                              bool gpu = false) {
+    ExternalServerOptions opts;
+    opts.workers = workers;
+    opts.use_gpu = gpu;
+    opts.model = ModelProfile::ByName(model);
+    auto server = CreateExternalServer(&sim_, &network_, tool, opts);
+    CRAYFISH_CHECK(server.ok());
+    (*server)->Start();
+    return std::move(*server);
+  }
+
+  /// Issues `n` back-to-back blocking calls from one client thread and
+  /// returns the total completion time.
+  double RunSerialCalls(ExternalServingServer* server, int n,
+                        int batch_size = 1) {
+    int remaining = n;
+    double finished_at = 0.0;
+    std::function<void()> next = [&]() {
+      if (remaining-- == 0) {
+        finished_at = sim_.Now();
+        return;
+      }
+      server->Invoke("client", batch_size, [&]() { next(); });
+    };
+    sim_.Schedule(2.0, next);  // after model load
+    sim_.RunUntilIdle();
+    return finished_at - 2.0;
+  }
+
+  sim::Simulation sim_;
+  sim::Network network_;
+};
+
+TEST_F(ExternalServerTest, FactoryValidatesToolName) {
+  ExternalServerOptions opts;
+  opts.model = ModelProfile::Ffnn();
+  EXPECT_FALSE(CreateExternalServer(&sim_, &network_, "nginx", opts).ok());
+}
+
+TEST_F(ExternalServerTest, RegistersServingHost) {
+  auto server = Make("tf-serving", 1, "ffnn");
+  EXPECT_TRUE(network_.HasHost("serving"));
+  auto host = network_.GetHost("serving");
+  ASSERT_TRUE(host.ok());
+  EXPECT_EQ(host->vcpus, 16);  // §4.2: serving VM has 16 vCPUs
+}
+
+TEST_F(ExternalServerTest, ModelLoadsBeforeServing) {
+  auto server = Make("tf-serving", 1, "ffnn");
+  EXPECT_FALSE(server->ready());
+  sim_.Run(5.0);
+  EXPECT_TRUE(server->ready());
+}
+
+TEST_F(ExternalServerTest, TfServingFfnnRoundTripMatchesTable4) {
+  // Table 4 solves TF-Serving's FFNN RPC occupancy to ~1.04 ms/event.
+  auto server = Make("tf-serving", 1, "ffnn");
+  const double total = RunSerialCalls(server.get(), 200);
+  const double per_call = total / 200.0;
+  EXPECT_NEAR(per_call, 1.04e-3, 0.25e-3);
+}
+
+TEST_F(ExternalServerTest, TorchServeSlowerThanTfServingOnFfnn) {
+  auto tfs = Make("tf-serving", 1, "ffnn");
+  ExternalServerOptions opts;
+  opts.host = "serving-2";
+  opts.workers = 1;
+  opts.model = ModelProfile::Ffnn();
+  auto ts = CreateExternalServer(&sim_, &network_, "torchserve", opts);
+  ASSERT_TRUE(ts.ok());
+  (*ts)->Start();
+  const double t_tfs = RunSerialCalls(tfs.get(), 100);
+  // Reset the clock baseline by measuring torchserve afterwards.
+  int remaining = 100;
+  double start = sim_.Now();
+  double end = start;
+  std::function<void()> next = [&]() {
+    if (remaining-- == 0) {
+      end = sim_.Now();
+      return;
+    }
+    (*ts)->Invoke("client", 1, [&]() { next(); });
+  };
+  next();
+  sim_.RunUntilIdle();
+  EXPECT_GT((end - start) / 100.0, (t_tfs / 100.0) * 2.0);
+}
+
+TEST_F(ExternalServerTest, WorkersParallelizeFfnnRequests) {
+  // With 4 workers, 4 clients in parallel finish ~4x faster than serial.
+  auto server = Make("tf-serving", 4, "ffnn");
+  int completed = 0;
+  // Submit 64 simultaneous requests; with 4 workers the makespan should be
+  // ~16 service times, not 64.
+  double done_at = 0.0;
+  sim_.Schedule(2.0, [&]() {
+    for (int i = 0; i < 64; ++i) {
+      server->Invoke("client", 1, [&]() {
+        if (++completed == 64) done_at = sim_.Now();
+      });
+    }
+  });
+  sim_.RunUntilIdle();
+  EXPECT_EQ(completed, 64);
+  const double makespan = done_at - 2.0;
+  // Serial would be ~64 * 0.158 ms of server time; 4 workers ~1/4 of it
+  // (plus the network pipeline).
+  EXPECT_LT(makespan, 64 * 0.158e-3);
+}
+
+TEST_F(ExternalServerTest, SharedIntraOpPoolSerializesResNetCompute) {
+  // TF-Serving with many workers still processes ResNet50 sequentially
+  // (Fig. 7's flat scaling).
+  auto server = Make("tf-serving", 8, "resnet50");
+  int completed = 0;
+  double done_at = 0.0;
+  sim_.Schedule(5.0, [&]() {
+    for (int i = 0; i < 8; ++i) {
+      server->Invoke("client", 1, [&]() {
+        if (++completed == 8) done_at = sim_.Now();
+      });
+    }
+  });
+  sim_.RunUntilIdle();
+  const double makespan = done_at - 5.0;
+  // 8 requests x ~0.376 s compute, serialized: ~3 s. Parallel would be
+  // ~0.38 s.
+  EXPECT_GT(makespan, 2.5);
+}
+
+TEST_F(ExternalServerTest, TorchServeWorkersParallelizeResNetCompute) {
+  ExternalServerOptions opts;
+  opts.workers = 8;
+  opts.model = ModelProfile::ResNet50();
+  auto server = CreateExternalServer(&sim_, &network_, "torchserve", opts);
+  ASSERT_TRUE(server.ok());
+  (*server)->Start();
+  int completed = 0;
+  double done_at = 0.0;
+  sim_.Schedule(5.0, [&]() {
+    for (int i = 0; i < 8; ++i) {
+      (*server)->Invoke("client", 1, [&]() {
+        if (++completed == 8) done_at = sim_.Now();
+      });
+    }
+  });
+  sim_.RunUntilIdle();
+  const double makespan = done_at - 5.0;
+  // 8 parallel workers: ~1.1 s each -> makespan ~1.3 s, not ~8.8 s.
+  EXPECT_LT(makespan, 2.5);
+}
+
+TEST_F(ExternalServerTest, RayServeProxySerializesRequests) {
+  auto server = Make("ray-serve", 8, "ffnn");
+  int completed = 0;
+  double done_at = 0.0;
+  sim_.Schedule(2.0, [&]() {
+    for (int i = 0; i < 100; ++i) {
+      server->Invoke("client", 1, [&]() {
+        if (++completed == 100) done_at = sim_.Now();
+      });
+    }
+  });
+  sim_.RunUntilIdle();
+  const double makespan = done_at - 2.0;
+  // The single HTTP proxy costs 2 ms per request: >= 200 ms regardless of
+  // worker count (Fig. 11's Ray Serve ceiling).
+  EXPECT_GE(makespan, 0.19);
+}
+
+TEST_F(ExternalServerTest, GpuSpeedsUpResNetService) {
+  auto cpu = Make("tf-serving", 1, "resnet50");
+  ExternalServerOptions opts;
+  opts.host = "serving-gpu";
+  opts.workers = 1;
+  opts.use_gpu = true;
+  opts.model = ModelProfile::ResNet50();
+  auto gpu = CreateExternalServer(&sim_, &network_, "tf-serving", opts);
+  ASSERT_TRUE(gpu.ok());
+  (*gpu)->Start();
+  const double t_cpu = RunSerialCalls(cpu.get(), 5, 8);
+  int remaining = 5;
+  const double start = sim_.Now();
+  double end = start;
+  std::function<void()> next = [&]() {
+    if (remaining-- == 0) {
+      end = sim_.Now();
+      return;
+    }
+    (*gpu)->Invoke("client", 8, [&]() { next(); });
+  };
+  next();
+  sim_.RunUntilIdle();
+  const double t_gpu = end - start;
+  EXPECT_LT(t_gpu, t_cpu);
+  EXPECT_NEAR(t_cpu / t_gpu, 1.45, 0.15);  // Fig. 9: ~24% e2e reduction
+}
+
+TEST_F(ExternalServerTest, SetWorkersResizesPool) {
+  auto server = Make("torchserve", 1, "ffnn");
+  server->SetWorkers(4);
+  int completed = 0;
+  double done_at = 0.0;
+  sim_.Schedule(3.0, [&]() {
+    for (int i = 0; i < 4; ++i) {
+      server->Invoke("client", 1, [&]() {
+        if (++completed == 4) done_at = sim_.Now();
+      });
+    }
+  });
+  sim_.RunUntilIdle();
+  // 4 workers: makespan ~1 service time (~3 ms), not 4x.
+  EXPECT_LT(done_at - 3.0, 2.5 * 3.1e-3 + 0.01);
+}
+
+
+TEST_F(ExternalServerTest, RequestsBeforeModelReadyStillComplete) {
+  auto server = Make("tf-serving", 1, "ffnn");
+  ASSERT_FALSE(server->ready());
+  bool answered = false;
+  double answered_at = -1.0;
+  // Issue immediately, before the ~0.9 s model load finishes.
+  server->Invoke("client", 1, [&]() {
+    answered = true;
+    answered_at = sim_.Now();
+  });
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(answered);
+  // The request waited for readiness: answered after the load, not in
+  // the usual ~1 ms.
+  EXPECT_GT(answered_at, 0.5);
+  EXPECT_EQ(server->requests_served(), 1u);
+}
+
+TEST_F(ExternalServerTest, SingleGpuSerializesConcurrentRequests) {
+  ExternalServerOptions opts;
+  opts.workers = 8;
+  opts.use_gpu = true;
+  opts.model = ModelProfile::ResNet50();
+  auto server =
+      CreateExternalServer(&sim_, &network_, "torchserve", opts);
+  ASSERT_TRUE(server.ok());
+  (*server)->Start();
+  int completed = 0;
+  double done_at = 0.0;
+  sim_.Schedule(5.0, [&]() {
+    for (int i = 0; i < 4; ++i) {
+      (*server)->Invoke("client", 1, [&]() {
+        if (++completed == 4) done_at = sim_.Now();
+      });
+    }
+  });
+  sim_.RunUntilIdle();
+  // GPU compute ~1.076/1.4 = 0.77 s per request; 4 requests on ONE GPU
+  // serialize to ~3 s despite 8 workers.
+  const double makespan = done_at - 5.0;
+  EXPECT_GT(makespan, 2.0);
+}
+
+TEST_F(ExternalServerTest, HttpPayloadsLargerThanGrpcOnWire) {
+  // Ray Serve ships JSON over HTTP; TF-Serving packs f32 protobufs. For
+  // equal-size models the request bytes match our accounting either way;
+  // the response carries headers in both cases.
+  auto tfs = Make("tf-serving", 1, "ffnn");
+  ExternalServerOptions opts;
+  opts.host = "serving-http";
+  opts.workers = 1;
+  opts.model = ModelProfile::Ffnn();
+  auto rs = CreateExternalServer(&sim_, &network_, "ray-serve", opts);
+  ASSERT_TRUE(rs.ok());
+  (*rs)->Start();
+  // Behavioural check: both serve a request successfully end to end.
+  int done = 0;
+  sim_.Schedule(3.0, [&]() {
+    tfs->Invoke("client", 1, [&]() { ++done; });
+    (*rs)->Invoke("client", 1, [&]() { ++done; });
+  });
+  sim_.RunUntilIdle();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(tfs->requests_served(), 1u);
+  EXPECT_EQ((*rs)->requests_served(), 1u);
+}
+
+}  // namespace
+}  // namespace crayfish::serving

@@ -1,0 +1,265 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+
+namespace crayfish::sim {
+namespace {
+
+TEST(EventQueueTest, OrdersByTimeThenSequence) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(2.0, [&] { order.push_back(2); });
+  q.Push(1.0, [&] { order.push_back(1); });
+  q.Push(1.0, [&] { order.push_back(11); });  // same time, later seq
+  while (!q.empty()) q.Pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 11, 2}));
+}
+
+TEST(SimulationTest, ClockAdvancesMonotonically) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.Schedule(0.5, [&] { times.push_back(sim.Now()); });
+  sim.Schedule(0.1, [&] { times.push_back(sim.Now()); });
+  sim.Schedule(0.1, [&] {
+    times.push_back(sim.Now());
+    sim.Schedule(0.05, [&] { times.push_back(sim.Now()); });
+  });
+  sim.RunUntilIdle();
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[0], 0.1);
+  EXPECT_DOUBLE_EQ(times[1], 0.1);
+  EXPECT_DOUBLE_EQ(times[2], 0.15);
+  EXPECT_DOUBLE_EQ(times[3], 0.5);
+}
+
+TEST(SimulationTest, RunHonorsHorizon) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Schedule(3.0, [&] { ++fired; });
+  sim.Run(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);  // clock advances to horizon
+  sim.Run(4.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation sim;
+  sim.Schedule(1.0, [&] {
+    sim.Schedule(-5.0, [&] { EXPECT_DOUBLE_EQ(sim.Now(), 1.0); });
+  });
+  sim.RunUntilIdle();
+}
+
+TEST(SimulationTest, StopInterruptsRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(2.0, [&] { ++fired; });
+  sim.Run(10.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulationTest, DeterministicRngForks) {
+  Simulation a(7);
+  Simulation b(7);
+  EXPECT_EQ(a.ForkRng().NextUint64(), b.ForkRng().NextUint64());
+}
+
+TEST(SimulationTest, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(FromMillis(250.0), 0.25);
+  EXPECT_DOUBLE_EQ(ToMillis(0.25), 250.0);
+  EXPECT_DOUBLE_EQ(FromMicros(500.0), 0.0005);
+}
+
+// ----------------------------------------------------------- server pool --
+
+TEST(ServerPoolTest, SingleServerSerializesJobs) {
+  Simulation sim;
+  ServerPool pool(&sim, "p", 1);
+  std::vector<double> done_at;
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit(1.0, [&](SimTime) { done_at.push_back(sim.Now()); });
+  }
+  sim.RunUntilIdle();
+  ASSERT_EQ(done_at.size(), 3u);
+  EXPECT_DOUBLE_EQ(done_at[0], 1.0);
+  EXPECT_DOUBLE_EQ(done_at[1], 2.0);
+  EXPECT_DOUBLE_EQ(done_at[2], 3.0);
+  EXPECT_EQ(pool.completed(), 3u);
+}
+
+TEST(ServerPoolTest, MultipleServersRunConcurrently) {
+  Simulation sim;
+  ServerPool pool(&sim, "p", 3);
+  std::vector<double> done_at;
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit(1.0, [&](SimTime) { done_at.push_back(sim.Now()); });
+  }
+  sim.RunUntilIdle();
+  for (double t : done_at) EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+TEST(ServerPoolTest, ReportsQueueWaitTime) {
+  Simulation sim;
+  ServerPool pool(&sim, "p", 1);
+  std::vector<double> waits;
+  pool.Submit(2.0, [&](SimTime w) { waits.push_back(w); });
+  pool.Submit(1.0, [&](SimTime w) { waits.push_back(w); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(waits.size(), 2u);
+  EXPECT_DOUBLE_EQ(waits[0], 0.0);
+  EXPECT_DOUBLE_EQ(waits[1], 2.0);
+}
+
+TEST(ServerPoolTest, ResizeGrowDispatchesQueuedJobs) {
+  Simulation sim;
+  ServerPool pool(&sim, "p", 1);
+  std::vector<double> done_at;
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit(1.0, [&](SimTime) { done_at.push_back(sim.Now()); });
+  }
+  sim.Schedule(0.5, [&] { pool.Resize(4); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(done_at.size(), 4u);
+  // First at t=1 (started immediately), the rest dispatched at 0.5.
+  EXPECT_DOUBLE_EQ(done_at[0], 1.0);
+  EXPECT_DOUBLE_EQ(done_at[3], 1.5);
+}
+
+TEST(ServerPoolTest, UtilizationReflectsBusyTime) {
+  Simulation sim;
+  ServerPool pool(&sim, "p", 2);
+  pool.Submit(1.0, nullptr);
+  pool.Submit(1.0, nullptr);
+  sim.Schedule(4.0, [] {});  // extend the run window to 4s
+  sim.RunUntilIdle();
+  EXPECT_NEAR(pool.Utilization(), 2.0 / 8.0, 1e-9);
+}
+
+// -------------------------------------------------------- serial executor --
+
+TEST(SerialExecutorTest, RunsItemsBackToBack) {
+  Simulation sim;
+  SerialExecutor exec(&sim, "e");
+  std::vector<double> done_at;
+  exec.Post(1.0, [&] { done_at.push_back(sim.Now()); });
+  exec.Post(0.5, [&] { done_at.push_back(sim.Now()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(done_at.size(), 2u);
+  EXPECT_DOUBLE_EQ(done_at[0], 1.0);
+  EXPECT_DOUBLE_EQ(done_at[1], 1.5);
+  EXPECT_DOUBLE_EQ(exec.busy_time(), 1.5);
+}
+
+TEST(SerialExecutorTest, DeferredDurationComputedAtStart) {
+  Simulation sim;
+  SerialExecutor exec(&sim, "e");
+  double measured = -1.0;
+  exec.Post(2.0, nullptr);
+  exec.PostDeferred([&] { return sim.Now(); },  // 2.0 when started
+                    [&] { measured = sim.Now(); });
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(measured, 4.0);  // started at 2, took 2
+}
+
+// ----------------------------------------------------------------- network --
+
+TEST(NetworkTest, TransferTimeIsLatencyPlusSerialization) {
+  Simulation sim;
+  Network net(&sim);
+  ASSERT_TRUE(net.AddHost(Host{"a", 4, 1 << 30, false}).ok());
+  ASSERT_TRUE(net.AddHost(Host{"b", 4, 1 << 30, false}).ok());
+  LinkSpec spec;
+  spec.latency_s = 0.01;
+  spec.bandwidth_bytes_per_s = 1000.0;
+  net.SetLinkSpec("a", "b", spec);
+  double delivered = -1.0;
+  net.Send("a", "b", 500, [&] { delivered = sim.Now(); });
+  sim.RunUntilIdle();
+  EXPECT_NEAR(delivered, 0.01 + 0.5, 1e-9);
+}
+
+TEST(NetworkTest, BandwidthSerializesLatencyOverlaps) {
+  Simulation sim;
+  Network net(&sim);
+  ASSERT_TRUE(net.AddHost(Host{"a", 4, 1 << 30, false}).ok());
+  ASSERT_TRUE(net.AddHost(Host{"b", 4, 1 << 30, false}).ok());
+  LinkSpec spec;
+  spec.latency_s = 0.1;
+  spec.bandwidth_bytes_per_s = 1000.0;
+  net.SetLinkSpec("a", "b", spec);
+  std::vector<double> delivered;
+  net.Send("a", "b", 1000, [&] { delivered.push_back(sim.Now()); });
+  net.Send("a", "b", 1000, [&] { delivered.push_back(sim.Now()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_NEAR(delivered[0], 1.1, 1e-9);   // tx [0,1] + latency
+  EXPECT_NEAR(delivered[1], 2.1, 1e-9);   // tx [1,2] + latency
+}
+
+TEST(NetworkTest, LoopbackIsInstant) {
+  Simulation sim;
+  Network net(&sim);
+  ASSERT_TRUE(net.AddHost(Host{"a", 4, 1 << 30, false}).ok());
+  double delivered = -1.0;
+  net.Send("a", "a", 1 << 20, [&] { delivered = sim.Now(); });
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(delivered, 0.0);
+}
+
+TEST(NetworkTest, DuplicateHostRejected) {
+  Simulation sim;
+  Network net(&sim);
+  ASSERT_TRUE(net.AddHost(Host{"a", 4, 1 << 30, false}).ok());
+  EXPECT_TRUE(net.AddHost(Host{"a", 4, 1 << 30, false})
+                  .code() == crayfish::StatusCode::kAlreadyExists);
+}
+
+TEST(NetworkTest, TotalBytesAccounting) {
+  Simulation sim;
+  Network net(&sim);
+  ASSERT_TRUE(net.AddHost(Host{"a", 4, 1 << 30, false}).ok());
+  ASSERT_TRUE(net.AddHost(Host{"b", 4, 1 << 30, false}).ok());
+  net.Send("a", "b", 100, nullptr);
+  net.Send("b", "a", 50, nullptr);
+  sim.RunUntilIdle();
+  EXPECT_EQ(net.total_bytes_sent(), 150u);
+}
+
+TEST(NetworkTest, IdleTransferTimeMatchesDefaults) {
+  Simulation sim;
+  Network net(&sim);
+  ASSERT_TRUE(net.AddHost(Host{"a", 4, 1 << 30, false}).ok());
+  ASSERT_TRUE(net.AddHost(Host{"b", 4, 1 << 30, false}).ok());
+  const LinkSpec& d = net.default_spec();
+  EXPECT_NEAR(net.IdleTransferTime("a", "b", 0), d.latency_s, 1e-12);
+  EXPECT_DOUBLE_EQ(net.IdleTransferTime("a", "a", 12345), 0.0);
+}
+
+TEST(NetworkTest, PaperPingCalibration) {
+  // §4.2: ping (echo) of 3 KB ~= 0.945 ms; 64 KB ~= 1.565 ms. An echo is
+  // two transfers and two propagation delays.
+  Simulation sim;
+  Network net(&sim);
+  ASSERT_TRUE(net.AddHost(Host{"a", 4, 1 << 30, false}).ok());
+  ASSERT_TRUE(net.AddHost(Host{"b", 4, 1 << 30, false}).ok());
+  const double rtt_3k = 2.0 * net.IdleTransferTime("a", "b", 3 * 1024);
+  const double rtt_64k = 2.0 * net.IdleTransferTime("a", "b", 64 * 1024);
+  EXPECT_NEAR(rtt_3k, 0.000945, 0.0002);
+  EXPECT_NEAR(rtt_64k, 0.001565, 0.0003);
+}
+
+}  // namespace
+}  // namespace crayfish::sim

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/standalone.h"
+
+namespace crayfish::core {
+namespace {
+
+ExperimentConfig BaseConfig() {
+  ExperimentConfig cfg;
+  cfg.engine = "flink";
+  cfg.serving = "onnx";
+  cfg.model = "ffnn";
+  cfg.input_rate = 100.0;
+  cfg.duration_s = 10.0;
+  cfg.drain_s = 2.0;
+  return cfg;
+}
+
+TEST(StandaloneTest, RejectsUnsupportedConfigurations) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.engine = "spark";
+  EXPECT_FALSE(RunStandaloneFlink(cfg).ok());
+  cfg = BaseConfig();
+  cfg.serving = "tf-serving";
+  EXPECT_FALSE(RunStandaloneFlink(cfg).ok());
+}
+
+TEST(StandaloneTest, ScoresEveryGeneratedEvent) {
+  ExperimentConfig cfg = BaseConfig();
+  auto r = RunStandaloneFlink(cfg);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->events_sent, 900u);
+  EXPECT_EQ(r->events_scored, r->events_sent);
+  EXPECT_EQ(r->measurements.size(), r->events_sent);
+}
+
+TEST(StandaloneTest, LatencyLowerThanKafkaPipeline) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.input_rate = 1.0;
+  cfg.duration_s = 30.0;
+  auto standalone = RunStandaloneFlink(cfg);
+  auto kafka = RunExperiment(cfg);
+  ASSERT_TRUE(standalone.ok());
+  ASSERT_TRUE(kafka.ok());
+  EXPECT_LT(standalone->summary.latency_mean_ms,
+            kafka->summary.latency_mean_ms);
+  // No broker hop: sub-millisecond at bsz=1.
+  EXPECT_LT(standalone->summary.latency_mean_ms, 1.5);
+}
+
+TEST(StandaloneTest, DeterministicUnderSeed) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.seed = 5;
+  auto a = RunStandaloneFlink(cfg);
+  auto b = RunStandaloneFlink(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->summary.latency_mean_ms, b->summary.latency_mean_ms);
+  EXPECT_EQ(a->sim_events_executed, b->sim_events_executed);
+}
+
+TEST(StandaloneTest, ParallelismScalesThroughput) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.input_rate = 30000.0;
+  cfg.duration_s = 5.0;
+  cfg.drain_s = 0.5;
+  auto mp1 = RunStandaloneFlink(cfg);
+  cfg.parallelism = 4;
+  auto mp4 = RunStandaloneFlink(cfg);
+  ASSERT_TRUE(mp1.ok());
+  ASSERT_TRUE(mp4.ok());
+  EXPECT_GT(mp4->summary.throughput_eps,
+            mp1->summary.throughput_eps * 2.0);
+}
+
+TEST(StandaloneTest, MaxEventsCapRespected) {
+  ExperimentConfig cfg = BaseConfig();
+  cfg.max_events = 42;
+  auto r = RunStandaloneFlink(cfg);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->events_sent, 42u);
+  EXPECT_EQ(r->events_scored, 42u);
+}
+
+TEST(StandaloneTest, LargeRecordsPayBufferLatencyNotThroughput) {
+  // The buffer-quota penalty is pure latency in the standalone pipeline
+  // too: batch 128 latency >> batch 1 latency, but saturated throughput
+  // in events is similar modulo decode cost.
+  ExperimentConfig small = BaseConfig();
+  small.input_rate = 1.0;
+  small.duration_s = 30.0;
+  ExperimentConfig big = small;
+  big.batch_size = 128;
+  auto r_small = RunStandaloneFlink(small);
+  auto r_big = RunStandaloneFlink(big);
+  ASSERT_TRUE(r_small.ok());
+  ASSERT_TRUE(r_big.ok());
+  EXPECT_GT(r_big->summary.latency_mean_ms,
+            r_small->summary.latency_mean_ms * 20.0);
+}
+
+}  // namespace
+}  // namespace crayfish::core

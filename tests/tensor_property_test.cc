@@ -1,0 +1,223 @@
+// Property tests: the optimized tensor kernels (im2col GEMM conv, hoisted
+// matmul) must agree with straightforward reference implementations on
+// randomized shapes and contents.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace crayfish::tensor {
+namespace {
+
+// ----------------------------------------------------------- references --
+
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.shape()[0];
+  const int64_t k = a.shape()[1];
+  const int64_t n = b.shape()[1];
+  Tensor c(Shape{m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.at2(i, p)) *
+               static_cast<double>(b.at2(p, j));
+      }
+      c.at(i * n + j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor NaiveConv2D(const Tensor& input, const Tensor& filter, int64_t stride,
+                   Padding padding) {
+  const int64_t batch = input.shape()[0];
+  const int64_t in_h = input.shape()[1];
+  const int64_t in_w = input.shape()[2];
+  const int64_t in_c = input.shape()[3];
+  const int64_t kh = filter.shape()[0];
+  const int64_t kw = filter.shape()[1];
+  const int64_t out_c = filter.shape()[3];
+  const int64_t out_h = ConvOutputSize(in_h, kh, stride, padding);
+  const int64_t out_w = ConvOutputSize(in_w, kw, stride, padding);
+  int64_t pad_top = 0;
+  int64_t pad_left = 0;
+  if (padding == Padding::kSame) {
+    pad_top = std::max<int64_t>(0, (out_h - 1) * stride + kh - in_h) / 2;
+    pad_left = std::max<int64_t>(0, (out_w - 1) * stride + kw - in_w) / 2;
+  }
+  Tensor out(Shape{batch, out_h, out_w, out_c});
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t oy = 0; oy < out_h; ++oy) {
+      for (int64_t ox = 0; ox < out_w; ++ox) {
+        for (int64_t oc = 0; oc < out_c; ++oc) {
+          double acc = 0.0;
+          for (int64_t ky = 0; ky < kh; ++ky) {
+            for (int64_t kx = 0; kx < kw; ++kx) {
+              const int64_t iy = oy * stride + ky - pad_top;
+              const int64_t ix = ox * stride + kx - pad_left;
+              if (iy < 0 || iy >= in_h || ix < 0 || ix >= in_w) continue;
+              for (int64_t ic = 0; ic < in_c; ++ic) {
+                acc += static_cast<double>(input.at4(b, iy, ix, ic)) *
+                       static_cast<double>(
+                           filter.at4(ky, kx, ic, oc));
+              }
+            }
+          }
+          out.at4(b, oy, ox, oc) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- sweeps --
+
+class MatMulPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatMulPropertyTest, AgreesWithNaiveOnRandomShapes) {
+  crayfish::Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
+  const int64_t m = 1 + static_cast<int64_t>(rng.NextUint64(24));
+  const int64_t k = 1 + static_cast<int64_t>(rng.NextUint64(24));
+  const int64_t n = 1 + static_cast<int64_t>(rng.NextUint64(24));
+  Tensor a = Tensor::Random(Shape{m, k}, &rng, -2.0f, 2.0f);
+  Tensor b = Tensor::Random(Shape{k, n}, &rng, -2.0f, 2.0f);
+  auto fast = MatMul(a, b);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_TRUE(fast->AllClose(NaiveMatMul(a, b), 1e-3f))
+      << "m=" << m << " k=" << k << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, MatMulPropertyTest,
+                         ::testing::Range(0, 12));
+
+struct ConvCase {
+  int seed;
+  int64_t stride;
+  Padding padding;
+};
+
+class Conv2DPropertyTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Conv2DPropertyTest, AgreesWithNaiveOnRandomShapes) {
+  const ConvCase& c = GetParam();
+  crayfish::Rng rng(static_cast<uint64_t>(c.seed) * 104729 + 3);
+  const int64_t batch = 1 + static_cast<int64_t>(rng.NextUint64(2));
+  const int64_t hw = 3 + static_cast<int64_t>(rng.NextUint64(8));
+  const int64_t in_c = 1 + static_cast<int64_t>(rng.NextUint64(4));
+  const int64_t out_c = 1 + static_cast<int64_t>(rng.NextUint64(5));
+  const int64_t kernel = 1 + static_cast<int64_t>(rng.NextUint64(3));
+  if (c.padding == Padding::kValid && kernel > hw) GTEST_SKIP();
+  Tensor input =
+      Tensor::Random(Shape{batch, hw, hw, in_c}, &rng, -1.0f, 1.0f);
+  Tensor filter = Tensor::Random(Shape{kernel, kernel, in_c, out_c}, &rng,
+                                 -1.0f, 1.0f);
+  auto fast = Conv2D(input, filter, c.stride, c.padding);
+  ASSERT_TRUE(fast.ok());
+  Tensor slow = NaiveConv2D(input, filter, c.stride, c.padding);
+  EXPECT_TRUE(fast->AllClose(slow, 1e-3f))
+      << "hw=" << hw << " k=" << kernel << " stride=" << c.stride
+      << " in_c=" << in_c << " out_c=" << out_c;
+}
+
+std::vector<ConvCase> AllConvCases() {
+  std::vector<ConvCase> cases;
+  int seed = 0;
+  for (int64_t stride : {1, 2}) {
+    for (Padding padding : {Padding::kSame, Padding::kValid}) {
+      for (int rep = 0; rep < 4; ++rep) {
+        cases.push_back(ConvCase{seed++, stride, padding});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, Conv2DPropertyTest,
+                         ::testing::ValuesIn(AllConvCases()),
+                         [](const auto& info) {
+                           const ConvCase& c = info.param;
+                           return "seed" + std::to_string(c.seed) +
+                                  "_stride" + std::to_string(c.stride) +
+                                  (c.padding == Padding::kSame ? "_same"
+                                                               : "_valid");
+                         });
+
+// ----------------------------------------------------- other invariants --
+
+class SoftmaxPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxPropertyTest, RowsSumToOneAndPreserveArgmax) {
+  crayfish::Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 11);
+  const int64_t rows = 1 + static_cast<int64_t>(rng.NextUint64(8));
+  const int64_t cols = 2 + static_cast<int64_t>(rng.NextUint64(40));
+  Tensor x = Tensor::Random(Shape{rows, cols}, &rng, -30.0f, 30.0f);
+  Tensor y = Softmax(x);
+  auto ax = Argmax(x);
+  auto ay = Argmax(y);
+  ASSERT_TRUE(ax.ok());
+  ASSERT_TRUE(ay.ok());
+  for (int64_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < cols; ++c) sum += y.at2(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+    EXPECT_EQ((*ax)[static_cast<size_t>(r)], (*ay)[static_cast<size_t>(r)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, SoftmaxPropertyTest,
+                         ::testing::Range(0, 8));
+
+class PoolPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolPropertyTest, MaxPoolOutputBoundsInput) {
+  crayfish::Rng rng(static_cast<uint64_t>(GetParam()) * 13 + 5);
+  const int64_t hw = 4 + static_cast<int64_t>(rng.NextUint64(8));
+  const int64_t c = 1 + static_cast<int64_t>(rng.NextUint64(4));
+  Tensor x = Tensor::Random(Shape{1, hw, hw, c}, &rng, -5.0f, 5.0f);
+  auto y = MaxPool2D(x, 2, 2, Padding::kValid);
+  ASSERT_TRUE(y.ok());
+  // Every pooled value exists in the input and is >= the mean.
+  EXPECT_LE(y->Max(), x.Max());
+  for (int64_t i = 0; i < y->NumElements(); ++i) {
+    bool found = false;
+    for (int64_t j = 0; j < x.NumElements() && !found; ++j) {
+      found = x.at(j) == y->at(i);
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, PoolPropertyTest,
+                         ::testing::Range(0, 6));
+
+class BatchNormPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchNormPropertyTest, InvertibleAffineTransform) {
+  // BatchNorm with (gamma=sqrt(var+eps), beta=mean) is the identity.
+  crayfish::Rng rng(static_cast<uint64_t>(GetParam()) * 101 + 17);
+  const int64_t n = 2 + static_cast<int64_t>(rng.NextUint64(6));
+  const int64_t c = 1 + static_cast<int64_t>(rng.NextUint64(8));
+  Tensor x = Tensor::Random(Shape{n, c}, &rng, -3.0f, 3.0f);
+  Tensor mean = Tensor::Random(Shape{c}, &rng, -1.0f, 1.0f);
+  Tensor var = Tensor::Random(Shape{c}, &rng, 0.5f, 2.0f);
+  const float eps = 1e-5f;
+  Tensor gamma(Shape{c});
+  for (int64_t i = 0; i < c; ++i) {
+    gamma.at(i) = std::sqrt(var.at(i) + eps);
+  }
+  auto y = BatchNorm(x, gamma, mean, mean, var, eps);
+  ASSERT_TRUE(y.ok());
+  EXPECT_TRUE(y->AllClose(x, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, BatchNormPropertyTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace crayfish::tensor

@@ -1,0 +1,291 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace crayfish::tensor {
+namespace {
+
+TEST(ShapeTest, BasicProperties) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s.NumElements(), 24);
+  EXPECT_EQ(s.ToString(), "[2, 3, 4]");
+  EXPECT_EQ(s.WithDim(0, 5).NumElements(), 60);
+  EXPECT_EQ(Shape{}.NumElements(), 1);  // scalar
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2}), Shape({2, 1}));
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(Shape{2, 2});
+  EXPECT_EQ(t.NumElements(), 4);
+  EXPECT_EQ(t.Sum(), 0.0f);
+  EXPECT_EQ(t.ByteSize(), 16u);
+}
+
+TEST(TensorTest, FullAndRandom) {
+  Tensor f = Tensor::Full(Shape{3}, 2.5f);
+  EXPECT_FLOAT_EQ(f.Sum(), 7.5f);
+  crayfish::Rng rng(5);
+  Tensor r = Tensor::Random(Shape{1000}, &rng, -1.0f, 1.0f);
+  EXPECT_GT(r.Max(), 0.5f);
+  float min = 1e9f;
+  for (int64_t i = 0; i < r.NumElements(); ++i) {
+    min = std::min(min, r.at(i));
+    EXPECT_GE(r.at(i), -1.0f);
+    EXPECT_LT(r.at(i), 1.0f);
+  }
+  EXPECT_LT(min, -0.5f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  auto r = t.Reshape(Shape{3, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FLOAT_EQ(r->at2(2, 1), 6.0f);
+  EXPECT_FALSE(t.Reshape(Shape{4, 2}).ok());
+}
+
+TEST(TensorTest, At4IndexingIsNhwc) {
+  Tensor t(Shape{1, 2, 2, 3});
+  t.at4(0, 1, 0, 2) = 9.0f;
+  // NHWC: ((0*2+1)*2+0)*3+2 = 8.
+  EXPECT_FLOAT_EQ(t.at(8), 9.0f);
+}
+
+TEST(TensorTest, AllCloseRespectsTolerance) {
+  Tensor a(Shape{2}, {1.0f, 2.0f});
+  Tensor b(Shape{2}, {1.0f + 1e-6f, 2.0f});
+  EXPECT_TRUE(a.AllClose(b, 1e-5f));
+  EXPECT_FALSE(a.AllClose(b, 1e-8f));
+  EXPECT_FALSE(a.AllClose(Tensor(Shape{3})));
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  auto c = MatMul(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(c->at2(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c->at2(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c->at2(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c->at2(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, IdentityIsNoop) {
+  Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor eye(Shape{2, 2}, {1, 0, 0, 1});
+  auto c = MatMul(a, eye);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->AllClose(a));
+}
+
+TEST(MatMulTest, RejectsBadShapes) {
+  EXPECT_FALSE(MatMul(Tensor(Shape{2, 3}), Tensor(Shape{2, 3})).ok());
+  EXPECT_FALSE(MatMul(Tensor(Shape{2}), Tensor(Shape{2, 2})).ok());
+}
+
+TEST(BiasAddTest, BroadcastsAlongLastAxis) {
+  Tensor x(Shape{2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor b(Shape{3}, {1, 2, 3});
+  auto y = BiasAdd(x, b);
+  ASSERT_TRUE(y.ok());
+  EXPECT_FLOAT_EQ(y->at2(0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(y->at2(1, 0), 2.0f);
+  EXPECT_FALSE(BiasAdd(x, Tensor(Shape{4})).ok());
+}
+
+TEST(ReluTest, ClampsNegatives) {
+  Tensor x(Shape{4}, {-1.0f, 0.0f, 2.0f, -0.5f});
+  Tensor y = Relu(x);
+  EXPECT_FLOAT_EQ(y.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(2), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(3), 0.0f);
+}
+
+TEST(AddTest, ElementwiseAndShapeChecked) {
+  Tensor a(Shape{2}, {1, 2});
+  Tensor b(Shape{2}, {10, 20});
+  auto c = Add(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FLOAT_EQ(c->at(1), 22.0f);
+  EXPECT_FALSE(Add(a, Tensor(Shape{3})).ok());
+}
+
+TEST(SoftmaxTest, RowsSumToOneAndOrderPreserved) {
+  Tensor x(Shape{2, 3}, {1, 2, 3, 0, 0, 0});
+  Tensor y = Softmax(x);
+  float row0 = y.at2(0, 0) + y.at2(0, 1) + y.at2(0, 2);
+  EXPECT_NEAR(row0, 1.0f, 1e-6f);
+  EXPECT_GT(y.at2(0, 2), y.at2(0, 1));
+  EXPECT_NEAR(y.at2(1, 0), 1.0f / 3.0f, 1e-6f);
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeLogits) {
+  Tensor x(Shape{1, 2}, {1000.0f, 1001.0f});
+  Tensor y = Softmax(x);
+  EXPECT_NEAR(y.at2(0, 0) + y.at2(0, 1), 1.0f, 1e-6f);
+  EXPECT_GT(y.at2(0, 1), y.at2(0, 0));
+}
+
+TEST(ConvOutputSizeTest, SameAndValid) {
+  EXPECT_EQ(ConvOutputSize(224, 7, 2, Padding::kSame), 112);
+  EXPECT_EQ(ConvOutputSize(56, 3, 1, Padding::kSame), 56);
+  EXPECT_EQ(ConvOutputSize(5, 3, 1, Padding::kValid), 3);
+  EXPECT_EQ(ConvOutputSize(5, 3, 2, Padding::kValid), 2);
+}
+
+TEST(Conv2DTest, IdentityKernelPreservesInput) {
+  // 1x1 kernel with value 1 on a single channel.
+  Tensor x(Shape{1, 2, 2, 1}, {1, 2, 3, 4});
+  Tensor k(Shape{1, 1, 1, 1}, {1.0f});
+  auto y = Conv2D(x, k, 1, Padding::kSame);
+  ASSERT_TRUE(y.ok());
+  EXPECT_TRUE(y->AllClose(x));
+}
+
+TEST(Conv2DTest, KnownSumKernel) {
+  // 3x3 all-ones kernel over a 3x3 image of ones, SAME padding: center
+  // sees 9, edges 6, corners 4.
+  Tensor x = Tensor::Full(Shape{1, 3, 3, 1}, 1.0f);
+  Tensor k = Tensor::Full(Shape{3, 3, 1, 1}, 1.0f);
+  auto y = Conv2D(x, k, 1, Padding::kSame);
+  ASSERT_TRUE(y.ok());
+  EXPECT_FLOAT_EQ(y->at4(0, 1, 1, 0), 9.0f);
+  EXPECT_FLOAT_EQ(y->at4(0, 0, 1, 0), 6.0f);
+  EXPECT_FLOAT_EQ(y->at4(0, 0, 0, 0), 4.0f);
+}
+
+TEST(Conv2DTest, StrideTwoHalvesOutput) {
+  Tensor x = Tensor::Full(Shape{1, 4, 4, 2}, 1.0f);
+  Tensor k = Tensor::Full(Shape{1, 1, 2, 3}, 0.5f);
+  auto y = Conv2D(x, k, 2, Padding::kSame);
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(y->shape(), Shape({1, 2, 2, 3}));
+  // Each output = sum over 2 input channels * 0.5 = 1.0.
+  EXPECT_FLOAT_EQ(y->at4(0, 1, 1, 2), 1.0f);
+}
+
+TEST(Conv2DTest, MultiChannelMixing) {
+  // Input channels [1, 10]; kernel picks channel 1 into output 0 and
+  // channel 0 into output 1.
+  Tensor x(Shape{1, 1, 1, 2}, {1.0f, 10.0f});
+  Tensor k(Shape{1, 1, 2, 2}, {0, 1,   // in0 -> out1
+                               1, 0});  // in1 -> out0
+  auto y = Conv2D(x, k, 1, Padding::kValid);
+  ASSERT_TRUE(y.ok());
+  EXPECT_FLOAT_EQ(y->at4(0, 0, 0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(y->at4(0, 0, 0, 1), 1.0f);
+}
+
+TEST(Conv2DTest, RejectsChannelMismatch) {
+  EXPECT_FALSE(Conv2D(Tensor(Shape{1, 4, 4, 3}),
+                      Tensor(Shape{3, 3, 2, 8}), 1, Padding::kSame)
+                   .ok());
+  EXPECT_FALSE(Conv2D(Tensor(Shape{4, 4, 3}), Tensor(Shape{3, 3, 3, 8}), 1,
+                      Padding::kSame)
+                   .ok());
+  EXPECT_FALSE(Conv2D(Tensor(Shape{1, 4, 4, 3}),
+                      Tensor(Shape{3, 3, 3, 8}), 0, Padding::kSame)
+                   .ok());
+}
+
+TEST(MaxPoolTest, PicksWindowMaximum) {
+  Tensor x(Shape{1, 2, 2, 1}, {1, 5, 3, 2});
+  auto y = MaxPool2D(x, 2, 2, Padding::kValid);
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(y->shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y->at(0), 5.0f);
+}
+
+TEST(MaxPoolTest, SamePaddingIgnoresOutOfBounds) {
+  Tensor x(Shape{1, 3, 3, 1}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  auto y = MaxPool2D(x, 3, 2, Padding::kSame);
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(y->shape(), Shape({1, 2, 2, 1}));
+  EXPECT_FLOAT_EQ(y->at4(0, 0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y->at4(0, 1, 1, 0), 9.0f);
+}
+
+TEST(GlobalAvgPoolTest, AveragesSpatialDims) {
+  Tensor x(Shape{1, 2, 2, 2}, {1, 10, 2, 20, 3, 30, 4, 40});
+  auto y = GlobalAvgPool(x);
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(y->shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(y->at2(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y->at2(0, 1), 25.0f);
+}
+
+TEST(BatchNormTest, IdentityParamsPreserveInput) {
+  Tensor x(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor gamma = Tensor::Full(Shape{3}, 1.0f);
+  Tensor beta(Shape{3});
+  Tensor mean(Shape{3});
+  Tensor var = Tensor::Full(Shape{3}, 1.0f);
+  auto y = BatchNorm(x, gamma, beta, mean, var, 0.0f);
+  ASSERT_TRUE(y.ok());
+  EXPECT_TRUE(y->AllClose(x, 1e-5f));
+}
+
+TEST(BatchNormTest, NormalizesWithStatistics) {
+  Tensor x(Shape{1, 1}, {10.0f});
+  Tensor gamma = Tensor::Full(Shape{1}, 2.0f);
+  Tensor beta = Tensor::Full(Shape{1}, 1.0f);
+  Tensor mean = Tensor::Full(Shape{1}, 4.0f);
+  Tensor var = Tensor::Full(Shape{1}, 9.0f);
+  auto y = BatchNorm(x, gamma, beta, mean, var, 0.0f);
+  ASSERT_TRUE(y.ok());
+  // (10-4)/3 * 2 + 1 = 5.
+  EXPECT_NEAR(y->at(0), 5.0f, 1e-5f);
+}
+
+TEST(BatchNormTest, RejectsParameterShapeMismatch) {
+  Tensor x(Shape{2, 3});
+  EXPECT_FALSE(BatchNorm(x, Tensor(Shape{2}), Tensor(Shape{3}),
+                         Tensor(Shape{3}), Tensor(Shape{3}))
+                   .ok());
+}
+
+TEST(FlattenBatchTest, KeepsLeadingAxis) {
+  Tensor x(Shape{2, 3, 4});
+  auto y = FlattenBatch(x);
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(y->shape(), Shape({2, 12}));
+}
+
+TEST(ArgmaxTest, RowwiseIndices) {
+  Tensor x(Shape{2, 3}, {0.1f, 0.7f, 0.2f, 0.9f, 0.05f, 0.05f});
+  auto idx = Argmax(x);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ((*idx)[0], 1);
+  EXPECT_EQ((*idx)[1], 0);
+}
+
+TEST(ConvMatMulConsistencyTest, OneByOneConvEqualsMatMul) {
+  // A 1x1 convolution is a matmul over channels at each pixel.
+  crayfish::Rng rng(3);
+  Tensor x = Tensor::Random(Shape{1, 4, 4, 8}, &rng);
+  Tensor k = Tensor::Random(Shape{1, 1, 8, 5}, &rng);
+  auto conv = Conv2D(x, k, 1, Padding::kSame);
+  ASSERT_TRUE(conv.ok());
+  auto x2 = x.Reshape(Shape{16, 8});
+  auto k2 = k.Reshape(Shape{8, 5});
+  auto mm = MatMul(*x2, *k2);
+  ASSERT_TRUE(mm.ok());
+  auto mm4 = mm->Reshape(Shape{1, 4, 4, 5});
+  EXPECT_TRUE(conv->AllClose(*mm4, 1e-4f));
+}
+
+}  // namespace
+}  // namespace crayfish::tensor

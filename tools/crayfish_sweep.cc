@@ -1,0 +1,125 @@
+// crayfish_sweep — parameter-sweep runner: takes a base experiment config
+// plus one swept key with comma-separated values, runs every point (two
+// repeats each, the paper's protocol) and emits a combined CSV.
+//
+// Usage:
+//   crayfish_sweep <config.properties> <sweep_key> <v1,v2,...> [out.csv]
+//
+// Examples:
+//   crayfish_sweep exp.properties mp 1,2,4,8,16 fig6_onnx.csv
+//   crayfish_sweep exp.properties bsz 32,128,512
+//   crayfish_sweep exp.properties serving onnx,tf-serving,torchserve
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "core/experiment.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace crayfish;
+
+std::vector<std::string> SplitCsv(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+// Reuses crayfish_run's config mapping by re-parsing here (the mapping is
+// small; keeping the tools self-contained beats a shared header for two
+// binaries).
+core::ExperimentConfig ConfigToExperiment(const Config& cfg);
+
+core::ExperimentConfig ConfigToExperiment(const Config& cfg) {
+  core::ExperimentConfig out;
+  out.engine = cfg.GetStringOr("engine", out.engine);
+  out.serving = cfg.GetStringOr("serving", out.serving);
+  out.model = cfg.GetStringOr("model", out.model);
+  out.batch_size = static_cast<int>(cfg.GetIntOr("bsz", out.batch_size));
+  out.input_rate = cfg.GetDoubleOr("ir", out.input_rate);
+  out.parallelism = static_cast<int>(cfg.GetIntOr("mp", out.parallelism));
+  out.use_gpu = cfg.GetBoolOr("gpu", out.use_gpu);
+  out.source_parallelism = static_cast<int>(
+      cfg.GetIntOr("source_parallelism", out.source_parallelism));
+  out.sink_parallelism = static_cast<int>(
+      cfg.GetIntOr("sink_parallelism", out.sink_parallelism));
+  out.duration_s = cfg.GetDoubleOr("duration_s", out.duration_s);
+  out.drain_s = cfg.GetDoubleOr("drain_s", out.drain_s);
+  out.seed = static_cast<uint64_t>(cfg.GetIntOr("seed", 42));
+  out.dataset_path = cfg.GetStringOr("dataset", "");
+  for (const std::string& key : cfg.Keys()) {
+    if (key.find('.') != std::string::npos) {
+      out.engine_overrides.Set(key, cfg.GetStringOr(key, ""));
+    }
+  }
+  return out;
+}
+
+int main(int argc, char** argv) {
+  if (argc < 4 || argc > 5) {
+    std::fprintf(
+        stderr,
+        "usage: %s <config.properties> <sweep_key> <v1,v2,...> [out.csv]\n",
+        argv[0]);
+    return 2;
+  }
+  auto base_or = Config::FromFile(argv[1]);
+  if (!base_or.ok()) {
+    std::fprintf(stderr, "config error: %s\n",
+                 base_or.status().ToString().c_str());
+    return 2;
+  }
+  const std::string sweep_key = argv[2];
+  const std::vector<std::string> values = SplitCsv(argv[3]);
+  if (values.empty()) {
+    std::fprintf(stderr, "no sweep values given\n");
+    return 2;
+  }
+
+  crayfish::core::ReportTable table(
+      "sweep over " + sweep_key,
+      {sweep_key, "throughput ev/s", "thr stddev", "latency mean ms",
+       "lat stddev ms", "p99 ms"});
+  for (const std::string& value : values) {
+    Config point = *base_or;
+    point.Set(sweep_key, value);
+    core::ExperimentConfig cfg = ConfigToExperiment(point);
+    auto results = core::RunRepeated(cfg, 2);
+    if (!results.ok()) {
+      std::fprintf(stderr, "%s=%s failed: %s\n", sweep_key.c_str(),
+                   value.c_str(), results.status().ToString().c_str());
+      return 1;
+    }
+    const core::Aggregate thr = core::AggregateThroughput(*results);
+    const core::Aggregate lat = core::AggregateLatencyMean(*results);
+    table.AddRow({value, core::ReportTable::Num(thr.mean),
+                  core::ReportTable::Num(thr.stddev),
+                  core::ReportTable::Num(lat.mean),
+                  core::ReportTable::Num(lat.stddev),
+                  core::ReportTable::Num(
+                      (*results)[0].summary.latency_p99_ms)});
+    std::printf("%s=%s done (thr %.1f ev/s, lat %.2f ms)\n",
+                sweep_key.c_str(), value.c_str(), thr.mean, lat.mean);
+  }
+  table.Print();
+  if (argc == 5) {
+    crayfish::Status s = table.WriteCsv(argv[4]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "csv error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("[csv: %s]\n", argv[4]);
+  }
+  return 0;
+}
