@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace crayfish::broker {
 
@@ -97,6 +99,12 @@ void KafkaCluster::Produce(const std::string& client_host,
     return;
   }
   const std::string leader = LeaderHost(tp);
+  if (obs::MetricsRegistry* reg = sim_->metrics()) {
+    reg->Counter("broker_bytes_in", {{"broker", leader}})
+        ->Increment(static_cast<double>(request_bytes));
+    reg->Counter("broker_records_in", {{"broker", leader}})
+        ->Increment(static_cast<double>(batch.size()));
+  }
   // Client -> broker transfer, then broker-side append, then ack back.
   network_->Send(
       client_host, leader, request_bytes,
@@ -115,8 +123,13 @@ void KafkaCluster::Produce(const std::string& client_host,
                   topic_it->second.partitions[static_cast<size_t>(
                       tp.partition)];
               // LogAppendTime: broker local time at append (§3.3 step 5).
+              obs::TraceRecorder* tracer = sim_->tracer();
               for (Record& r : batch) {
+                const uint64_t batch_id = r.batch_id;
                 part.Append(std::move(r), sim_->Now());
+                // MarkAppend resolves input vs. output topic by append
+                // count; the second append completes the batch's trace.
+                if (tracer) tracer->MarkAppend(batch_id, sim_->Now());
               }
               WakeWaiters(tp);
               network_->Send(leader, client_host, /*ack bytes=*/64,
@@ -190,6 +203,12 @@ void KafkaCluster::AnswerFetch(const TopicPartition& tp,
   if (!s.ok()) records.clear();
   const uint64_t response_bytes = 256 + BatchWireSize(records);
   const std::string leader = LeaderHost(tp);
+  if (obs::MetricsRegistry* reg = sim_->metrics()) {
+    reg->Counter("broker_bytes_out", {{"broker", leader}})
+        ->Increment(static_cast<double>(response_bytes));
+    reg->Counter("broker_records_out", {{"broker", leader}})
+        ->Increment(static_cast<double>(records.size()));
+  }
   network_->Send(leader, fetch.client_host, response_bytes,
                  [on_records = fetch.on_records,
                   records = std::move(records)]() mutable {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace crayfish::broker {
 
@@ -111,6 +113,15 @@ void KafkaConsumer::FetchOnce(const TopicPartition& tp) {
         if (*generation != my_generation) return;  // closed/reassigned
         if (!records.empty()) {
           positions_[tp.ToString()] = records.back().offset + 1;
+          // The fetch response has reached the client: the long-poll /
+          // transfer stage of each carried batch ends here.
+          if (obs::TraceRecorder* tracer =
+                  cluster_->simulation()->tracer()) {
+            const double now = cluster_->simulation()->Now();
+            for (const Record& r : records) {
+              tracer->Mark(r.batch_id, obs::Stage::kFetchPoll, now);
+            }
+          }
           // Client-side deserialization before records become visible.
           const double deser = config_.deserialize_per_record_s *
                                static_cast<double>(records.size());
@@ -118,6 +129,13 @@ void KafkaConsumer::FetchOnce(const TopicPartition& tp) {
               deser, [this, generation, my_generation, tp,
                       records = std::move(records)]() mutable {
                 if (*generation != my_generation) return;
+                if (obs::TraceRecorder* tracer =
+                        cluster_->simulation()->tracer()) {
+                  const double now = cluster_->simulation()->Now();
+                  for (const Record& r : records) {
+                    tracer->Mark(r.batch_id, obs::Stage::kDeserialize, now);
+                  }
+                }
                 for (Record& r : records) buffer_.push_back(std::move(r));
                 MaybeDeliver();
                 FetchOnce(tp);
@@ -132,6 +150,7 @@ void KafkaConsumer::Poll(double timeout_s, PollCallback on_records) {
   CRAYFISH_CHECK(!pending_poll_) << "only one outstanding Poll is allowed";
   pending_poll_ = std::move(on_records);
   pending_poll_done_ = std::make_shared<bool>(false);
+  poll_armed_at_ = cluster_->simulation()->Now();
   auto done = pending_poll_done_;
   // Deliver immediately when buffered data exists (still async: next sim
   // instant), otherwise arm the timeout.
@@ -145,6 +164,7 @@ void KafkaConsumer::Poll(double timeout_s, PollCallback on_records) {
   cluster_->simulation()->Schedule(timeout_s, [this, done]() {
     if (*done) return;
     *done = true;
+    poll_armed_at_ = -1.0;
     PollCallback cb = std::move(pending_poll_);
     pending_poll_ = nullptr;
     pending_poll_done_ = nullptr;
@@ -154,6 +174,20 @@ void KafkaConsumer::Poll(double timeout_s, PollCallback on_records) {
 
 void KafkaConsumer::MaybeDeliver() {
   if (!pending_poll_ || buffer_.empty()) return;
+  if (obs::MetricsRegistry* reg = cluster_->simulation()->metrics()) {
+    if (!poll_wait_hist_) {
+      poll_wait_hist_ =
+          reg->Histogram("consumer_poll_wait_s", {{"group", group_}});
+      buffer_hist_ =
+          reg->Histogram("consumer_buffer_depth", {{"group", group_}});
+    }
+    if (poll_armed_at_ >= 0.0) {
+      poll_wait_hist_->Observe(cluster_->simulation()->Now() -
+                               poll_armed_at_);
+    }
+    buffer_hist_->Observe(static_cast<double>(buffer_.size()));
+  }
+  poll_armed_at_ = -1.0;
   std::vector<Record> out;
   const size_t n = std::min(buffer_.size(), config_.max_poll_records);
   out.reserve(n);

@@ -13,6 +13,10 @@
 #include "broker/record.h"
 #include "common/status.h"
 
+namespace crayfish::obs {
+class HistogramMetric;
+}  // namespace crayfish::obs
+
 namespace crayfish::broker {
 
 struct ConsumerConfig {
@@ -119,6 +123,12 @@ class KafkaConsumer {
 
   PollCallback pending_poll_;
   std::shared_ptr<bool> pending_poll_done_;
+  /// Simulated instant the outstanding Poll was armed (-1 when none);
+  /// feeds the poll-wait histogram.
+  double poll_armed_at_ = -1.0;
+  /// Lazily resolved from the simulation's metrics registry.
+  obs::HistogramMetric* poll_wait_hist_ = nullptr;
+  obs::HistogramMetric* buffer_hist_ = nullptr;
   uint64_t records_consumed_ = 0;
   /// Guards coordinator callbacks against consumer destruction.
   std::shared_ptr<bool> alive_;

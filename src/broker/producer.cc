@@ -1,6 +1,7 @@
 #include "broker/producer.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace crayfish::broker {
 
@@ -79,6 +80,15 @@ void KafkaProducer::FlushPartition(const TopicPartition& tp) {
                             record_count, alive = alive_,
                             batch = std::move(batch)]() mutable {
     auto acks = std::move(batch.acks);
+    // The produce request leaves the client here: linger + client-side
+    // serialization end, network transfer begins. MarkProduce resolves to
+    // the input- or output-side stage from the batch's append count.
+    if (obs::TraceRecorder* tracer = cluster->simulation()->tracer()) {
+      const double now = cluster->simulation()->Now();
+      for (const Record& r : batch.records) {
+        tracer->MarkProduce(r.batch_id, now);
+      }
+    }
     cluster->Produce(
         host, tp, std::move(batch.records),
         [this, alive, acks = std::move(acks)](crayfish::Status s) {

@@ -8,6 +8,8 @@ namespace crayfish {
 
 namespace {
 LogLevel g_min_level = LogLevel::kInfo;
+LogSink g_sink;  // nullptr => stderr
+thread_local LogSimClock t_sim_clock;  // nullptr => no timestamp
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,6 +37,18 @@ const char* Basename(const char* path) {
 void SetLogLevel(LogLevel level) { g_min_level = level; }
 LogLevel GetLogLevel() { return g_min_level; }
 
+LogSink SetLogSink(LogSink sink) {
+  LogSink prev = std::move(g_sink);
+  g_sink = std::move(sink);
+  return prev;
+}
+
+LogSimClock SetLogSimClock(LogSimClock clock) {
+  LogSimClock prev = std::move(t_sim_clock);
+  t_sim_clock = std::move(clock);
+  return prev;
+}
+
 namespace internal_logging {
 
 bool LevelEnabled(LogLevel level) {
@@ -43,12 +57,21 @@ bool LevelEnabled(LogLevel level) {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-          << "] ";
+  stream_ << "[" << LevelName(level);
+  if (t_sim_clock) {
+    char ts[32];
+    std::snprintf(ts, sizeof(ts), " @ %.6fs", t_sim_clock());
+    stream_ << ts;
+  }
+  stream_ << " " << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (g_sink) {
+    g_sink(level_, stream_.str());
+  } else {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
 }
 
 FatalLogMessage::FatalLogMessage(const char* file, int line) {

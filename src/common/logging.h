@@ -2,6 +2,7 @@
 #define CRAYFISH_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -13,6 +14,21 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Defaults to kInfo; tests lower it to kDebug, benchmarks raise it.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Destination for fully formatted log lines (no trailing newline). The
+/// default sink is nullptr, which means stderr; tests install a capturing
+/// sink instead of scraping stderr. Returns the previously installed sink
+/// so callers can restore it.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+LogSink SetLogSink(LogSink sink);
+
+/// Thread-local clock consulted by LogMessage: when set, log lines carry
+/// the simulated timestamp ("@ 12.345s") after the level tag.
+/// `sim::Simulation::Run` installs its own clock for the duration of the
+/// run and restores the previous one on return. Pass nullptr to clear.
+/// Returns the previously installed clock.
+using LogSimClock = std::function<double()>;
+LogSimClock SetLogSimClock(LogSimClock clock);
 
 namespace internal_logging {
 

@@ -63,6 +63,18 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
   }
 
   sim::Simulation sim(config.seed);
+
+  // Observability is attached before any component is built, so even
+  // construction-time activity (topic creation, model loading) is visible
+  // to the registry and every hook sees the recorder from the first event.
+  std::shared_ptr<obs::TraceRecorder> trace;
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  if (config.enable_tracing) {
+    trace = std::make_shared<obs::TraceRecorder>();
+    metrics = std::make_shared<obs::MetricsRegistry>();
+    sim.AttachObservability(trace.get(), metrics.get());
+  }
+
   sim::Network network(&sim);
 
   // Kafka cluster (4 brokers, 32-partition topics, LogAppendTime).
@@ -176,6 +188,17 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
   result.real_inferences = engine->real_inferences();
   result.sim_end_s = sim.Now();
   result.sim_events_executed = sim.events_executed();
+  if (config.enable_tracing) {
+    // End-of-run gauges/counters from the serving side, then detach so
+    // the recorder outlives the simulation safely.
+    if (server != nullptr) server->PublishMetrics(metrics.get());
+    if (library != nullptr) library->PublishMetrics(metrics.get());
+    result.breakdown =
+        BreakdownAnalyzer::Compute(*trace, result.measurements);
+    result.trace = std::move(trace);
+    result.metrics = std::move(metrics);
+    sim.AttachObservability(nullptr, nullptr);
+  }
   return result;
 }
 

@@ -9,9 +9,12 @@
 
 #include "common/config.h"
 #include "common/status.h"
+#include "core/breakdown.h"
 #include "core/generator.h"
 #include "core/metrics.h"
 #include "core/output_consumer.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "serving/model_profile.h"
 
 namespace crayfish::core {
@@ -71,6 +74,13 @@ struct ExperimentConfig {
   uint64_t max_measurements = 0;
   uint64_t seed = 42;
 
+  // --- observability ---
+  /// Attach a TraceRecorder + MetricsRegistry to the run. Recording is
+  /// passive (simulated clock only, no events, no RNG), so enabling it
+  /// does not change the run's results; disabled, every hook is a single
+  /// null-pointer branch.
+  bool enable_tracing = false;
+
   /// Per-sample tensor shape for the generator, by model name.
   std::vector<int64_t> SampleShape() const;
   RateSchedule Schedule() const;
@@ -88,6 +98,14 @@ struct ExperimentResult {
   uint64_t real_inferences = 0;
   double sim_end_s = 0.0;
   uint64_t sim_events_executed = 0;
+
+  // --- populated only when config.enable_tracing is set ---
+  /// Per-stage latency decomposition of the post-warmup window.
+  LatencyBreakdown breakdown;
+  /// The raw trace (Chrome-trace / CSV exportable) and metrics registry.
+  /// shared_ptr so ExperimentResult stays copyable.
+  std::shared_ptr<obs::TraceRecorder> trace;
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /// Builds the full simulated deployment (9-VM-style topology: producer,

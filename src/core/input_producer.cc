@@ -1,6 +1,7 @@
 #include "core/input_producer.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace crayfish::core {
 
@@ -55,6 +56,9 @@ void InputProducer::EmitNext() {
       record.wire_size = generator_.BatchWireBytes();
     }
     record.batch_size = static_cast<uint32_t>(generator_.batch_size());
+    CRAYFISH_TRACE_WITH(sim_, tracer, {
+      tracer->StartBatch(record.batch_id, record.create_time);
+    });
     CRAYFISH_CHECK_OK(producer_->Send(options_.topic, std::move(record)));
     ++events_sent_;
 

@@ -1,0 +1,43 @@
+#include "obs/stage.h"
+
+namespace crayfish::obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kProduce:
+      return "produce";
+    case Stage::kBrokerAppend:
+      return "broker-append";
+    case Stage::kFetchPoll:
+      return "fetch-poll";
+    case Stage::kDeserialize:
+      return "deserialize";
+    case Stage::kQueueWait:
+      return "queue-wait";
+    case Stage::kScore:
+      return "score";
+    case Stage::kServeRpc:
+      return "serve-rpc";
+    case Stage::kSerialize:
+      return "serialize";
+    case Stage::kBufferFlushWait:
+      return "buffer-flush-wait";
+    case Stage::kSinkProduce:
+      return "sink-produce";
+    case Stage::kOutputAppend:
+      return "output-append";
+  }
+  return "?";
+}
+
+const std::vector<Stage>& AllStages() {
+  static const std::vector<Stage> kStages = {
+      Stage::kProduce,       Stage::kBrokerAppend,   Stage::kFetchPoll,
+      Stage::kDeserialize,   Stage::kQueueWait,      Stage::kScore,
+      Stage::kServeRpc,      Stage::kSerialize,      Stage::kBufferFlushWait,
+      Stage::kSinkProduce,   Stage::kOutputAppend,
+  };
+  return kStages;
+}
+
+}  // namespace crayfish::obs

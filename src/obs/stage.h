@@ -1,0 +1,62 @@
+#ifndef CRAYFISH_OBS_STAGE_H_
+#define CRAYFISH_OBS_STAGE_H_
+
+#include <vector>
+
+namespace crayfish::obs {
+
+/// The stages of one batch's journey through the simulated pipeline
+/// (Fig. 3): each per-batch trace is a monotone sequence of stage marks,
+/// and the duration of a stage is the interval ending at its mark. The
+/// stages tile the batch's end-to-end latency exactly — from `create_time`
+/// to the output topic's LogAppendTime — so a per-stage breakdown sums to
+/// the measured latency by construction.
+enum class Stage : int {
+  /// Creation timestamp -> producer request leaves the client (generator
+  /// pacing, linger coalescing, client-side serialization).
+  kProduce = 0,
+  /// Producer request -> input-topic append (network transfer + broker
+  /// request handling).
+  kBrokerAppend,
+  /// Input-topic append -> fetch response arrives at the engine's consumer
+  /// (long-poll wait, broker fetch handling, response transfer).
+  kFetchPoll,
+  /// Client-side record deserialization before the record becomes
+  /// poll-visible.
+  kDeserialize,
+  /// Consumer buffer + operator input queues: waiting for a task/slot/actor
+  /// to start processing the record (may occur more than once per batch in
+  /// multi-stage pipelines).
+  kQueueWait,
+  /// Operator service: source/ingest charge plus the embedded apply() (or,
+  /// for external serving, the client-side preparation up to the RPC).
+  kScore,
+  /// Round trip of the external-serving RPC (request transfer, server
+  /// queueing + compute, response transfer, stress stall).
+  kServeRpc,
+  /// Sink/output operator service: output serialization and produce-path
+  /// bookkeeping.
+  kSerialize,
+  /// Flink network-buffer flush wait: records spanning several 32 KB
+  /// buffers sit in partially filled buffers before the emit (§5.3.2).
+  kBufferFlushWait,
+  /// Scored record -> sink producer request leaves the engine (linger,
+  /// client-side serialization).
+  kSinkProduce,
+  /// Sink producer request -> output-topic append; the batch's trace is
+  /// complete at this mark.
+  kOutputAppend,
+};
+
+inline constexpr int kNumStages = 11;
+
+/// Stable short name ("produce", "broker-append", ...) used in trace
+/// exports, CSV columns, and breakdown reports.
+const char* StageName(Stage stage);
+
+/// All stages in pipeline order.
+const std::vector<Stage>& AllStages();
+
+}  // namespace crayfish::obs
+
+#endif  // CRAYFISH_OBS_STAGE_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/registry.h"
 
 namespace crayfish::serving {
 
@@ -95,6 +96,14 @@ double EmbeddedLibrary::ApplyTimeSeconds(const ModelProfile& profile,
     total *= rng->LogNormal(-0.5 * sigma * sigma, sigma);
   }
   return total;
+}
+
+void EmbeddedLibrary::PublishMetrics(obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->Counter("library_simulated_applies", {{"library", name_}})
+      ->Increment(static_cast<double>(simulated_applies_));
+  registry->Gauge("library_model_loaded", {{"library", name_}})
+      ->Set(loaded() ? 1.0 : 0.0);
 }
 
 crayfish::StatusOr<std::unique_ptr<EmbeddedLibrary>> CreateEmbeddedLibrary(

@@ -14,6 +14,10 @@
 #include "serving/model_profile.h"
 #include "tensor/tensor.h"
 
+namespace crayfish::obs {
+class MetricsRegistry;
+}  // namespace crayfish::obs
+
 namespace crayfish::serving {
 
 /// An embedded interoperability library: the CrayfishModel contract
@@ -66,6 +70,11 @@ class EmbeddedLibrary {
   double ApplyTimeSeconds(const ModelProfile& profile, int batch_size,
                           double mp, bool gpu, size_t queue_depth,
                           crayfish::Rng* rng) const;
+
+  /// Writes end-of-run library metrics (simulated applies, real
+  /// inferences run through Load/Apply) into `registry`, labeled by
+  /// library name.
+  void PublishMetrics(obs::MetricsRegistry* registry) const;
 
  protected:
   EmbeddedLibrary(std::string name, EmbeddedCosts costs)

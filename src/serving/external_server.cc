@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/registry.h"
 
 namespace crayfish::serving {
 
@@ -144,6 +145,13 @@ void ExternalServingServer::HandleArrival(PendingRequest request) {
       HandleArrival(std::move(request));
     });
     return;
+  }
+  if (obs::MetricsRegistry* reg = sim_->metrics()) {
+    if (!depth_hist_) {
+      depth_hist_ =
+          reg->Histogram("serving_queue_depth", {{"tool", tool_name_}});
+    }
+    depth_hist_->Observe(static_cast<double>(queue_depth()));
   }
   if (http_proxy_ != nullptr) {
     // Ray Serve: one proxy per node forwards every request serially.
@@ -309,6 +317,32 @@ size_t ExternalServingServer::queue_depth() const {
   if (http_proxy_ != nullptr) depth += http_proxy_->queue_depth();
   if (gpu_ != nullptr) depth += gpu_->queue_depth();
   return depth;
+}
+
+void ExternalServingServer::PublishMetrics(
+    obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  const obs::MetricLabels labels = {{"tool", tool_name_}};
+  registry->Counter("serving_requests_served", labels)
+      ->Increment(static_cast<double>(requests_served_));
+  auto publish_pool = [&](const char* resource,
+                          const sim::UtilizationStats& u) {
+    const obs::MetricLabels rl = {{"tool", tool_name_},
+                                  {"resource", resource}};
+    registry->Gauge("serving_utilization", rl)->Set(u.busy_ratio);
+    registry->Gauge("serving_wait_count", rl)
+        ->Set(static_cast<double>(u.wait_count));
+    registry->Gauge("serving_wait_mean_s", rl)->Set(u.wait_mean_s);
+    registry->Gauge("serving_wait_max_s", rl)->Set(u.wait_max_s);
+  };
+  publish_pool("workers", workers_->UtilizationReport());
+  if (intra_op_pool_ != nullptr) {
+    publish_pool("intra-op", intra_op_pool_->UtilizationReport());
+  }
+  if (http_proxy_ != nullptr) {
+    publish_pool("http-proxy", http_proxy_->UtilizationReport());
+  }
+  if (gpu_ != nullptr) publish_pool("gpu", gpu_->UtilizationReport());
 }
 
 crayfish::StatusOr<std::unique_ptr<ExternalServingServer>>

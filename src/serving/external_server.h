@@ -15,6 +15,11 @@
 #include "sim/resource.h"
 #include "sim/simulation.h"
 
+namespace crayfish::obs {
+class HistogramMetric;
+class MetricsRegistry;
+}  // namespace crayfish::obs
+
 namespace crayfish::serving {
 
 struct ExternalServerOptions {
@@ -105,6 +110,10 @@ class ExternalServingServer {
   uint64_t requests_served() const { return requests_served_; }
   size_t queue_depth() const;
 
+  /// Writes end-of-run serving metrics (requests served, worker-pool
+  /// utilization and queue-wait stats) into `registry`, labeled by tool.
+  void PublishMetrics(obs::MetricsRegistry* registry) const;
+
  private:
   struct PendingRequest {
     std::string client_host;
@@ -154,6 +163,8 @@ class ExternalServingServer {
   std::vector<PendingRequest> batch_queue_;
   bool batch_timer_armed_ = false;
   uint64_t batches_executed_ = 0;
+  /// Lazily resolved total-queue-depth histogram labeled by tool.
+  obs::HistogramMetric* depth_hist_ = nullptr;
 
  public:
   uint64_t batches_executed() const { return batches_executed_; }

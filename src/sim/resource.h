@@ -9,7 +9,22 @@
 #include "common/stats.h"
 #include "sim/simulation.h"
 
+namespace crayfish::obs {
+class HistogramMetric;
+}  // namespace crayfish::obs
+
 namespace crayfish::sim {
+
+/// Busy-time ratio plus cumulative queue-wait statistics for a resource.
+/// `busy_ratio` is 0 when no simulated time has elapsed since construction
+/// (span <= 0), matching Utilization().
+struct UtilizationStats {
+  double busy_ratio = 0.0;
+  double span_s = 0.0;
+  size_t wait_count = 0;
+  double wait_mean_s = 0.0;
+  double wait_max_s = 0.0;
+};
 
 /// An M-server FIFO queueing station over simulated time.
 ///
@@ -38,10 +53,13 @@ class ServerPool {
 
   /// Fraction of server-time spent busy since construction.
   double Utilization() const;
+  /// Utilization plus cumulative queue-wait statistics (count, mean, max).
+  UtilizationStats UtilizationReport() const;
   const crayfish::RunningStats& wait_stats() const { return wait_stats_; }
   const crayfish::RunningStats& service_stats() const {
     return service_stats_;
   }
+  const std::string& name() const { return name_; }
 
  private:
   struct Job {
@@ -63,6 +81,9 @@ class ServerPool {
   SimTime created_at_;
   crayfish::RunningStats wait_stats_;
   crayfish::RunningStats service_stats_;
+  // Lazily resolved from sim_->metrics(); null when metrics are disabled.
+  obs::HistogramMetric* wait_hist_ = nullptr;
+  obs::HistogramMetric* depth_hist_ = nullptr;
 };
 
 /// A single logical execution thread: processes work items strictly one at
@@ -89,10 +110,15 @@ class SerialExecutor {
   uint64_t completed() const { return completed_; }
   const std::string& name() const { return name_; }
 
+  /// Busy-time ratio over the executor's lifetime plus item queue-wait
+  /// statistics, mirroring ServerPool::UtilizationReport.
+  UtilizationStats UtilizationReport() const;
+
  private:
   struct Item {
     std::function<SimTime()> duration_fn;
     std::function<void()> on_done;
+    SimTime enqueue_time;
   };
 
   void StartNext();
@@ -103,6 +129,9 @@ class SerialExecutor {
   std::deque<Item> queue_;
   double busy_time_ = 0.0;
   uint64_t completed_ = 0;
+  SimTime created_at_;
+  crayfish::RunningStats wait_stats_;
+  obs::HistogramMetric* depth_hist_ = nullptr;
 };
 
 }  // namespace crayfish::sim

@@ -17,6 +17,15 @@ void Simulation::ScheduleAt(SimTime time, std::function<void()> action) {
 }
 
 uint64_t Simulation::Run(SimTime until) {
+  // Log lines emitted by events carry the simulated timestamp; restore the
+  // previous clock on every exit path.
+  LogSimClock prev_clock =
+      SetLogSimClock([this]() { return static_cast<double>(now_); });
+  struct ClockRestorer {
+    LogSimClock prev;
+    ~ClockRestorer() { SetLogSimClock(std::move(prev)); }
+  } restorer{std::move(prev_clock)};
+
   uint64_t executed = 0;
   stop_requested_ = false;
   while (!queue_.empty() && !stop_requested_) {

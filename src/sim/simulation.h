@@ -9,6 +9,11 @@
 #include "common/rng.h"
 #include "sim/event_queue.h"
 
+namespace crayfish::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace crayfish::obs
+
 namespace crayfish::sim {
 
 /// Discrete-event simulation kernel.
@@ -56,6 +61,18 @@ class Simulation {
   uint64_t events_executed() const { return events_executed_; }
   size_t pending_events() const { return queue_.size(); }
 
+  /// Attaches observability collectors (either may be nullptr). The
+  /// Simulation does not own them; the experiment driver keeps them alive
+  /// for the run. Components check `tracer()`/`metrics()` for nullptr on
+  /// every hook, so observability stays a single branch when disabled.
+  void AttachObservability(obs::TraceRecorder* tracer,
+                           obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
+  obs::TraceRecorder* tracer() const { return tracer_; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   uint64_t seed_;
   Rng rng_;
@@ -63,6 +80,8 @@ class Simulation {
   EventQueue queue_;
   bool stop_requested_ = false;
   uint64_t events_executed_ = 0;
+  obs::TraceRecorder* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Utility: converts milliseconds to the SimTime unit (seconds).

@@ -4,6 +4,7 @@
 
 #include "common/json.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "sps/flink_engine.h"
 #include "sps/kafka_streams_engine.h"
 #include "sps/ray_engine.h"
@@ -110,6 +111,23 @@ void StreamEngine::InvokeExternalWithStress(int batch_size,
         const double elapsed = sim_->Now() - started;
         sim_->Schedule((multiplier - 1.0) * elapsed, std::move(done));
       });
+}
+
+void StreamEngine::InvokeExternalWithStress(const broker::Record& record,
+                                            size_t queue_depth,
+                                            std::function<void()> done) {
+  TraceMark(record.batch_id, obs::Stage::kScore);
+  const uint64_t batch_id = record.batch_id;
+  InvokeExternalWithStress(
+      static_cast<int>(record.batch_size), queue_depth,
+      [this, batch_id, done = std::move(done)]() mutable {
+        TraceMark(batch_id, obs::Stage::kServeRpc);
+        done();
+      });
+}
+
+void StreamEngine::TraceMark(uint64_t batch_id, obs::Stage stage) {
+  CRAYFISH_TRACE_MARK(sim_, batch_id, stage);
 }
 
 void StreamEngine::MaybeRealApply(const broker::Record& record) {

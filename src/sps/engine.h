@@ -10,6 +10,7 @@
 #include "common/config.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/stage.h"
 #include "serving/embedded_library.h"
 #include "serving/external_server.h"
 #include "serving/model_profile.h"
@@ -113,6 +114,15 @@ class StreamEngine {
   /// stall (client-side churn under sustained backlog).
   void InvokeExternalWithStress(int batch_size, size_t queue_depth,
                                 std::function<void()> done);
+
+  /// Record-aware variant that also traces the RPC: marks kScore at issue
+  /// (client-side preparation ends here) and kServeRpc at completion.
+  void InvokeExternalWithStress(const broker::Record& record,
+                                size_t queue_depth,
+                                std::function<void()> done);
+
+  /// Stage-mark hook: no-op when tracing is disabled.
+  void TraceMark(uint64_t batch_id, obs::Stage stage);
 
   /// Emits the scored record to the output topic through `producer`,
   /// preserving batch identity and the original create_time.

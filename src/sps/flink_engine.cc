@@ -118,6 +118,9 @@ void FlinkEngine::ProcessChainedRecords(
     return;
   }
   const broker::Record& r = (*records)[index];
+  // The record leaves the consumer buffer here: queue-wait ends, operator
+  // service begins.
+  TraceMark(r.batch_id, obs::Stage::kQueueWait);
   double source_time = SourceSeconds(r) + costs_.scoring_wrapper_s;
   // Checkpoint barrier: periodically stall the task for alignment and
   // the state snapshot (exactly-once mode; off by default).
@@ -142,8 +145,11 @@ void FlinkEngine::ProcessChainedRecords(
     sim_->Schedule(SinkSeconds(rec), [this, slot, records, index,
                                       penalty]() {
       if (stopped_) return;
+      TraceMark((*records)[index].batch_id, obs::Stage::kSerialize);
       sim_->Schedule(penalty, [this, slot, records, index]() {
         if (stopped_) return;
+        TraceMark((*records)[index].batch_id,
+                  obs::Stage::kBufferFlushWait);
         CRAYFISH_CHECK_OK(EmitScored(
             slots_[static_cast<size_t>(slot)].producer.get(),
             (*records)[index]));
@@ -163,7 +169,7 @@ void FlinkEngine::ProcessChainedRecords(
           SlotState& s = slots_[static_cast<size_t>(slot)];
           ++s.in_flight;
           InvokeExternalWithStress(
-              static_cast<int>((*records)[index].batch_size), depth,
+              (*records)[index], depth,
               [this, slot, records, index]() {
                 if (stopped_) return;
                 SlotState& s2 = slots_[static_cast<size_t>(slot)];
@@ -173,8 +179,11 @@ void FlinkEngine::ProcessChainedRecords(
                 const double penalty = BufferPenaltySeconds(rec);
                 s2.emitter->Post(
                     SinkSeconds(rec), [this, slot, rec, penalty]() {
+                      TraceMark(rec.batch_id, obs::Stage::kSerialize);
                       sim_->Schedule(penalty, [this, slot, rec]() {
                         if (stopped_) return;
+                        TraceMark(rec.batch_id,
+                                  obs::Stage::kBufferFlushWait);
                         CRAYFISH_CHECK_OK(EmitScored(
                             slots_[static_cast<size_t>(slot)]
                                 .producer.get(),
@@ -205,16 +214,18 @@ void FlinkEngine::ProcessChainedRecords(
         source_time + scoring_.server->costs().client_overhead_s,
         [this, records, index, depth, finish]() {
           if (stopped_) return;
-          InvokeExternalWithStress(
-              static_cast<int>((*records)[index].batch_size), depth,
-              finish);
+          InvokeExternalWithStress((*records)[index], depth, finish);
         });
     return;
   }
   MaybeRealApply(r);
   const double apply =
       EmbeddedApplySeconds(static_cast<int>(r.batch_size), depth);
-  sim_->Schedule(source_time + apply, finish);
+  sim_->Schedule(source_time + apply, [this, records, index, finish]() {
+    if (stopped_) return;
+    TraceMark((*records)[index].batch_id, obs::Stage::kScore);
+    finish();
+  });
 }
 
 crayfish::Status FlinkEngine::StartUnchained() {
@@ -231,14 +242,18 @@ crayfish::Status FlinkEngine::StartUnchained() {
     sink_tasks_.push_back(std::make_unique<OperatorTask>(
         sim_, "flink-sink-" + std::to_string(i),
         [this, producer](broker::Record r, std::function<void()> done) {
+          TraceMark(r.batch_id, obs::Stage::kQueueWait);
           const double penalty = BufferPenaltySeconds(r);
           sim_->Schedule(SinkSeconds(r),
                          [this, producer, penalty, r = std::move(r),
                           done = std::move(done)]() {
+                           TraceMark(r.batch_id, obs::Stage::kSerialize);
                            // Flush-wait latency without occupying the
                            // sink task (see the chained path).
                            sim_->Schedule(penalty, [this, producer, r]() {
                              if (!stopped_) {
+                               TraceMark(r.batch_id,
+                                         obs::Stage::kBufferFlushWait);
                                CRAYFISH_CHECK_OK(EmitScored(producer, r));
                              }
                            });
@@ -252,6 +267,7 @@ crayfish::Status FlinkEngine::StartUnchained() {
     scoring_tasks_.push_back(std::make_unique<OperatorTask>(
         sim_, "flink-score-" + std::to_string(i),
         [this](broker::Record r, std::function<void()> done) {
+          TraceMark(r.batch_id, obs::Stage::kQueueWait);
           auto forward = [this, r, done = std::move(done)]() mutable {
             if (stopped_) {
               done();
@@ -293,9 +309,7 @@ crayfish::Status FlinkEngine::StartUnchained() {
                     forward();
                     return;
                   }
-                  InvokeExternalWithStress(
-                      static_cast<int>(r.batch_size), depth,
-                      std::move(forward));
+                  InvokeExternalWithStress(r, depth, std::move(forward));
                 });
             return;
           }
@@ -304,8 +318,13 @@ crayfish::Status FlinkEngine::StartUnchained() {
               scoring_tasks_.empty()
                   ? 0
                   : scoring_tasks_.front()->queue_depth());
+          const uint64_t batch_id = r.batch_id;
           sim_->Schedule(costs_.scoring_wrapper_s + apply,
-                         std::move(forward));
+                         [this, batch_id,
+                          forward = std::move(forward)]() mutable {
+                           TraceMark(batch_id, obs::Stage::kScore);
+                           forward();
+                         });
         },
         costs_.stage_queue_capacity));
     const int idx = i;
@@ -354,6 +373,8 @@ void FlinkEngine::ForwardToScoring(
     return;
   }
   const broker::Record& r = (*records)[index];
+  // Source task picks the record out of the consumer buffer.
+  TraceMark(r.batch_id, obs::Stage::kQueueWait);
   const double source_time = SourceSeconds(r);
   sim_->Schedule(source_time, [this, source_idx, records, index]() {
     OfferToScoring(source_idx, records, index);

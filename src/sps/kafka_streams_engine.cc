@@ -95,6 +95,8 @@ void KafkaStreamsEngine::ProcessRecords(
     return;
   }
   const broker::Record& r = (*records)[index];
+  // The stream thread takes the record out of the poll buffer.
+  TraceMark(r.batch_id, obs::Stage::kQueueWait);
   const double ingest = costs_.record_fixed_s +
                         costs_.record_per_byte_s *
                             static_cast<double>(r.wire_size) +
@@ -110,6 +112,7 @@ void KafkaStreamsEngine::ProcessRecords(
                 static_cast<int>(rec.batch_size)));
     sim_->Schedule(produce, [this, thread, records, index]() {
       if (stopped_) return;
+      TraceMark((*records)[index].batch_id, obs::Stage::kSerialize);
       CRAYFISH_CHECK_OK(EmitScored(
           threads_[static_cast<size_t>(thread)].producer.get(),
           (*records)[index]));
@@ -122,16 +125,19 @@ void KafkaStreamsEngine::ProcessRecords(
     sim_->Schedule(ingest + scoring_.server->costs().client_overhead_s,
                    [this, records, index, depth, emit]() {
                      if (stopped_) return;
-                     InvokeExternalWithStress(
-                         static_cast<int>((*records)[index].batch_size),
-                         depth, emit);
+                     InvokeExternalWithStress((*records)[index], depth,
+                                              emit);
                    });
     return;
   }
   MaybeRealApply(r);
   const double apply =
       EmbeddedApplySeconds(static_cast<int>(r.batch_size), depth);
-  sim_->Schedule(ingest + apply, emit);
+  sim_->Schedule(ingest + apply, [this, records, index, emit]() {
+    if (stopped_) return;
+    TraceMark((*records)[index].batch_id, obs::Stage::kScore);
+    emit();
+  });
 }
 
 void KafkaStreamsEngine::Stop() {

@@ -1,6 +1,7 @@
 #include "sps/operator_task.h"
 
 #include "common/logging.h"
+#include "obs/registry.h"
 
 namespace crayfish::sps {
 
@@ -16,6 +17,13 @@ bool OperatorTask::Offer(broker::Record record) {
   if (queue_.size() >= max_queue_) {
     was_full_ = true;
     return false;
+  }
+  if (obs::MetricsRegistry* reg = sim_->metrics()) {
+    if (!depth_hist_) {
+      depth_hist_ =
+          reg->Histogram("operator_queue_depth", {{"operator", name_}});
+    }
+    depth_hist_->Observe(static_cast<double>(queue_.size()));
   }
   queue_.push_back(std::move(record));
   if (!busy_) StartNext();

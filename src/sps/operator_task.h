@@ -9,6 +9,10 @@
 #include "broker/record.h"
 #include "sim/simulation.h"
 
+namespace crayfish::obs {
+class HistogramMetric;
+}  // namespace crayfish::obs
+
 namespace crayfish::sps {
 
 /// One operator task: a logical thread with a bounded input queue that
@@ -63,6 +67,8 @@ class OperatorTask {
   bool was_full_ = false;
   uint64_t processed_ = 0;
   std::function<void()> space_available_;
+  /// Lazily resolved queue-depth histogram labeled by operator name.
+  obs::HistogramMetric* depth_hist_ = nullptr;
 };
 
 }  // namespace crayfish::sps

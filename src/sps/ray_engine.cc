@@ -50,11 +50,13 @@ crayfish::Status RayEngine::Start() {
     chain->output_actor = std::make_unique<OperatorTask>(
         sim_, "ray-output-" + std::to_string(i),
         [this, c, inflation](broker::Record r, std::function<void()> done) {
+          TraceMark(r.batch_id, obs::Stage::kQueueWait);
           const double t =
               (costs_.actor_msg_s + costs_.output_record_s) * inflation;
           sim_->Schedule(t, [this, c, r = std::move(r),
                              done = std::move(done)]() {
             if (!stopped_) {
+              TraceMark(r.batch_id, obs::Stage::kSerialize);
               CRAYFISH_CHECK_OK(EmitScored(c->producer.get(), r));
             }
             done();
@@ -65,6 +67,7 @@ crayfish::Status RayEngine::Start() {
     chain->scoring_actor = std::make_unique<OperatorTask>(
         sim_, "ray-score-" + std::to_string(i),
         [this, c, inflation](broker::Record r, std::function<void()> done) {
+          TraceMark(r.batch_id, obs::Stage::kQueueWait);
           auto deliver = [this, c, r,
                           done = std::move(done)]() mutable {
             if (stopped_) {
@@ -95,16 +98,20 @@ crayfish::Status RayEngine::Start() {
                                return;
                              }
                              InvokeExternalWithStress(
-                                 static_cast<int>(r.batch_size), depth,
-                                 std::move(deliver));
+                                 r, depth, std::move(deliver));
                            });
             return;
           }
           MaybeRealApply(r);
+          const uint64_t batch_id = r.batch_id;
           sim_->Schedule(base + PyInferSeconds(static_cast<int>(
                                     r.batch_size)) *
                                     inflation,
-                         std::move(deliver));
+                         [this, batch_id,
+                          deliver = std::move(deliver)]() mutable {
+                           TraceMark(batch_id, obs::Stage::kScore);
+                           deliver();
+                         });
         },
         costs_.actor_queue_capacity);
 
@@ -151,6 +158,8 @@ void RayEngine::ForwardRecords(
     return;
   }
   const broker::Record& r = (*records)[index];
+  // The input actor takes the record out of the poll buffer.
+  TraceMark(r.batch_id, obs::Stage::kQueueWait);
   const double input_time =
       costs_.input_record_s +
       costs_.record_per_byte_s * static_cast<double>(r.wire_size) +

@@ -122,6 +122,8 @@ void SparkEngine::RunChunk(
     return;
   }
   const broker::Record& r = (*records)[begin];
+  // The executor task picks the record up: trigger/scheduling wait ends.
+  TraceMark(r.batch_id, obs::Stage::kQueueWait);
   const double ingest =
       costs_.record_fixed_s +
       costs_.record_per_byte_s * static_cast<double>(r.wire_size);
@@ -133,6 +135,8 @@ void SparkEngine::RunChunk(
                    [this, records, begin, end,
                     on_done = std::move(on_done)]() mutable {
                      if (stopped_) return;
+                     TraceMark((*records)[begin].batch_id,
+                               obs::Stage::kSerialize);
                      CRAYFISH_CHECK_OK(
                          EmitScored(producer_.get(), (*records)[begin]));
                      RunChunk(records, begin + 1, end, std::move(on_done));
@@ -144,16 +148,20 @@ void SparkEngine::RunChunk(
                    [this, records, begin, depth,
                     emit = std::move(emit)]() mutable {
                      if (stopped_) return;
-                     InvokeExternalWithStress(
-                         static_cast<int>((*records)[begin].batch_size),
-                         depth, std::move(emit));
+                     InvokeExternalWithStress((*records)[begin], depth,
+                                              std::move(emit));
                    });
     return;
   }
   MaybeRealApply(r);
   const double apply =
       EmbeddedApplySeconds(static_cast<int>(r.batch_size), depth);
-  sim_->Schedule(ingest + apply, std::move(emit));
+  sim_->Schedule(ingest + apply, [this, records, begin,
+                                  emit = std::move(emit)]() mutable {
+    if (stopped_) return;
+    TraceMark((*records)[begin].batch_id, obs::Stage::kScore);
+    emit();
+  });
 }
 
 void SparkEngine::Stop() {

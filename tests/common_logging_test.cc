@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/status.h"
+#include "sim/simulation.h"
 
 namespace crayfish {
 namespace {
@@ -44,6 +49,57 @@ TEST_F(LoggingTest, CheckPassesSilentlyOnTrue) {
   CRAYFISH_CHECK_LT(1, 2);
   CRAYFISH_CHECK_GE(2, 2);
   CRAYFISH_CHECK_OK(Status::Ok());
+}
+
+TEST_F(LoggingTest, SinkCapturesFormattedLines) {
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> lines;
+  LogSink prev = SetLogSink([&](LogLevel level, const std::string& line) {
+    lines.emplace_back(level, line);
+  });
+  CRAYFISH_LOG(Info) << "captured line";
+  CRAYFISH_LOG(Warning) << "warned";
+  SetLogSink(std::move(prev));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].first, LogLevel::kInfo);
+  EXPECT_NE(lines[0].second.find("[INFO"), std::string::npos);
+  EXPECT_NE(lines[0].second.find("captured line"), std::string::npos);
+  EXPECT_EQ(lines[1].first, LogLevel::kWarning);
+  // The previous sink (stderr) is restored: nothing new reaches ours.
+  CRAYFISH_LOG(Error) << "test-expected error line: after sink restore";
+  EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST_F(LoggingTest, SimClockStampsAndRestores) {
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  LogSink prev_sink = SetLogSink(
+      [&](LogLevel, const std::string& line) { lines.push_back(line); });
+  LogSimClock prev_clock = SetLogSimClock([]() { return 12.5; });
+  CRAYFISH_LOG(Info) << "timed";
+  SetLogSimClock(std::move(prev_clock));
+  CRAYFISH_LOG(Info) << "untimed";
+  SetLogSink(std::move(prev_sink));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("@ 12.500000s"), std::string::npos);
+  EXPECT_EQ(lines[1].find(" @ "), std::string::npos);
+}
+
+TEST_F(LoggingTest, SimulationRunInstallsItsClock) {
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  LogSink prev_sink = SetLogSink(
+      [&](LogLevel, const std::string& line) { lines.push_back(line); });
+  sim::Simulation sim(1);
+  sim.Schedule(3.25, []() { CRAYFISH_LOG(Info) << "inside event"; });
+  sim.Run(10.0);
+  CRAYFISH_LOG(Info) << "outside run";
+  SetLogSink(std::move(prev_sink));
+  ASSERT_EQ(lines.size(), 2u);
+  // Inside Run the log line carries the simulated clock; outside, Run has
+  // restored whatever clock was installed before (none).
+  EXPECT_NE(lines[0].find("@ 3.250000s"), std::string::npos);
+  EXPECT_EQ(lines[1].find(" @ "), std::string::npos);
 }
 
 using LoggingDeathTest = LoggingTest;

@@ -384,6 +384,36 @@ TEST(MetricsAnalyzerTest, WritesMeasurementsCsv) {
   std::filesystem::remove(path);
 }
 
+TEST(MetricsSummaryTest, EmptyLogStillProducesValidJson) {
+  MetricsSummary s = MetricsAnalyzer::Summarize({}, 0.25);
+  auto parsed = crayfish::JsonValue::Parse(s.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetIntOr("measurements", -1), 0);
+  EXPECT_DOUBLE_EQ(parsed->GetNumberOr("throughput_eps", -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(parsed->GetNumberOr("latency_mean_ms", -1.0), 0.0);
+}
+
+TEST(MetricsAnalyzerTest, WriteMeasurementsCsvToUnwritablePathFails) {
+  auto ms = SyntheticMeasurements(3, 0.010, 100.0);
+  const crayfish::Status s = MetricsAnalyzer::WriteMeasurementsCsv(
+      "/nonexistent-dir/crayfish_meas.csv", ms);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("cannot open"), std::string::npos);
+}
+
+TEST(MetricsAnalyzerTest, WriteMeasurementsCsvEmptyLogWritesHeaderOnly) {
+  const std::string path = ::testing::TempDir() + "/crayfish_empty.csv";
+  ASSERT_TRUE(MetricsAnalyzer::WriteMeasurementsCsv(path, {}).ok());
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_EQ(header,
+            "batch_id,create_time_s,append_time_s,latency_ms,batch_size");
+  std::string rest;
+  EXPECT_FALSE(static_cast<bool>(std::getline(in, rest)));
+  std::filesystem::remove(path);
+}
+
 // ---------------------------------------------------------------- report --
 
 TEST(ReportTableTest, RendersAlignedTable) {

@@ -1,0 +1,271 @@
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "core/breakdown.h"
+#include "core/experiment.h"
+#include "obs/registry.h"
+#include "obs/stage.h"
+#include "obs/trace.h"
+
+namespace crayfish::obs {
+namespace {
+
+// ----------------------------------------------------------------- stages --
+
+TEST(StageTest, NamesAreUniqueAndOrdered) {
+  ASSERT_EQ(AllStages().size(), static_cast<size_t>(kNumStages));
+  std::vector<std::string> names;
+  for (Stage s : AllStages()) names.push_back(StageName(s));
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+  EXPECT_EQ(names.front(), "produce");
+  EXPECT_EQ(names.back(), "output-append");
+}
+
+// --------------------------------------------------------------- registry --
+
+TEST(RegistryTest, KeySortsLabels) {
+  EXPECT_EQ(MetricsRegistry::Key("m", {{"b", "2"}, {"a", "1"}}),
+            "m{a=1,b=2}");
+  EXPECT_EQ(MetricsRegistry::Key("m", {}), "m");
+}
+
+TEST(RegistryTest, ReturnsStablePointers) {
+  MetricsRegistry reg;
+  CounterMetric* c1 = reg.Counter("events", {{"engine", "flink"}});
+  CounterMetric* c2 = reg.Counter("events", {{"engine", "flink"}});
+  EXPECT_EQ(c1, c2);
+  c1->Increment(3.0);
+  EXPECT_DOUBLE_EQ(c2->value(), 3.0);
+  // Different labels => different instance.
+  EXPECT_NE(c1, reg.Counter("events", {{"engine", "ray"}}));
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(RegistryTest, HistogramTracksExactMomentsAndPercentiles) {
+  MetricsRegistry reg;
+  HistogramMetric* h = reg.Histogram("lat");
+  for (int i = 1; i <= 100; ++i) h->Observe(i * 0.001);
+  EXPECT_EQ(h->count(), 100u);
+  EXPECT_NEAR(h->mean(), 0.0505, 1e-9);
+  EXPECT_DOUBLE_EQ(h->min(), 0.001);
+  EXPECT_DOUBLE_EQ(h->max(), 0.100);
+  EXPECT_NEAR(h->Percentile(50.0), 0.050, 0.005);
+  EXPECT_NEAR(h->Percentile(95.0), 0.095, 0.01);
+}
+
+TEST(RegistryTest, SnapshotIsValidJsonWithAllKinds) {
+  MetricsRegistry reg;
+  reg.Counter("c", {{"x", "1"}})->Increment(5.0);
+  reg.Gauge("g")->Set(2.5);
+  reg.Histogram("h")->Observe(0.25);
+  auto parsed = crayfish::JsonValue::Parse(reg.SnapshotJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->GetNumberOr("c{x=1}", -1.0), 5.0);
+  EXPECT_DOUBLE_EQ(parsed->GetNumberOr("g", -1.0), 2.5);
+}
+
+TEST(RegistryTest, CsvQuotesLabeledKeys) {
+  MetricsRegistry reg;
+  reg.Counter("c", {{"a", "1"}, {"b", "2"}})->Increment();
+  const std::string csv = reg.ToCsv();
+  // The key contains a comma, so it must be quoted to stay one column.
+  EXPECT_NE(csv.find("\"c{a=1,b=2}\""), std::string::npos);
+}
+
+// ------------------------------------------------------------------ trace --
+
+TEST(TraceTest, MarksTileTheBatchLifetime) {
+  TraceRecorder trace;
+  trace.StartBatch(7, 1.0);
+  trace.Mark(7, Stage::kBrokerAppend, 1.5);
+  trace.Mark(7, Stage::kFetchPoll, 1.9);
+  trace.MarkAppend(7, 2.5);  // second append path is exercised below
+  const auto& bt = trace.batches().at(7);
+  ASSERT_EQ(bt.marks.size(), 3u);
+  EXPECT_DOUBLE_EQ(bt.start_s, 1.0);
+  double prev = bt.start_s, total = 0.0;
+  for (const auto& mark : bt.marks) {
+    total += mark.time_s - prev;
+    prev = mark.time_s;
+  }
+  EXPECT_DOUBLE_EQ(total, 1.5);  // == last mark - start
+}
+
+TEST(TraceTest, ProduceAndAppendResolveByPosition) {
+  TraceRecorder trace;
+  trace.StartBatch(1, 0.0);
+  trace.MarkProduce(1, 0.1);  // no appends yet -> kProduce
+  trace.MarkAppend(1, 0.2);   // first append -> kBrokerAppend
+  trace.MarkProduce(1, 0.8);  // after an append -> kSinkProduce
+  trace.MarkAppend(1, 0.9);   // second append -> kOutputAppend, complete
+  const auto& bt = trace.batches().at(1);
+  ASSERT_EQ(bt.marks.size(), 4u);
+  EXPECT_EQ(bt.marks[0].stage, Stage::kProduce);
+  EXPECT_EQ(bt.marks[1].stage, Stage::kBrokerAppend);
+  EXPECT_EQ(bt.marks[2].stage, Stage::kSinkProduce);
+  EXPECT_EQ(bt.marks[3].stage, Stage::kOutputAppend);
+  EXPECT_TRUE(bt.complete);
+  EXPECT_EQ(trace.completed_batches(), 1u);
+}
+
+TEST(TraceTest, CompletedBatchIgnoresLateMarks) {
+  TraceRecorder trace;
+  trace.StartBatch(1, 0.0);
+  trace.MarkAppend(1, 0.2);
+  trace.MarkAppend(1, 0.9);  // completes
+  trace.Mark(1, Stage::kFetchPoll, 1.5);  // the measurement consumer
+  EXPECT_EQ(trace.batches().at(1).marks.size(), 2u);
+}
+
+TEST(TraceTest, UnknownBatchAndClampedTimes) {
+  TraceRecorder trace;
+  trace.Mark(99, Stage::kScore, 1.0);  // never started: dropped
+  EXPECT_EQ(trace.batch_count(), 0u);
+  trace.StartBatch(1, 1.0);
+  trace.Mark(1, Stage::kBrokerAppend, 0.5);  // earlier than start: clamps
+  EXPECT_DOUBLE_EQ(trace.batches().at(1).marks[0].time_s, 1.0);
+}
+
+TEST(TraceTest, ChromeExportIsValidJson) {
+  TraceRecorder trace;
+  trace.StartBatch(1, 0.0);
+  trace.MarkAppend(1, 0.25);
+  trace.MarkAppend(1, 0.75);
+  trace.AddTrackSpan("pool", "serve", 0.1, 0.2);
+  auto parsed = crayfish::JsonValue::Parse(trace.ToChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::string json = trace.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("broker-append"), std::string::npos);
+  const std::string csv = trace.ToStageCsv();
+  EXPECT_EQ(csv.rfind("batch_id,stage,start_s,end_s,duration_ms", 0), 0u);
+  EXPECT_NE(csv.find("output-append"), std::string::npos);
+}
+
+TEST(TraceTest, WriteToUnwritablePathFails) {
+  TraceRecorder trace;
+  EXPECT_FALSE(trace.WriteChromeTrace("/nonexistent-dir/t.json").ok());
+  EXPECT_FALSE(trace.WriteStageCsv("/nonexistent-dir/t.csv").ok());
+}
+
+// -------------------------------------------------------------- breakdown --
+
+TEST(BreakdownTest, StageMeansSumToEndToEndMean) {
+  TraceRecorder trace;
+  std::vector<core::Measurement> ms;
+  for (uint64_t id = 0; id < 8; ++id) {
+    const double start = static_cast<double>(id);
+    trace.StartBatch(id, start);
+    trace.MarkProduce(id, start + 0.001);
+    trace.MarkAppend(id, start + 0.003);
+    trace.Mark(id, Stage::kScore, start + 0.010);
+    trace.MarkProduce(id, start + 0.011);
+    trace.MarkAppend(id, start + 0.012);
+    core::Measurement m;
+    m.batch_id = id;
+    m.create_time = start;
+    m.append_time = start + 0.012;
+    ms.push_back(m);
+  }
+  core::LatencyBreakdown bd =
+      core::BreakdownAnalyzer::Compute(trace, ms, 0.0);
+  EXPECT_EQ(bd.batches, 8u);
+  EXPECT_NEAR(bd.total_mean_ms, 12.0, 1e-9);
+  double stage_sum = 0.0, share_sum = 0.0;
+  for (const auto& row : bd.stages) {
+    stage_sum += row.mean_ms;
+    share_sum += row.share;
+    EXPECT_EQ(row.count, 8u);
+  }
+  EXPECT_NEAR(stage_sum, bd.total_mean_ms, 1e-9);
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+  auto parsed = crayfish::JsonValue::Parse(bd.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NE(bd.ToString().find("score"), std::string::npos);
+}
+
+TEST(BreakdownTest, EmptyTraceYieldsEmptyBreakdown) {
+  TraceRecorder trace;
+  core::LatencyBreakdown bd =
+      core::BreakdownAnalyzer::Compute(trace, {}, 0.25);
+  EXPECT_TRUE(bd.empty());
+  EXPECT_EQ(bd.stages.size(), 0u);
+}
+
+// ----------------------------------------------- end-to-end / determinism --
+
+core::ExperimentConfig SmallTracedConfig() {
+  core::ExperimentConfig cfg;
+  cfg.engine = "flink";
+  cfg.serving = "onnx";
+  cfg.model = "ffnn";
+  cfg.batch_size = 2;
+  cfg.input_rate = 200.0;
+  cfg.parallelism = 2;
+  cfg.duration_s = 5.0;
+  cfg.drain_s = 3.0;
+  cfg.enable_tracing = true;
+  return cfg;
+}
+
+TEST(ObservabilityE2ETest, TraceExportsAreByteIdenticalAcrossRuns) {
+  auto r1 = core::RunExperiment(SmallTracedConfig());
+  auto r2 = core::RunExperiment(SmallTracedConfig());
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ASSERT_NE(r1->trace, nullptr);
+  ASSERT_NE(r2->trace, nullptr);
+  EXPECT_GT(r1->trace->completed_batches(), 0u);
+  EXPECT_EQ(r1->trace->ToChromeTraceJson(), r2->trace->ToChromeTraceJson());
+  EXPECT_EQ(r1->trace->ToStageCsv(), r2->trace->ToStageCsv());
+  ASSERT_NE(r1->metrics, nullptr);
+  EXPECT_EQ(r1->metrics->SnapshotJson(), r2->metrics->SnapshotJson());
+}
+
+TEST(ObservabilityE2ETest, TracingDoesNotPerturbTheRun) {
+  core::ExperimentConfig traced = SmallTracedConfig();
+  core::ExperimentConfig untraced = SmallTracedConfig();
+  untraced.enable_tracing = false;
+  auto with = core::RunExperiment(traced);
+  auto without = core::RunExperiment(untraced);
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  ASSERT_TRUE(without.ok()) << without.status().ToString();
+  EXPECT_EQ(without->trace, nullptr);
+  EXPECT_EQ(without->metrics, nullptr);
+  // Identical simulated history: same event count, same summary, bit for
+  // bit — recording must stay passive.
+  EXPECT_EQ(with->sim_events_executed, without->sim_events_executed);
+  EXPECT_EQ(with->events_scored, without->events_scored);
+  EXPECT_EQ(with->summary.ToJson(), without->summary.ToJson());
+}
+
+TEST(ObservabilityE2ETest, BreakdownSumsToSummaryLatency) {
+  auto result = core::RunExperiment(SmallTracedConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const core::LatencyBreakdown& bd = result->breakdown;
+  ASSERT_FALSE(bd.empty());
+  double stage_sum = 0.0;
+  for (const auto& row : bd.stages) stage_sum += row.mean_ms;
+  EXPECT_NEAR(stage_sum, bd.total_mean_ms, 1e-6);
+  // The decomposition analyzes the same post-warmup window as the
+  // summary, so its total matches the summary's latency mean.
+  EXPECT_EQ(bd.batches, result->summary.measurements);
+  EXPECT_NEAR(bd.total_mean_ms, result->summary.latency_mean_ms, 1e-6);
+  // The registry saw broker and serving activity.
+  const std::string metrics_json = result->metrics->SnapshotJson();
+  EXPECT_NE(metrics_json.find("broker_bytes_in"), std::string::npos);
+  EXPECT_NE(metrics_json.find("library_simulated_applies"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace crayfish::obs

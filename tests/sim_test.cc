@@ -148,6 +148,32 @@ TEST(ServerPoolTest, UtilizationReflectsBusyTime) {
   EXPECT_NEAR(pool.Utilization(), 2.0 / 8.0, 1e-9);
 }
 
+TEST(ServerPoolTest, UtilizationReportAddsQueueWaitStats) {
+  Simulation sim;
+  ServerPool pool(&sim, "p", 1);
+  pool.Submit(2.0, nullptr);  // runs immediately, wait 0
+  pool.Submit(1.0, nullptr);  // waits 2s behind the first
+  sim.RunUntilIdle();
+  UtilizationStats stats = pool.UtilizationReport();
+  EXPECT_DOUBLE_EQ(stats.span_s, 3.0);
+  EXPECT_NEAR(stats.busy_ratio, 3.0 / 3.0, 1e-9);
+  EXPECT_EQ(stats.wait_count, 2u);
+  EXPECT_DOUBLE_EQ(stats.wait_mean_s, 1.0);
+  EXPECT_DOUBLE_EQ(stats.wait_max_s, 2.0);
+}
+
+TEST(ServerPoolTest, UtilizationReportZeroSpanIsAllZero) {
+  Simulation sim;
+  ServerPool pool(&sim, "p", 2);
+  // No simulated time has elapsed since construction: the span<=0 early
+  // return must yield a zero ratio, not NaN.
+  UtilizationStats stats = pool.UtilizationReport();
+  EXPECT_DOUBLE_EQ(stats.busy_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(stats.span_s, 0.0);
+  EXPECT_EQ(stats.wait_count, 0u);
+  EXPECT_DOUBLE_EQ(pool.Utilization(), 0.0);
+}
+
 // -------------------------------------------------------- serial executor --
 
 TEST(SerialExecutorTest, RunsItemsBackToBack) {
@@ -172,6 +198,29 @@ TEST(SerialExecutorTest, DeferredDurationComputedAtStart) {
                     [&] { measured = sim.Now(); });
   sim.RunUntilIdle();
   EXPECT_DOUBLE_EQ(measured, 4.0);  // started at 2, took 2
+}
+
+TEST(SerialExecutorTest, UtilizationReportTracksWaits) {
+  Simulation sim;
+  SerialExecutor exec(&sim, "e");
+  exec.Post(1.0, nullptr);  // starts at 0, wait 0
+  exec.Post(0.5, nullptr);  // starts at 1, wait 1
+  sim.Schedule(2.0, [] {});  // pad the span to 2s
+  sim.RunUntilIdle();
+  UtilizationStats stats = exec.UtilizationReport();
+  EXPECT_DOUBLE_EQ(stats.span_s, 2.0);
+  EXPECT_NEAR(stats.busy_ratio, 1.5 / 2.0, 1e-9);
+  EXPECT_EQ(stats.wait_count, 2u);
+  EXPECT_DOUBLE_EQ(stats.wait_mean_s, 0.5);
+  EXPECT_DOUBLE_EQ(stats.wait_max_s, 1.0);
+}
+
+TEST(SerialExecutorTest, UtilizationReportZeroSpanIsAllZero) {
+  Simulation sim;
+  SerialExecutor exec(&sim, "e");
+  UtilizationStats stats = exec.UtilizationReport();
+  EXPECT_DOUBLE_EQ(stats.busy_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(stats.span_s, 0.0);
 }
 
 // ----------------------------------------------------------------- network --

@@ -2,7 +2,15 @@
 // original framework's per-experiment configuration workflow (Table 1).
 //
 // Usage:
-//   crayfish_run <config.properties> [measurements.csv]
+//   crayfish_run [flags] <config.properties> [measurements.csv]
+//
+// Flags (any of them implicitly enables tracing for the run):
+//   --trace_out=PATH    write a Chrome trace-event JSON (load in Perfetto
+//                       or chrome://tracing) of every batch's stage spans
+//   --trace_csv=PATH    write per-span CSV (batch_id,stage,start,end,dur)
+//   --metrics_out=PATH  write the metrics-registry snapshot as JSON
+//   --breakdown         print the per-stage latency decomposition
+//   --help              this text
 //
 // Example config:
 //   engine        = flink            # flink|kafka-streams|spark|ray
@@ -18,12 +26,15 @@
 //   tbb           = 120              # time between bursts (s)
 //   burst_rate    = 1500
 //   dataset       =                  # optional JSON-lines file to replay
+//   trace         = false            # same as passing --breakdown
 //   seed          = 42
 //   # engine-specific overrides pass through verbatim, e.g.:
 //   # spark.max_offsets_per_trigger = 768
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "common/logging.h"
@@ -64,6 +75,7 @@ core::ExperimentConfig FromConfig(const Config& cfg) {
       static_cast<uint64_t>(cfg.GetIntOr("max_measurements", 0));
   out.seed = static_cast<uint64_t>(cfg.GetIntOr("seed", 42));
   out.dataset_path = cfg.GetStringOr("dataset", "");
+  out.enable_tracing = cfg.GetBoolOr("trace", out.enable_tracing);
   // Engine-specific keys pass through verbatim.
   for (const std::string& key : cfg.Keys()) {
     if (key.find('.') != std::string::npos) {
@@ -73,22 +85,70 @@ core::ExperimentConfig FromConfig(const Config& cfg) {
   return out;
 }
 
+void PrintUsage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [flags] <config.properties> [measurements.csv]\n"
+      "flags:\n"
+      "  --trace_out=PATH    Chrome trace-event JSON (Perfetto-loadable)\n"
+      "  --trace_csv=PATH    per-span CSV export of the trace\n"
+      "  --metrics_out=PATH  metrics-registry snapshot as JSON\n"
+      "  --breakdown         print the per-stage latency decomposition\n"
+      "  --help              show this text\n"
+      "any observability flag enables tracing for the run\n",
+      prog);
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::fprintf(stderr,
-                 "usage: %s <config.properties> [measurements.csv]\n",
-                 argv[0]);
+  std::string trace_out;
+  std::string trace_csv;
+  std::string metrics_out;
+  bool print_breakdown = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return 0;
+    }
+    if (arg == "--breakdown") {
+      print_breakdown = true;
+    } else if (ParseFlag(arg, "--trace_out", &trace_out) ||
+               ParseFlag(arg, "--trace_csv", &trace_csv) ||
+               ParseFlag(arg, "--metrics_out", &metrics_out)) {
+      // value captured by ParseFlag
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      PrintUsage(argv[0]);
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty() || positional.size() > 2) {
+    PrintUsage(argv[0]);
     return 2;
   }
-  auto cfg_or = Config::FromFile(argv[1]);
+  auto cfg_or = Config::FromFile(positional[0]);
   if (!cfg_or.ok()) {
     std::fprintf(stderr, "config error: %s\n",
                  cfg_or.status().ToString().c_str());
     return 2;
   }
   core::ExperimentConfig cfg = FromConfig(*cfg_or);
+  const bool want_obs = print_breakdown || !trace_out.empty() ||
+                        !trace_csv.empty() || !metrics_out.empty();
+  if (want_obs) cfg.enable_tracing = true;
   std::printf("running %s ...\n", cfg.Label().c_str());
 
   auto result = core::RunExperiment(cfg);
@@ -115,15 +175,47 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (argc == 3) {
+  if (cfg.enable_tracing) {
+    std::printf("%s", result->breakdown.ToString().c_str());
+  }
+  if (!trace_out.empty() && result->trace != nullptr) {
+    crayfish::Status s = result->trace->WriteChromeTrace(trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace of %zu batches to %s\n",
+                result->trace->batch_count(), trace_out.c_str());
+  }
+  if (!trace_csv.empty() && result->trace != nullptr) {
+    crayfish::Status s = result->trace->WriteStageCsv(trace_csv);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace csv error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote stage CSV to %s\n", trace_csv.c_str());
+  }
+  if (!metrics_out.empty() && result->metrics != nullptr) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "metrics error: cannot open %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    out << result->metrics->SnapshotJson() << "\n";
+    std::printf("wrote %zu metrics to %s\n", result->metrics->size(),
+                metrics_out.c_str());
+  }
+
+  if (positional.size() == 2) {
     crayfish::Status s = core::MetricsAnalyzer::WriteMeasurementsCsv(
-        argv[2], result->measurements);
+        positional[1], result->measurements);
     if (!s.ok()) {
       std::fprintf(stderr, "csv error: %s\n", s.ToString().c_str());
       return 1;
     }
     std::printf("wrote %zu measurements to %s\n",
-                result->measurements.size(), argv[2]);
+                result->measurements.size(), positional[1].c_str());
   }
   return 0;
 }
