@@ -166,6 +166,9 @@ class KafkaCluster {
   sim::Network* network_;
   ClusterConfig config_;
   std::vector<std::string> broker_hosts_;
+  /// Ordered maps on purpose (lint R3): rebalance and fetch scheduling
+  /// iterate these, so the container must enumerate in a stable order for
+  /// runs to be reproducible. Do not switch to unordered_map.
   std::map<std::string, TopicState> topics_;
   std::map<std::string, std::map<std::string, int64_t>> committed_;
   /// Keyed by "group/topic".

@@ -111,7 +111,8 @@ class KafkaConsumer {
   std::string group_;
   ConsumerConfig config_;
   std::vector<TopicPartition> assignment_;
-  /// Next offset to fetch per partition.
+  /// Next offset to fetch per partition. Ordered (lint R3): commit order and
+  /// paused-loop pickup follow map iteration and must be deterministic.
   std::map<std::string, int64_t> positions_;
   /// Partitions whose fetch loop is paused on buffer pressure.
   std::map<std::string, bool> paused_;

@@ -71,6 +71,8 @@ class KafkaProducer {
   /// Lifetime token: scheduled lambdas hold a copy and bail out when the
   /// producer is gone (simulated callbacks may outlive client objects).
   std::shared_ptr<bool> alive_;
+  /// Ordered (lint R3): flushes walk `pending_`, so batch emission order —
+  /// and therefore broker append order — must not depend on hash order.
   std::map<std::string, int> round_robin_;
   std::map<TopicPartition, PendingBatch> pending_;
   uint64_t records_sent_ = 0;

@@ -107,6 +107,8 @@ class MetricsRegistry {
   crayfish::Status WriteCsv(const std::string& path) const;
 
  private:
+  /// Ordered (lint R3): Snapshot()/ToCsv() iterate these; exported metric
+  /// rows must come out byte-identical across runs and platforms.
   std::map<std::string, std::unique_ptr<CounterMetric>> counters_;
   std::map<std::string, std::unique_ptr<GaugeMetric>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;

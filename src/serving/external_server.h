@@ -157,6 +157,8 @@ class ExternalServingServer {
   double slow_factor_ = 1.0;
   double slow_resample_at_ = 0.0;
   /// Additional models by name (the default model is always present).
+  /// Ordered (lint R3): version sweeps and eviction walk this map during
+  /// simulated serving, so iteration order is scheduling-visible.
   std::map<std::string, ModelProfile> models_;
   std::map<std::string, int> model_versions_;
   /// Adaptive-batching queue.

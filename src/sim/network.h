@@ -99,6 +99,8 @@ class Network {
 
   Simulation* sim_;
   LinkSpec default_spec_;
+  /// Ordered (lint R3): topology walks schedule simulated transfers, so
+  /// host/link enumeration order is part of the reproducible event order.
   std::map<std::string, Host> hosts_;
   std::map<std::pair<std::string, std::string>, LinkSpec> spec_overrides_;
   std::map<std::pair<std::string, std::string>, std::unique_ptr<Link>> links_;

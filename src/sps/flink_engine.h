@@ -112,6 +112,8 @@ class FlinkEngine : public StreamEngine {
   std::vector<std::unique_ptr<OperatorTask>> scoring_tasks_;
   std::vector<std::unique_ptr<OperatorTask>> sink_tasks_;
   std::vector<std::unique_ptr<broker::KafkaProducer>> sink_producers_;
+  /// Ordered (lint R3): async-I/O wakeups fire in key order; an unordered
+  /// container here would reorder scoring completions between runs.
   std::map<int, std::vector<std::function<void()>>> scoring_waiters_;
   int source_rr_ = 0;
   int scoring_rr_ = 0;

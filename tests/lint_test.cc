@@ -1,0 +1,329 @@
+#include "crayfish_lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crayfish_lint/lexer.h"
+
+namespace crayfish::lint {
+namespace {
+
+std::vector<Finding> Lint(const std::string& path, const std::string& src,
+                          const SymbolTable& table = {}) {
+  LintOptions options;
+  options.fix_suggestions = true;
+  return LintSource(path, src, table, options);
+}
+
+bool HasRule(const std::vector<Finding>& fs, Rule r) {
+  for (const Finding& f : fs) {
+    if (f.rule == r) return true;
+  }
+  return false;
+}
+
+int CountRule(const std::vector<Finding>& fs, Rule r) {
+  int n = 0;
+  for (const Finding& f : fs) n += f.rule == r ? 1 : 0;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, TokenKindsAndLines) {
+  const auto toks = Lex("int x = 42; // trailing\n\"str\" 'c' #include <a>\n");
+  ASSERT_GE(toks.size(), 7u);
+  EXPECT_TRUE(toks[0].IsIdent("int"));
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[2].kind, TokenKind::kPunct);
+  EXPECT_EQ(toks[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(toks[5].kind, TokenKind::kComment);
+  EXPECT_EQ(toks[6].kind, TokenKind::kString);
+  EXPECT_EQ(toks[6].line, 2);
+}
+
+TEST(LexerTest, BannedNamesInsideStringsAndCommentsAreNotCode) {
+  // "time(" in a string literal or comment must not trip R1.
+  const auto fs = Lint("src/sim/a.cc",
+                       "const char* s = \"time(now)\";\n"
+                       "// system_clock is banned\n"
+                       "/* rand() too */\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LexerTest, RawStringsAreSingleTokens) {
+  const auto toks = Lex("auto s = R\"(time( rand( ))\"; int y;");
+  bool saw_raw = false;
+  for (const auto& t : toks) {
+    if (t.kind == TokenKind::kString) {
+      saw_raw = true;
+      EXPECT_NE(t.text.find("rand("), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_raw);
+  const auto fs = Lint("src/sim/a.cc", "auto s = R\"(time(0))\";\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LexerTest, PreprocessorDirectivesAreOpaque) {
+  const auto fs = Lint("src/sim/a.cc", "#include <random>\n#define T time\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// R1: wall clock
+// ---------------------------------------------------------------------------
+
+TEST(R1WallClockTest, FlagsChronoClocksAndLibcTime) {
+  const auto fs = Lint("src/sim/a.cc",
+                       "auto t = std::chrono::steady_clock::now();\n"
+                       "double u = time(nullptr);\n"
+                       "long v = std::time(nullptr);\n");
+  EXPECT_EQ(CountRule(fs, Rule::kWallClock), 3);
+  EXPECT_EQ(fs[0].line, 1);
+}
+
+TEST(R1WallClockTest, MemberNamedTimeIsNotFlagged) {
+  const auto fs = Lint("src/sim/a.cc",
+                       "double a = sim.time();\n"
+                       "double b = clockwork::time(x);\n"
+                       "double c = m.create_time;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(R1WallClockTest, LoggingSinkIsAllowlisted) {
+  const std::string src = "auto t = std::chrono::system_clock::now();\n";
+  EXPECT_TRUE(Lint("src/common/logging.cc", src).empty());
+  EXPECT_TRUE(HasRule(Lint("src/common/config.cc", src), Rule::kWallClock));
+}
+
+// ---------------------------------------------------------------------------
+// R2: ambient randomness
+// ---------------------------------------------------------------------------
+
+TEST(R2RandomnessTest, FlagsRandFamilyAndStdEngines) {
+  const auto fs = Lint("src/core/a.cc",
+                       "int a = rand() % 6;\n"
+                       "std::random_device rd;\n"
+                       "std::mt19937 gen(rd());\n");
+  EXPECT_EQ(CountRule(fs, Rule::kRandomness), 3);
+}
+
+TEST(R2RandomnessTest, RngImplementationIsAllowlisted) {
+  const std::string src = "std::mt19937 reference_stream(42);\n";
+  EXPECT_TRUE(Lint("src/common/rng.cc", src).empty());
+  EXPECT_TRUE(Lint("src/common/rng.h", src).empty());
+  EXPECT_TRUE(HasRule(Lint("src/common/stats.cc", src), Rule::kRandomness));
+}
+
+TEST(R2RandomnessTest, SeededCrayfishRngIsFine) {
+  const auto fs = Lint("src/core/a.cc",
+                       "crayfish::Rng rng(seed);\n"
+                       "double d = rng.NextDouble();\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// R3: hash-order iteration
+// ---------------------------------------------------------------------------
+
+TEST(R3HashOrderTest, FlagsRangeForOverUnorderedMap) {
+  const auto fs = Lint("src/broker/a.cc",
+                       "std::unordered_map<std::string, int> counts;\n"
+                       "for (const auto& [k, v] : counts) { use(k, v); }\n");
+  ASSERT_EQ(CountRule(fs, Rule::kHashOrder), 1);
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(R3HashOrderTest, FlagsExplicitIteratorLoop) {
+  const auto fs = Lint("src/sps/a.cc",
+                       "std::unordered_set<int> live;\n"
+                       "for (auto it = live.begin(); it != live.end(); ++it) "
+                       "{}\n");
+  EXPECT_EQ(CountRule(fs, Rule::kHashOrder), 1);
+}
+
+TEST(R3HashOrderTest, NestedTemplateArgumentsParse) {
+  const auto fs = Lint(
+      "src/serving/a.cc",
+      "std::unordered_map<std::string, std::vector<int>> waiting;\n"
+      "for (auto& [k, v] : waiting) {}\n");
+  EXPECT_EQ(CountRule(fs, Rule::kHashOrder), 1);
+}
+
+TEST(R3HashOrderTest, OrderedContainersAndLookupsAreFine) {
+  const auto fs = Lint("src/broker/a.cc",
+                       "std::map<std::string, int> counts;\n"
+                       "for (const auto& [k, v] : counts) {}\n"
+                       "std::unordered_map<int, int> cache;\n"
+                       "auto it = cache.find(3);\n"
+                       "cache[4] = 5;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(R3HashOrderTest, OnlySchedulingDirectoriesAreInScope) {
+  const std::string src =
+      "std::unordered_map<int, int> m;\n"
+      "for (auto& [k, v] : m) {}\n";
+  EXPECT_TRUE(Lint("src/tensor/a.cc", src).empty());
+  EXPECT_FALSE(Lint("src/sim/a.cc", src).empty());
+  EXPECT_FALSE(Lint("/abs/prefix/src/core/a.cc", src).empty());
+}
+
+TEST(R3HashOrderTest, SuppressionOnLineSilences) {
+  const auto fs = Lint(
+      "src/sim/a.cc",
+      "std::unordered_map<int, int> m;\n"
+      "for (auto& [k, v] : m) {  // lint: order-independent sums commute\n"
+      "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(R3HashOrderTest, StandaloneSuppressionCommentCoversNextLine) {
+  const auto fs = Lint("src/sim/a.cc",
+                       "std::unordered_map<int, int> m;\n"
+                       "// lint: order-independent all values are max()ed\n"
+                       "for (auto& [k, v] : m) {}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// R4: discarded Status
+// ---------------------------------------------------------------------------
+
+SymbolTable TableFromHeader() {
+  SymbolTable table;
+  CollectReturnTypes(
+      Lex("Status CreateTopic(const std::string& name, int parts);\n"
+          "StatusOr<std::vector<int>> Fetch(int n);\n"
+          "void Stop();\n"
+          "Status Flush();\n"
+          "int Flush(bool hard);\n"),  // Flush is ambiguous
+      &table);
+  return table;
+}
+
+TEST(R4IgnoredStatusTest, SymbolTableClassifiesReturnTypes) {
+  const SymbolTable table = TableFromHeader();
+  EXPECT_TRUE(table.ReturnsStatusUnambiguously("CreateTopic"));
+  EXPECT_TRUE(table.ReturnsStatusUnambiguously("Fetch"));
+  EXPECT_FALSE(table.ReturnsStatusUnambiguously("Stop"));
+  EXPECT_FALSE(table.ReturnsStatusUnambiguously("Flush"));  // ambiguous
+}
+
+TEST(R4IgnoredStatusTest, FlagsDiscardedCallStatement) {
+  const SymbolTable table = TableFromHeader();
+  const auto fs = Lint("src/broker/a.cc",
+                       "void F(Broker& b) {\n"
+                       "  b.CreateTopic(\"in\", 32);\n"
+                       "  Stop();\n"
+                       "}\n",
+                       table);
+  ASSERT_EQ(CountRule(fs, Rule::kIgnoredStatus), 1);
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(R4IgnoredStatusTest, CheckedAndPropagatedCallsAreFine) {
+  const SymbolTable table = TableFromHeader();
+  const auto fs = Lint(
+      "src/broker/a.cc",
+      "Status F(Broker& b) {\n"
+      "  Status st = b.CreateTopic(\"in\", 32);\n"
+      "  if (!st.ok()) return st;\n"
+      "  CRAYFISH_RETURN_IF_ERROR(b.CreateTopic(\"out\", 32));\n"
+      "  return b.CreateTopic(\"dlq\", 1);\n"
+      "}\n",
+      table);
+  EXPECT_FALSE(HasRule(fs, Rule::kIgnoredStatus));
+}
+
+TEST(R4IgnoredStatusTest, FlagsDiscardAfterIfWithoutBraces) {
+  const SymbolTable table = TableFromHeader();
+  const auto fs = Lint("src/broker/a.cc",
+                       "void F(Broker& b) {\n"
+                       "  if (enabled) b.CreateTopic(\"in\", 32);\n"
+                       "}\n",
+                       table);
+  EXPECT_EQ(CountRule(fs, Rule::kIgnoredStatus), 1);
+}
+
+TEST(R4IgnoredStatusTest, SuppressedExplicitDiscard) {
+  const SymbolTable table = TableFromHeader();
+  const auto fs = Lint(
+      "src/broker/a.cc",
+      "void F(Broker& b) {\n"
+      "  // lint: status-ignored topic may already exist, both are fine\n"
+      "  b.CreateTopic(\"in\", 32);\n"
+      "}\n",
+      table);
+  EXPECT_FALSE(HasRule(fs, Rule::kIgnoredStatus));
+}
+
+// ---------------------------------------------------------------------------
+// R5: float accumulators
+// ---------------------------------------------------------------------------
+
+TEST(R5FloatAccumTest, FlagsCompoundAssignAndAccumulatorNames) {
+  const auto fs = Lint("src/core/metrics.cc",
+                       "float drift = 0;\n"
+                       "drift += sample;\n"
+                       "float total_latency = 0;\n");
+  EXPECT_EQ(CountRule(fs, Rule::kFloatAccum), 2);
+}
+
+TEST(R5FloatAccumTest, PlainFloatsAndDoublesAreFine) {
+  const auto fs = Lint("src/core/metrics.cc",
+                       "float scale = 0.5f;\n"    // never accumulated
+                       "double sum = 0.0;\n"      // correct type
+                       "float accuracy = 0.f;\n"  // 'acc' prefix != part
+                       "std::vector<float> values;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(R5FloatAccumTest, OnlyMetricsFilesAreInScope) {
+  const std::string src = "float sum = 0;\nsum += x;\n";
+  EXPECT_TRUE(Lint("src/tensor/ops.cc", src).empty());
+  EXPECT_FALSE(Lint("src/common/stats.cc", src).empty());
+  EXPECT_FALSE(Lint("src/obs/registry.cc", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// R0: suppression hygiene + output format
+// ---------------------------------------------------------------------------
+
+TEST(R0SuppressionTest, UnknownKeywordIsAFinding) {
+  const auto fs =
+      Lint("src/sim/a.cc", "int x = 0;  // lint: order-indep typo'd\n");
+  ASSERT_EQ(CountRule(fs, Rule::kSuppression), 1);
+  EXPECT_NE(fs[0].message.find("order-indep"), std::string::npos);
+}
+
+TEST(R0SuppressionTest, MissingJustificationIsAFindingAndDoesNotSuppress) {
+  const auto fs = Lint("src/sim/a.cc",
+                       "std::unordered_map<int, int> m;\n"
+                       "for (auto& [k, v] : m) {}  // lint: order-independent\n");
+  EXPECT_EQ(CountRule(fs, Rule::kSuppression), 1);
+  EXPECT_EQ(CountRule(fs, Rule::kHashOrder), 1);  // still reported
+}
+
+TEST(FindingTest, MachineReadableFormat) {
+  const auto fs = Lint("src/sim/a.cc", "auto t = time(nullptr);\n");
+  ASSERT_EQ(fs.size(), 1u);
+  const std::string line = fs[0].ToString();
+  EXPECT_EQ(line.rfind("src/sim/a.cc:1: R1: ", 0), 0u) << line;
+  EXPECT_NE(line.find("suggestion:"), std::string::npos);  // --fix-suggestions
+}
+
+TEST(FindingTest, SuggestionsOffByDefault) {
+  const auto fs =
+      LintSource("src/sim/a.cc", "auto t = time(nullptr);\n", {}, {});
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_TRUE(fs[0].suggestion.empty());
+}
+
+}  // namespace
+}  // namespace crayfish::lint

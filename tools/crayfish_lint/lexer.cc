@@ -1,0 +1,193 @@
+#include "crayfish_lint/lexer.h"
+
+#include <cctype>
+
+namespace crayfish::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators, longest first so "->*" beats "->" beats "-".
+constexpr std::string_view kPuncts[] = {
+    "->*", "<<=", ">>=", "...", "::", "->", "++", "--", "<<", ">>", "<=",
+    ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "##",
+};
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = src.size();
+
+  auto peek = [&](size_t k) -> char { return i + k < n ? src[i + k] : '\0'; };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: consume to end of line, folding continuations.
+    // (Only when '#' starts a logical line; a lone '#' elsewhere is kPunct.)
+    if (c == '#') {
+      size_t back = i;
+      bool at_line_start = true;
+      while (back > 0) {
+        const char p = src[back - 1];
+        if (p == '\n') break;
+        if (p != ' ' && p != '\t' && p != '\r') {
+          at_line_start = false;
+          break;
+        }
+        --back;
+      }
+      if (at_line_start) {
+        const int start_line = line;
+        size_t start = i;
+        while (i < n) {
+          if (src[i] == '\\' && peek(1) == '\n') {
+            i += 2;
+            ++line;
+            continue;
+          }
+          if (src[i] == '\n') break;
+          ++i;
+        }
+        out.push_back({TokenKind::kPreprocessor,
+                       std::string(src.substr(start, i - start)), start_line});
+        continue;
+      }
+    }
+
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      const size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      out.push_back(
+          {TokenKind::kComment, std::string(src.substr(start, i - start)),
+           line});
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      const size_t start = i;
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      out.push_back({TokenKind::kComment,
+                     std::string(src.substr(start, i - start)), start_line});
+      continue;
+    }
+
+    // Raw string literal, with optional encoding prefix: R"delim(...)delim".
+    if ((c == 'R' && peek(1) == '"') ||
+        ((c == 'u' || c == 'U' || c == 'L') && peek(1) == 'R' &&
+         peek(2) == '"') ||
+        (c == 'u' && peek(1) == '8' && peek(2) == 'R' && peek(3) == '"')) {
+      const int start_line = line;
+      const size_t start = i;
+      while (i < n && src[i] != '"') ++i;  // skip prefix
+      ++i;                                 // opening quote
+      std::string delim;
+      while (i < n && src[i] != '(') delim += src[i++];
+      ++i;  // '('
+      const std::string closer = ")" + delim + "\"";
+      const size_t end = src.find(closer, i);
+      if (end == std::string_view::npos) {
+        i = n;
+      } else {
+        i = end + closer.size();
+      }
+      for (size_t k = start; k < i; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      out.push_back({TokenKind::kString,
+                     std::string(src.substr(start, i - start)), start_line});
+      continue;
+    }
+
+    // Ordinary string / char literals (prefixes handled by falling through
+    // from the identifier path below when not followed by a quote).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      const size_t start = i;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          if (src[i + 1] == '\n') ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') ++line;  // unterminated; keep going to the quote
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      out.push_back({quote == '"' ? TokenKind::kString
+                                  : TokenKind::kCharLiteral,
+                     std::string(src.substr(start, i - start)), start_line});
+      continue;
+    }
+
+    // Identifier / keyword. Encoding prefixes (u8"x", L"x") lex as an
+    // identifier token followed by a string token, which is fine for these
+    // rules — none of them key on string contents.
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(src[i])) ++i;
+      out.push_back({TokenKind::kIdentifier,
+                     std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+
+    // Number (we do not distinguish int/float; rules only need the text).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      const size_t start = i;
+      while (i < n && (IsIdentChar(src[i]) || src[i] == '.' ||
+                       ((src[i] == '+' || src[i] == '-') &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.push_back({TokenKind::kNumber,
+                     std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+
+    // Punctuator: longest match from the table, else a single char.
+    bool matched = false;
+    for (std::string_view p : kPuncts) {
+      if (src.substr(i, p.size()) == p) {
+        out.push_back({TokenKind::kPunct, std::string(p), line});
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.push_back({TokenKind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace crayfish::lint

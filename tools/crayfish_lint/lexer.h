@@ -1,0 +1,44 @@
+#ifndef CRAYFISH_TOOLS_LINT_LEXER_H_
+#define CRAYFISH_TOOLS_LINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crayfish::lint {
+
+/// Token categories the rules care about. Comments are kept as tokens so the
+/// suppression pass can see them; preprocessor directives are one token per
+/// logical line so `#include <random>` never looks like code.
+enum class TokenKind {
+  kIdentifier,   ///< identifiers and keywords ("for", "float", "time", ...)
+  kNumber,       ///< integer / floating literals (incl. suffixes)
+  kString,       ///< "..." and R"(...)" literals, prefix included
+  kCharLiteral,  ///< '...'
+  kPunct,        ///< one operator/punctuator per token ("::", "->", "+=", ...)
+  kComment,      ///< // or /* */ comment, text includes the delimiters
+  kPreprocessor, ///< whole directive line(s), continuations folded in
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+
+  bool Is(TokenKind k, std::string_view t) const {
+    return kind == k && text == t;
+  }
+  bool IsIdent(std::string_view t) const {
+    return Is(TokenKind::kIdentifier, t);
+  }
+  bool IsPunct(std::string_view t) const { return Is(TokenKind::kPunct, t); }
+};
+
+/// Tokenizes C++ source. The lexer is deliberately forgiving: on malformed
+/// input it produces *some* token stream rather than failing, because a lint
+/// pass must never block the build on code the compiler accepts.
+std::vector<Token> Lex(std::string_view source);
+
+}  // namespace crayfish::lint
+
+#endif  // CRAYFISH_TOOLS_LINT_LEXER_H_

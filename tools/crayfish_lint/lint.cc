@@ -1,0 +1,604 @@
+#include "crayfish_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace crayfish::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+/// True when `path` ends with `suffix` at a path-component boundary, so
+/// "src/common/rng.cc" matches both "/root/repo/src/common/rng.cc" and
+/// "src/common/rng.cc" but not "xsrc/common/rng.cc".
+bool PathEndsWith(std::string_view path, std::string_view suffix) {
+  if (path.size() < suffix.size()) return false;
+  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  return path.size() == suffix.size() ||
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
+/// True when `path` lies under src/<dir>/ regardless of how much prefix the
+/// caller passed (absolute, repo-relative, or bare).
+bool InDir(std::string_view path, std::string_view dir) {
+  std::string needle;
+  needle.reserve(dir.size() + 2);
+  needle.push_back('/');
+  needle.append(dir);
+  needle.push_back('/');
+  if (path.find(needle) != std::string_view::npos) return true;
+  // needle without the leading '/' is the repo-relative prefix form.
+  return path.substr(0, needle.size() - 1) == needle.substr(1);
+}
+
+/// R3 applies where iteration order can reach scheduling decisions or
+/// exported results.
+bool InSchedulingDir(std::string_view path) {
+  return InDir(path, "src/sim") || InDir(path, "src/broker") ||
+         InDir(path, "src/sps") || InDir(path, "src/serving") ||
+         InDir(path, "src/core");
+}
+
+/// R5 applies to metrics/statistics aggregation code.
+bool InMetricsCode(std::string_view path) {
+  return PathEndsWith(path, "src/common/stats.h") ||
+         PathEndsWith(path, "src/common/stats.cc") ||
+         PathEndsWith(path, "src/core/metrics.h") ||
+         PathEndsWith(path, "src/core/metrics.cc") ||
+         PathEndsWith(path, "src/core/report.h") ||
+         PathEndsWith(path, "src/core/report.cc") ||
+         PathEndsWith(path, "src/core/breakdown.h") ||
+         PathEndsWith(path, "src/core/breakdown.cc") || InDir(path, "src/obs");
+}
+
+bool IsWallClockAllowlisted(std::string_view path) {
+  // The logging real-time sink is the single place allowed to read the host
+  // clock (it never feeds back into simulation state).
+  return PathEndsWith(path, "src/common/logging.cc");
+}
+
+bool IsRngAllowlisted(std::string_view path) {
+  return PathEndsWith(path, "src/common/rng.h") ||
+         PathEndsWith(path, "src/common/rng.cc");
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers
+// ---------------------------------------------------------------------------
+
+bool IsCode(const Token& t) {
+  return t.kind != TokenKind::kComment && t.kind != TokenKind::kPreprocessor;
+}
+
+/// Index of the next/previous code token, or -1.
+int NextCode(const std::vector<Token>& toks, int i) {
+  for (int k = i + 1; k < static_cast<int>(toks.size()); ++k) {
+    if (IsCode(toks[k])) return k;
+  }
+  return -1;
+}
+int PrevCode(const std::vector<Token>& toks, int i) {
+  for (int k = i - 1; k >= 0; --k) {
+    if (IsCode(toks[k])) return k;
+  }
+  return -1;
+}
+
+/// Starting at the index of a `<` token, returns the index just past the
+/// matching `>` (handles `>>` produced by the lexer), or -1 when unmatched.
+int SkipAngles(const std::vector<Token>& toks, int open) {
+  int depth = 0;
+  for (int k = open; k < static_cast<int>(toks.size()); ++k) {
+    const Token& t = toks[k];
+    if (!IsCode(t)) continue;
+    if (t.IsPunct("<")) ++depth;
+    if (t.IsPunct("<<")) depth += 2;
+    if (t.IsPunct(">")) --depth;
+    if (t.IsPunct(">>")) depth -= 2;
+    if (t.IsPunct(";")) return -1;  // statement ended: it was a comparison
+    if (depth <= 0) return k + 1;
+  }
+  return -1;
+}
+
+/// Starting at the index of a `(` token, returns the index of the matching
+/// `)`, or -1.
+int MatchParen(const std::vector<Token>& toks, int open) {
+  int depth = 0;
+  for (int k = open; k < static_cast<int>(toks.size()); ++k) {
+    const Token& t = toks[k];
+    if (!IsCode(t)) continue;
+    if (t.IsPunct("(")) ++depth;
+    if (t.IsPunct(")")) {
+      --depth;
+      if (depth == 0) return k;
+    }
+  }
+  return -1;
+}
+
+const std::set<std::string> kTypePositionExclusions = {
+    "return", "co_return", "co_await", "co_yield", "case",   "goto",
+    "new",    "delete",    "throw",    "else",     "do",     "sizeof",
+    "alignof", "typedef",  "using",    "namespace", "if",    "while",
+    "for",    "switch",    "template", "typename", "class",  "struct",
+    "enum",   "public",    "private",  "protected", "operator",
+};
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+struct Suppression {
+  std::string keyword;
+  std::string justification;
+  int line = 0;           ///< line the comment is on
+  int applies_to = 0;     ///< line of code it suppresses
+};
+
+std::string Trim(std::string s) {
+  const auto is_noise = [](char c) {
+    return c == ' ' || c == '\t' || c == '-' || c == ':' ||
+           static_cast<unsigned char>(c) >= 0x80;  // em-dash bytes etc.
+  };
+  size_t b = 0;
+  while (b < s.size() && is_noise(s[b])) ++b;
+  size_t e = s.size();
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '/' ||
+                   s[e - 1] == '*')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+/// Extracts `// lint: <keyword> <justification>` comments. A comment on a
+/// line of its own applies to the next line; a trailing comment applies to
+/// its own line.
+std::vector<Suppression> ParseSuppressions(const std::vector<Token>& toks) {
+  std::set<int> code_lines;
+  for (const Token& t : toks) {
+    if (IsCode(t)) code_lines.insert(t.line);
+  }
+  std::vector<Suppression> out;
+  for (const Token& t : toks) {
+    if (t.kind != TokenKind::kComment) continue;
+    const size_t at = t.text.find("lint:");
+    if (at == std::string::npos) continue;
+    std::istringstream rest(t.text.substr(at + 5));
+    Suppression s;
+    rest >> s.keyword;
+    std::string tail;
+    std::getline(rest, tail);
+    s.justification = Trim(tail);
+    s.line = t.line;
+    s.applies_to = code_lines.count(t.line) ? t.line : t.line + 1;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+const std::map<std::string, Rule, std::less<>> kKeywordToRule = {
+    {"wall-clock-ok", Rule::kWallClock},
+    {"unseeded-ok", Rule::kRandomness},
+    {"order-independent", Rule::kHashOrder},
+    {"status-ignored", Rule::kIgnoredStatus},
+    {"float-ok", Rule::kFloatAccum},
+};
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+class Linter {
+ public:
+  Linter(const std::string& path, const std::vector<Token>& toks,
+         const SymbolTable& table, const LintOptions& options)
+      : path_(path), toks_(toks), table_(table), options_(options) {}
+
+  std::vector<Finding> Run() {
+    suppressions_ = ParseSuppressions(toks_);
+    CheckSuppressionComments();
+    if (!IsWallClockAllowlisted(path_)) CheckWallClock();
+    if (!IsRngAllowlisted(path_)) CheckRandomness();
+    if (InSchedulingDir(path_)) CheckHashOrder();
+    CheckIgnoredStatus();
+    if (InMetricsCode(path_)) CheckFloatAccumulators();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return a.line < b.line;
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  void Report(Rule rule, int line, std::string message,
+              std::string suggestion) {
+    for (const Suppression& s : suppressions_) {
+      if (s.applies_to != line) continue;
+      const auto it = kKeywordToRule.find(s.keyword);
+      if (it != kKeywordToRule.end() && it->second == rule &&
+          !s.justification.empty()) {
+        return;  // validly suppressed
+      }
+    }
+    Finding f;
+    f.file = path_;
+    f.line = line;
+    f.rule = rule;
+    f.message = std::move(message);
+    if (options_.fix_suggestions) f.suggestion = std::move(suggestion);
+    findings_.push_back(std::move(f));
+  }
+
+  // R0: a malformed suppression is itself a finding, so a typo'd keyword
+  // cannot silently disable enforcement.
+  void CheckSuppressionComments() {
+    for (const Suppression& s : suppressions_) {
+      if (kKeywordToRule.find(s.keyword) == kKeywordToRule.end()) {
+        Report(Rule::kSuppression, s.line,
+               "unknown lint suppression keyword '" + s.keyword + "'",
+               "use one of: wall-clock-ok, unseeded-ok, order-independent, "
+               "status-ignored, float-ok");
+      } else if (s.justification.empty()) {
+        Report(Rule::kSuppression, s.line,
+               "lint suppression '" + s.keyword +
+                   "' is missing a justification",
+               "append a short reason, e.g. `// lint: " + s.keyword +
+                   " counts are summed, order cannot matter`");
+      }
+    }
+  }
+
+  /// True when the identifier at `i` is used as a free (or std::) function
+  /// call rather than a member access or another namespace's symbol.
+  bool IsFreeCall(int i) {
+    const int next = NextCode(toks_, i);
+    if (next < 0 || !toks_[next].IsPunct("(")) return false;
+    const int prev = PrevCode(toks_, i);
+    if (prev < 0) return true;
+    if (toks_[prev].IsPunct(".") || toks_[prev].IsPunct("->")) return false;
+    if (toks_[prev].IsPunct("::")) {
+      const int qual = PrevCode(toks_, prev);
+      // `std::time(` and global `::time(` are still the libc clock;
+      // `other_ns::time(` is not ours to judge.
+      return qual < 0 || toks_[qual].IsIdent("std") ||
+             toks_[qual].kind != TokenKind::kIdentifier;
+    }
+    return true;
+  }
+
+  // R1 --------------------------------------------------------------------
+  void CheckWallClock() {
+    static const std::set<std::string> banned_idents = {
+        "system_clock", "steady_clock", "high_resolution_clock",
+        "gettimeofday", "clock_gettime", "localtime", "gmtime", "mktime",
+        "timespec_get"};
+    static const std::set<std::string> banned_calls = {"time", "clock"};
+    for (int i = 0; i < static_cast<int>(toks_.size()); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      const bool banned_ident = banned_idents.count(t.text) > 0;
+      const bool banned_call = banned_calls.count(t.text) > 0 && IsFreeCall(i);
+      if (!banned_ident && !banned_call) continue;
+      Report(Rule::kWallClock, t.line,
+             "wall-clock read '" + t.text +
+                 "' in simulated code; all time must come from the "
+                 "simulation clock",
+             "take the current time from sim::Simulation::Now() (plumbed "
+             "through the component), or move the read into the allowlisted "
+             "real-time logging sink");
+    }
+  }
+
+  // R2 --------------------------------------------------------------------
+  void CheckRandomness() {
+    static const std::set<std::string> banned_idents = {
+        "random_device", "mt19937",      "mt19937_64",
+        "minstd_rand",   "minstd_rand0", "default_random_engine",
+        "random_shuffle"};
+    static const std::set<std::string> banned_calls = {
+        "rand", "srand", "drand48", "lrand48", "srandom", "random"};
+    for (int i = 0; i < static_cast<int>(toks_.size()); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      const bool banned_ident = banned_idents.count(t.text) > 0;
+      const bool banned_call = banned_calls.count(t.text) > 0 && IsFreeCall(i);
+      if (!banned_ident && !banned_call) continue;
+      Report(Rule::kRandomness, t.line,
+             "ambient randomness '" + t.text +
+                 "' outside src/common/rng; every stochastic draw must come "
+                 "from a seeded crayfish::Rng",
+             "accept a crayfish::Rng (or fork one with Rng::Fork()) and draw "
+             "from it instead");
+    }
+  }
+
+  // R3 --------------------------------------------------------------------
+  void CheckHashOrder() {
+    static const std::set<std::string> unordered_types = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    // Pass A: names declared with (or returned as) an unordered type.
+    std::set<std::string> unordered_names;
+    for (int i = 0; i < static_cast<int>(toks_.size()); ++i) {
+      if (toks_[i].kind != TokenKind::kIdentifier ||
+          unordered_types.count(toks_[i].text) == 0) {
+        continue;
+      }
+      int k = NextCode(toks_, i);
+      if (k >= 0 && toks_[k].IsPunct("<")) k = SkipAngles(toks_, k);
+      if (k >= 0 && k < static_cast<int>(toks_.size()) && !IsCode(toks_[k])) {
+        k = NextCode(toks_, k - 1);
+      }
+      if (k >= static_cast<int>(toks_.size())) continue;
+      while (k >= 0 && (toks_[k].IsPunct("*") || toks_[k].IsPunct("&") ||
+                        toks_[k].IsIdent("const"))) {
+        k = NextCode(toks_, k);
+      }
+      if (k >= 0 && toks_[k].kind == TokenKind::kIdentifier) {
+        unordered_names.insert(toks_[k].text);
+      }
+    }
+    if (unordered_names.empty()) return;
+
+    for (int i = 0; i < static_cast<int>(toks_.size()); ++i) {
+      const Token& t = toks_[i];
+      // Range-for whose range expression mentions an unordered name.
+      if (t.IsIdent("for")) {
+        const int open = NextCode(toks_, i);
+        if (open < 0 || !toks_[open].IsPunct("(")) continue;
+        const int close = MatchParen(toks_, open);
+        if (close < 0) continue;
+        int colon = -1;
+        int depth = 0;
+        for (int k = open; k < close; ++k) {
+          if (!IsCode(toks_[k])) continue;
+          if (toks_[k].IsPunct("(")) ++depth;
+          if (toks_[k].IsPunct(")")) --depth;
+          if (depth == 1 && toks_[k].IsPunct(":")) {
+            colon = k;
+            break;
+          }
+        }
+        if (colon < 0) continue;
+        for (int k = colon + 1; k < close; ++k) {
+          if (toks_[k].kind == TokenKind::kIdentifier &&
+              unordered_names.count(toks_[k].text) > 0) {
+            ReportHashOrder(t.line, toks_[k].text);
+            break;
+          }
+        }
+      }
+      // Explicit iterator loop: name.begin() / name.cbegin().
+      if (t.kind == TokenKind::kIdentifier &&
+          unordered_names.count(t.text) > 0) {
+        const int dot = NextCode(toks_, i);
+        if (dot < 0 || !toks_[dot].IsPunct(".")) continue;
+        const int fn = NextCode(toks_, dot);
+        if (fn >= 0 && (toks_[fn].IsIdent("begin") ||
+                        toks_[fn].IsIdent("cbegin")) &&
+            IsCallAt(fn)) {
+          ReportHashOrder(t.line, t.text);
+        }
+      }
+    }
+  }
+
+  bool IsCallAt(int ident) {
+    const int next = NextCode(toks_, ident);
+    return next >= 0 && toks_[next].IsPunct("(");
+  }
+
+  void ReportHashOrder(int line, const std::string& name) {
+    Report(Rule::kHashOrder, line,
+           "iteration over unordered container '" + name +
+               "' in a scheduling-adjacent directory; hash order is not "
+               "deterministic across platforms or library versions",
+           "switch '" + name +
+               "' to std::map/std::set, iterate a sorted copy of the keys, "
+               "or annotate the line `// lint: order-independent <why>`");
+  }
+
+  // R4 --------------------------------------------------------------------
+  void CheckIgnoredStatus() {
+    for (int i = 0; i < static_cast<int>(toks_.size()); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      // Statement start: previous code token ends a statement or block.
+      const int prev = PrevCode(toks_, i);
+      if (prev >= 0) {
+        const Token& p = toks_[prev];
+        const bool boundary = p.IsPunct(";") || p.IsPunct("{") ||
+                              p.IsPunct("}") || p.IsPunct(")") ||
+                              p.IsIdent("else") || p.IsIdent("do");
+        if (!boundary) continue;
+      }
+      if (kTypePositionExclusions.count(t.text) > 0) continue;
+      // Walk the qualified/member chain to the callee identifier.
+      int callee = i;
+      int k = NextCode(toks_, i);
+      while (k >= 0 && (toks_[k].IsPunct("::") || toks_[k].IsPunct(".") ||
+                        toks_[k].IsPunct("->"))) {
+        const int name = NextCode(toks_, k);
+        if (name < 0 || toks_[name].kind != TokenKind::kIdentifier) break;
+        callee = name;
+        k = NextCode(toks_, name);
+      }
+      if (k < 0 || !toks_[k].IsPunct("(")) continue;
+      const int close = MatchParen(toks_, k);
+      if (close < 0) continue;
+      const int after = NextCode(toks_, close);
+      if (after < 0 || !toks_[after].IsPunct(";")) continue;
+      const std::string& name = toks_[callee].text;
+      if (!table_.ReturnsStatusUnambiguously(name)) continue;
+      Report(Rule::kIgnoredStatus, toks_[callee].line,
+             "result of '" + name +
+                 "' (returns common::Status) is discarded; failures would "
+                 "vanish silently",
+             "check it (Status st = ...; if (!st.ok()) ...), propagate with "
+             "CRAYFISH_RETURN_IF_ERROR(...), or make the discard explicit "
+             "with (void) plus a `// lint: status-ignored <why>` comment");
+    }
+  }
+
+  // R5 --------------------------------------------------------------------
+  void CheckFloatAccumulators() {
+    // Declared `float <name>` variables in this file.
+    std::map<std::string, int> float_decls;
+    for (int i = 0; i < static_cast<int>(toks_.size()); ++i) {
+      if (!toks_[i].IsIdent("float")) continue;
+      const int name = NextCode(toks_, i);
+      if (name < 0 || toks_[name].kind != TokenKind::kIdentifier) continue;
+      float_decls.emplace(toks_[name].text, toks_[name].line);
+    }
+    if (float_decls.empty()) return;
+
+    std::set<std::string> flagged;
+    // Accumulation detected structurally: `<name> += ...` / `-=` / `*=`.
+    for (int i = 0; i + 1 < static_cast<int>(toks_.size()); ++i) {
+      if (toks_[i].kind != TokenKind::kIdentifier) continue;
+      const int op = NextCode(toks_, i);
+      if (op < 0) continue;
+      if (toks_[op].IsPunct("+=") || toks_[op].IsPunct("-=") ||
+          toks_[op].IsPunct("*=")) {
+        flagged.insert(toks_[i].text);
+      }
+    }
+    // ...or by name: snake_case parts that scream "accumulator".
+    static const std::set<std::string> accum_parts = {
+        "sum", "total", "acc", "accum", "avg", "mean", "agg", "aggregate",
+        "cum", "running"};
+    for (const auto& [name, line] : float_decls) {
+      bool by_name = false;
+      std::string part;
+      std::string padded = name;
+      padded.push_back('_');  // flush the final part through the loop
+      for (char c : padded) {
+        if (c == '_') {
+          if (accum_parts.count(part) > 0) by_name = true;
+          part.clear();
+        } else {
+          part += static_cast<char>(
+              std::tolower(static_cast<unsigned char>(c)));
+        }
+      }
+      if (flagged.count(name) == 0 && !by_name) continue;
+      Report(Rule::kFloatAccum, line,
+             "float accumulator '" + name +
+                 "' in metrics/stats code; single-precision accumulation "
+                 "drifts and makes results depend on summation order",
+             "declare '" + name +
+                 "' as double (the convention in src/common/stats.*); cast "
+                 "to float only at the output boundary if needed");
+    }
+  }
+
+  const std::string& path_;
+  const std::vector<Token>& toks_;
+  const SymbolTable& table_;
+  const LintOptions& options_;
+  std::vector<Suppression> suppressions_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::string_view RuleName(Rule rule) {
+  switch (rule) {
+    case Rule::kSuppression:
+      return "R0";
+    case Rule::kWallClock:
+      return "R1";
+    case Rule::kRandomness:
+      return "R2";
+    case Rule::kHashOrder:
+      return "R3";
+    case Rule::kIgnoredStatus:
+      return "R4";
+    case Rule::kFloatAccum:
+      return "R5";
+  }
+  return "R?";
+}
+
+std::string_view SuppressionKeyword(Rule rule) {
+  switch (rule) {
+    case Rule::kSuppression:
+      return "";
+    case Rule::kWallClock:
+      return "wall-clock-ok";
+    case Rule::kRandomness:
+      return "unseeded-ok";
+    case Rule::kHashOrder:
+      return "order-independent";
+    case Rule::kIgnoredStatus:
+      return "status-ignored";
+    case Rule::kFloatAccum:
+      return "float-ok";
+  }
+  return "";
+}
+
+std::string Finding::ToString() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << RuleName(rule) << ": " << message;
+  if (!suggestion.empty()) {
+    os << "\n    suggestion: " << suggestion;
+  }
+  return os.str();
+}
+
+void CollectReturnTypes(const std::vector<Token>& toks, SymbolTable* table) {
+  for (int i = 0; i < static_cast<int>(toks.size()); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text == "Status" || t.text == "StatusOr") {
+      int k = NextCode(toks, i);
+      if (t.text == "StatusOr") {
+        if (k < 0 || !toks[k].IsPunct("<")) continue;
+        k = SkipAngles(toks, k);
+        if (k < 0 || k >= static_cast<int>(toks.size())) continue;
+        if (!IsCode(toks[k])) k = NextCode(toks, k - 1);
+      }
+      if (k >= 0 && toks[k].kind == TokenKind::kIdentifier) {
+        const int paren = NextCode(toks, k);
+        if (paren >= 0 && toks[paren].IsPunct("(")) {
+          table->status_returning.insert(toks[k].text);
+        }
+      }
+      continue;
+    }
+    // Any other `<type-ish ident> <ident> (` pair marks the name as NOT
+    // (only) Status-returning, so overloaded names are never flagged.
+    if (kTypePositionExclusions.count(t.text) > 0) continue;
+    const int name = NextCode(toks, i);
+    if (name < 0 || toks[name].kind != TokenKind::kIdentifier) continue;
+    const int paren = NextCode(toks, name);
+    if (paren >= 0 && toks[paren].IsPunct("(")) {
+      table->other_returning.insert(toks[name].text);
+    }
+  }
+}
+
+std::vector<Finding> LintTokens(const std::string& path,
+                                const std::vector<Token>& tokens,
+                                const SymbolTable& table,
+                                const LintOptions& options) {
+  Linter linter(path, tokens, table, options);
+  return linter.Run();
+}
+
+std::vector<Finding> LintSource(const std::string& path,
+                                std::string_view source,
+                                const SymbolTable& table,
+                                const LintOptions& options) {
+  return LintTokens(path, Lex(source), table, options);
+}
+
+}  // namespace crayfish::lint

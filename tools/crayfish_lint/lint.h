@@ -1,0 +1,81 @@
+#ifndef CRAYFISH_TOOLS_LINT_LINT_H_
+#define CRAYFISH_TOOLS_LINT_LINT_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crayfish_lint/lexer.h"
+
+namespace crayfish::lint {
+
+/// Rule identifiers. R0 is the meta-rule that validates suppression comments
+/// themselves (unknown keyword, missing justification).
+enum class Rule {
+  kSuppression,   // R0
+  kWallClock,     // R1: no wall-clock reads in simulated code
+  kRandomness,    // R2: no ambient randomness outside common/rng
+  kHashOrder,     // R3: no iteration over unordered containers in
+                  //     scheduling-adjacent directories
+  kIgnoredStatus, // R4: no discarded common::Status results
+  kFloatAccum,    // R5: no float accumulators in metrics/stats code
+};
+
+/// Stable short name used in machine-readable output ("R1", "R2", ...).
+std::string_view RuleName(Rule rule);
+
+/// The suppression keyword that silences a rule on its line, e.g.
+/// `// lint: order-independent <justification>` for R3.
+std::string_view SuppressionKeyword(Rule rule);
+
+struct Finding {
+  std::string file;  ///< path as given to the linter (repo-relative in CI)
+  int line = 0;
+  Rule rule = Rule::kSuppression;
+  std::string message;
+  std::string suggestion;  ///< printed only under --fix-suggestions
+
+  /// "file:line: R3: message" (one line, grep/IDE friendly).
+  std::string ToString() const;
+};
+
+/// Function names whose return type is known from declarations. Built over
+/// every header first so R4 can resolve calls across translation units; a
+/// name declared with both a Status and a non-Status return anywhere is
+/// treated as ambiguous and never flagged.
+struct SymbolTable {
+  std::set<std::string> status_returning;
+  std::set<std::string> other_returning;
+
+  bool ReturnsStatusUnambiguously(const std::string& name) const {
+    return status_returning.count(name) > 0 && other_returning.count(name) == 0;
+  }
+};
+
+/// Scans one file's tokens for function declarations/definitions and records
+/// their return-type class into `table`.
+void CollectReturnTypes(const std::vector<Token>& tokens, SymbolTable* table);
+
+struct LintOptions {
+  bool fix_suggestions = false;
+};
+
+/// Runs all rules over one tokenized file. `path` should use forward slashes;
+/// directory-scoped rules (R1 allowlist, R2 allowlist, R3 scheduling dirs,
+/// R5 metrics files) match on path suffixes so absolute and relative
+/// invocations behave identically.
+std::vector<Finding> LintTokens(const std::string& path,
+                                const std::vector<Token>& tokens,
+                                const SymbolTable& table,
+                                const LintOptions& options);
+
+/// Convenience: lex + lint one in-memory source (used by the unit tests).
+std::vector<Finding> LintSource(const std::string& path,
+                                std::string_view source,
+                                const SymbolTable& table,
+                                const LintOptions& options);
+
+}  // namespace crayfish::lint
+
+#endif  // CRAYFISH_TOOLS_LINT_LINT_H_

@@ -1,0 +1,156 @@
+// crayfish_lint: determinism & correctness static analysis for the Crayfish
+// simulated stack. See DESIGN.md "Determinism rules" for the rule set.
+//
+// Usage:
+//   crayfish_lint [--fix-suggestions] <file-or-dir>...
+//
+// Output is machine readable, one finding per line:
+//   <file>:<line>: <rule>: <message>
+// Exit status: 0 = clean, 1 = findings, 2 = usage/IO error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "crayfish_lint/lexer.h"
+#include "crayfish_lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsCppSource(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+/// Collects .h/.cc files under `root` (or `root` itself when it is a file),
+/// skipping build trees. Sorted so output order is stable across filesystems
+/// — the linter holds itself to its own R3.
+std::vector<std::string> GatherFiles(const std::string& root) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    files.push_back(root);
+    return files;
+  }
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    const fs::path& p = it->path();
+    const std::string name = p.filename().string();
+    if (it->is_directory(ec) &&
+        (name == "build" || name == ".git" || name.rfind("cmake-", 0) == 0)) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file(ec) && IsCppSource(p)) {
+      files.push_back(p.generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: crayfish_lint [--fix-suggestions] <file-or-dir>...\n"
+         "\n"
+         "Determinism & correctness rules enforced over the Crayfish "
+         "sources:\n"
+         "  R1  no wall-clock reads (allowlisted: src/common/logging.cc)\n"
+         "  R2  no ambient randomness outside src/common/rng.{h,cc}\n"
+         "  R3  no unordered-container iteration in scheduling dirs\n"
+         "      (src/sim, src/broker, src/sps, src/serving, src/core)\n"
+         "  R4  no discarded common::Status results\n"
+         "  R5  no float accumulators in metrics/stats code\n"
+         "\n"
+         "Suppress a finding on its line (or the line below a standalone\n"
+         "comment) with `// lint: <keyword> <justification>`, keywords:\n"
+         "  wall-clock-ok unseeded-ok order-independent status-ignored "
+         "float-ok\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fix_suggestions = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fix-suggestions") {
+      fix_suggestions = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "crayfish_lint: unknown flag '" << arg << "'\n";
+      return Usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return Usage();
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (!fs::exists(root, ec)) {
+      std::cerr << "crayfish_lint: no such file or directory: " << root
+                << "\n";
+      return 2;
+    }
+    std::vector<std::string> sub = GatherFiles(root);
+    files.insert(files.end(), sub.begin(), sub.end());
+  }
+
+  // Pass 1: tokenize everything and build the cross-file return-type table
+  // that R4 resolves callees against.
+  std::vector<std::vector<crayfish::lint::Token>> token_streams;
+  token_streams.reserve(files.size());
+  crayfish::lint::SymbolTable table;
+  for (const std::string& file : files) {
+    std::string content;
+    if (!ReadFile(file, &content)) {
+      std::cerr << "crayfish_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    token_streams.push_back(crayfish::lint::Lex(content));
+    crayfish::lint::CollectReturnTypes(token_streams.back(), &table);
+  }
+
+  // Pass 2: run the rules.
+  crayfish::lint::LintOptions options;
+  options.fix_suggestions = fix_suggestions;
+  size_t finding_count = 0;
+  size_t files_with_findings = 0;
+  for (size_t i = 0; i < files.size(); ++i) {
+    const std::vector<crayfish::lint::Finding> findings =
+        crayfish::lint::LintTokens(files[i], token_streams[i], table, options);
+    if (!findings.empty()) ++files_with_findings;
+    for (const crayfish::lint::Finding& f : findings) {
+      std::cout << f.ToString() << "\n";
+      ++finding_count;
+    }
+  }
+
+  std::cerr << "crayfish_lint: " << files.size() << " files, "
+            << finding_count << " finding(s) in " << files_with_findings
+            << " file(s)\n";
+  return finding_count == 0 ? 0 : 1;
+}
