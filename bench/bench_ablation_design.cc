@@ -3,6 +3,8 @@
 // paper-facing metrics, so the causal stories told in EXPERIMENTS.md are
 // checkable rather than asserted.
 
+#include <vector>
+
 #include "bench/bench_common.h"
 
 namespace crayfish::bench {
@@ -15,7 +17,9 @@ void AblateFlinkBufferCycle() {
   core::ReportTable table(
       "Ablation 1: Flink buffer-cycle cost (ONNX, FFNN)",
       {"buffer_cycle ms", "latency@bsz=128 ms", "sat. throughput ev/s"});
-  for (double cycle_ms : {0.0, 3.0, 7.0}) {
+  const double cycles_ms[] = {0.0, 3.0, 7.0};
+  std::vector<core::ExperimentConfig> configs;  // (lat, thr) pairs
+  for (double cycle_ms : cycles_ms) {
     core::ExperimentConfig lat = ClosedLoopConfig("flink", "onnx", 128);
     lat.engine_overrides.SetDouble("flink.buffer_cycle_s",
                                    cycle_ms / 1000.0);
@@ -24,10 +28,16 @@ void AblateFlinkBufferCycle() {
     thr.engine_overrides.SetDouble("flink.buffer_cycle_s",
                                    cycle_ms / 1000.0);
     thr.duration_s = 8.0;
-    table.AddRow({core::ReportTable::Num(cycle_ms, 1),
-                  core::ReportTable::Num(Run(lat).summary.latency_mean_ms),
+    configs.push_back(std::move(lat));
+    configs.push_back(std::move(thr));
+  }
+  auto results = RunAll(configs);
+  for (size_t i = 0; i < std::size(cycles_ms); ++i) {
+    table.AddRow({core::ReportTable::Num(cycles_ms[i], 1),
                   core::ReportTable::Num(
-                      Run(thr).summary.throughput_eps)});
+                      results[2 * i].summary.latency_mean_ms),
+                  core::ReportTable::Num(
+                      results[2 * i + 1].summary.throughput_eps)});
   }
   Emit(table, "ablation1_flink_buffer_cycle.csv");
 }
@@ -39,14 +49,20 @@ void AblateSparkTriggerCap() {
   core::ReportTable table(
       "Ablation 2: Spark maxOffsetsPerTrigger (ONNX, FFNN, ir=30k)",
       {"cap", "throughput ev/s"});
-  for (int64_t cap : {int64_t{256}, int64_t{768}, int64_t{0}}) {
+  const int64_t caps[] = {256, 768, 0};
+  std::vector<core::ExperimentConfig> configs;
+  for (int64_t cap : caps) {
     core::ExperimentConfig cfg = ThroughputConfig("spark", "onnx", "ffnn");
     cfg.duration_s = 8.0;
     if (cap > 0) {
       cfg.engine_overrides.SetInt("spark.max_offsets_per_trigger", cap);
     }
-    table.AddRow({cap == 0 ? "unbounded" : std::to_string(cap),
-                  core::ReportTable::Num(Run(cfg).summary.throughput_eps)});
+    configs.push_back(std::move(cfg));
+  }
+  auto results = RunAll(configs);
+  for (size_t i = 0; i < std::size(caps); ++i) {
+    table.AddRow({caps[i] == 0 ? "unbounded" : std::to_string(caps[i]),
+                  core::ReportTable::Num(results[i].summary.throughput_eps)});
   }
   Emit(table, "ablation2_spark_trigger_cap.csv");
 }
@@ -58,13 +74,19 @@ void AblateTopicPartitions() {
       "Ablation 3: topic partitions vs scoring parallelism "
       "(Flink + ONNX, mp=16)",
       {"partitions", "throughput ev/s"});
-  for (int partitions : {4, 8, 16, 32}) {
+  const int partition_counts[] = {4, 8, 16, 32};
+  std::vector<core::ExperimentConfig> configs;
+  for (int partitions : partition_counts) {
     core::ExperimentConfig cfg = ThroughputConfig("flink", "onnx", "ffnn");
     cfg.parallelism = 16;
     cfg.topic_partitions = partitions;
     cfg.duration_s = 8.0;
-    table.AddRow({std::to_string(partitions),
-                  core::ReportTable::Num(Run(cfg).summary.throughput_eps)});
+    configs.push_back(std::move(cfg));
+  }
+  auto results = RunAll(configs);
+  for (size_t i = 0; i < std::size(partition_counts); ++i) {
+    table.AddRow({std::to_string(partition_counts[i]),
+                  core::ReportTable::Num(results[i].summary.throughput_eps)});
   }
   Emit(table, "ablation3_topic_partitions.csv");
 }
@@ -75,13 +97,19 @@ void AblateSparkCheckpoint() {
   core::ReportTable table(
       "Ablation 4: Spark offset-checkpoint cost (ONNX, FFNN, closed loop)",
       {"checkpoint ms", "latency@bsz=32 ms"});
-  for (double cp_ms : {50.0, 100.0, 150.0}) {
+  const double cps_ms[] = {50.0, 100.0, 150.0};
+  std::vector<core::ExperimentConfig> configs;
+  for (double cp_ms : cps_ms) {
     core::ExperimentConfig cfg = ClosedLoopConfig("spark", "onnx", 32);
     cfg.engine_overrides.SetDouble("spark.checkpoint_s", cp_ms / 1000.0);
     cfg.duration_s = 30.0;
-    table.AddRow({core::ReportTable::Num(cp_ms, 0),
+    configs.push_back(std::move(cfg));
+  }
+  auto results = RunAll(configs);
+  for (size_t i = 0; i < std::size(cps_ms); ++i) {
+    table.AddRow({core::ReportTable::Num(cps_ms[i], 0),
                   core::ReportTable::Num(
-                      Run(cfg).summary.latency_mean_ms)});
+                      results[i].summary.latency_mean_ms)});
   }
   Emit(table, "ablation4_spark_checkpoint.csv");
 }
@@ -92,7 +120,9 @@ void AblateKsIdlePickup() {
   core::ReportTable table(
       "Ablation 5: Kafka Streams idle-pickup cost (ONNX, FFNN)",
       {"idle_pickup ms", "latency@bsz=32 ms", "sat. throughput ev/s"});
-  for (double pickup_ms : {0.0, 40.0, 80.0}) {
+  const double pickups_ms[] = {0.0, 40.0, 80.0};
+  std::vector<core::ExperimentConfig> configs;  // (lat, thr) pairs
+  for (double pickup_ms : pickups_ms) {
     core::ExperimentConfig lat =
         ClosedLoopConfig("kafka-streams", "onnx", 32);
     lat.engine_overrides.SetDouble("kafka_streams.idle_pickup_s",
@@ -103,10 +133,16 @@ void AblateKsIdlePickup() {
     thr.engine_overrides.SetDouble("kafka_streams.idle_pickup_s",
                                    pickup_ms / 1000.0);
     thr.duration_s = 8.0;
-    table.AddRow({core::ReportTable::Num(pickup_ms, 0),
-                  core::ReportTable::Num(Run(lat).summary.latency_mean_ms),
+    configs.push_back(std::move(lat));
+    configs.push_back(std::move(thr));
+  }
+  auto results = RunAll(configs);
+  for (size_t i = 0; i < std::size(pickups_ms); ++i) {
+    table.AddRow({core::ReportTable::Num(pickups_ms[i], 0),
                   core::ReportTable::Num(
-                      Run(thr).summary.throughput_eps)});
+                      results[2 * i].summary.latency_mean_ms),
+                  core::ReportTable::Num(
+                      results[2 * i + 1].summary.throughput_eps)});
   }
   Emit(table, "ablation5_ks_idle_pickup.csv");
 }
@@ -114,8 +150,9 @@ void AblateKsIdlePickup() {
 }  // namespace
 }  // namespace crayfish::bench
 
-int main() {
+int main(int argc, char** argv) {
   crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::Init(argc, argv);
   crayfish::bench::AblateFlinkBufferCycle();
   crayfish::bench::AblateSparkTriggerCap();
   crayfish::bench::AblateTopicPartitions();

@@ -18,19 +18,31 @@ void AsyncIoStudy() {
   core::ReportTable table(
       "Ext (a): Flink async I/O for external serving, FFNN (ir=30k)",
       {"Tool", "mp", "blocking ev/s", "async ev/s", "speedup"});
+  struct Row {
+    const char* tool;
+    int mp;
+  };
+  std::vector<Row> rows;
+  std::vector<core::ExperimentConfig> configs;  // (blocking, async) pairs
   for (const char* tool : {"tf-serving", "torchserve"}) {
     for (int mp : {1, 4}) {
       core::ExperimentConfig cfg = ThroughputConfig("flink", tool, "ffnn");
       cfg.parallelism = mp;
       cfg.duration_s = 8.0;
-      const double blocking = Run(cfg).summary.throughput_eps;
+      rows.push_back({tool, mp});
+      configs.push_back(cfg);
       cfg.engine_overrides.SetBool("flink.async_io", true);
-      const double async = Run(cfg).summary.throughput_eps;
-      table.AddRow({tool, std::to_string(mp),
-                    core::ReportTable::Num(blocking),
-                    core::ReportTable::Num(async),
-                    core::ReportTable::Num(async / blocking, 2) + "x"});
+      configs.push_back(std::move(cfg));
     }
+  }
+  auto results = RunAll(configs);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double blocking = results[2 * i].summary.throughput_eps;
+    const double async = results[2 * i + 1].summary.throughput_eps;
+    table.AddRow({rows[i].tool, std::to_string(rows[i].mp),
+                  core::ReportTable::Num(blocking),
+                  core::ReportTable::Num(async),
+                  core::ReportTable::Num(async / blocking, 2) + "x"});
   }
   Emit(table, "ext_async_io.csv");
   std::printf(
@@ -107,20 +119,21 @@ void AutoscaleStudy() {
   // autoscaling we keep mp=1 and rely on the engine's blocking client —
   // so instead we compare recovery with a larger fixed pool (what an
   // autoscaler converges to during the burst).
+  core::ExperimentConfig scaled = bursty;
+  scaled.parallelism = 2;  // burst-time capacity an autoscaler reaches
+  scaled.input_rate = 0.7 * st;
+  scaled.burst_rate = 1.1 * st;
+  auto grouped = Run2All({bursty, scaled});
   crayfish::RunningStats fixed;
-  for (const auto& result : Run2(bursty)) {
+  for (const auto& result : grouped[0]) {
     for (const auto& rec : result.recoveries) {
       if (rec.recovery_s >= 0) fixed.Add(rec.recovery_s);
     }
   }
   table.AddRow({"fixed pool (1 worker)",
                 core::ReportTable::Num(fixed.mean(), 2)});
-  core::ExperimentConfig scaled = bursty;
-  scaled.parallelism = 2;  // burst-time capacity an autoscaler reaches
-  scaled.input_rate = 0.7 * st;
-  scaled.burst_rate = 1.1 * st;
   crayfish::RunningStats autoscaled;
-  for (const auto& result : Run2(scaled)) {
+  for (const auto& result : grouped[1]) {
     for (const auto& rec : result.recoveries) {
       if (rec.recovery_s >= 0) autoscaled.Add(rec.recovery_s);
     }
@@ -137,8 +150,9 @@ void AutoscaleStudy() {
 }  // namespace
 }  // namespace crayfish::bench
 
-int main() {
+int main(int argc, char** argv) {
   crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::Init(argc, argv);
   crayfish::bench::AsyncIoStudy();
   crayfish::bench::AdaptiveBatchingStudy();
   crayfish::bench::AutoscaleStudy();

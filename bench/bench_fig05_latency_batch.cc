@@ -21,17 +21,26 @@ void RunFig5() {
   core::ReportTable table(
       "Fig. 5: e2e latency vs batch size, Flink + FFNN (ir=1, mp=1)",
       {"Tool", "bsz", "Latency ms", "StdDev ms", "p95 ms"});
+  struct Row {
+    const char* tool;
+    int bsz;
+  };
+  std::vector<Row> rows;
+  std::vector<core::ExperimentConfig> configs;
   for (const char* tool : tools) {
     for (int bsz : batch_sizes) {
-      core::ExperimentConfig cfg = ClosedLoopConfig("flink", tool, bsz);
-      auto results = Run2(cfg);
-      core::Aggregate lat = core::AggregateLatencyMean(results);
-      table.AddRow({tool, std::to_string(bsz),
-                    core::ReportTable::Num(lat.mean),
-                    core::ReportTable::Num(lat.stddev),
-                    core::ReportTable::Num(
-                        results[0].summary.latency_p95_ms)});
+      rows.push_back({tool, bsz});
+      configs.push_back(ClosedLoopConfig("flink", tool, bsz));
     }
+  }
+  auto grouped = Run2All(configs);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& results = grouped[i];
+    core::Aggregate lat = core::AggregateLatencyMean(results);
+    table.AddRow({rows[i].tool, std::to_string(rows[i].bsz),
+                  core::ReportTable::Num(lat.mean),
+                  core::ReportTable::Num(lat.stddev),
+                  core::ReportTable::Num(results[0].summary.latency_p95_ms)});
   }
   Emit(table, "fig05_latency_batch.csv");
   std::printf(
@@ -42,8 +51,9 @@ void RunFig5() {
 }  // namespace
 }  // namespace crayfish::bench
 
-int main() {
+int main(int argc, char** argv) {
   crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::Init(argc, argv);
   crayfish::bench::RunFig5();
   return 0;
 }

@@ -19,17 +19,27 @@ void RunFig6() {
   core::ReportTable table(
       "Fig. 6: scaling up FFNN serving on Flink (ir=30k, bsz=1)",
       {"Tool", "mp", "Throughput ev/s", "StdDev"});
+  struct Row {
+    const char* tool;
+    int mp;
+  };
+  std::vector<Row> rows;
+  std::vector<core::ExperimentConfig> configs;
   for (const char* tool : tools) {
     for (int mp : parallelism) {
       core::ExperimentConfig cfg = ThroughputConfig("flink", tool, "ffnn");
       cfg.parallelism = mp;
       cfg.duration_s = 8.0;
-      auto results = Run2(cfg);
-      core::Aggregate thr = core::AggregateThroughput(results);
-      table.AddRow({tool, std::to_string(mp),
-                    core::ReportTable::Num(thr.mean),
-                    core::ReportTable::Num(thr.stddev)});
+      rows.push_back({tool, mp});
+      configs.push_back(std::move(cfg));
     }
+  }
+  auto grouped = Run2All(configs);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    core::Aggregate thr = core::AggregateThroughput(grouped[i]);
+    table.AddRow({rows[i].tool, std::to_string(rows[i].mp),
+                  core::ReportTable::Num(thr.mean),
+                  core::ReportTable::Num(thr.stddev)});
   }
   Emit(table, "fig06_scaleup_ffnn.csv");
   std::printf(
@@ -40,8 +50,9 @@ void RunFig6() {
 }  // namespace
 }  // namespace crayfish::bench
 
-int main() {
+int main(int argc, char** argv) {
   crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::Init(argc, argv);
   crayfish::bench::RunFig6();
   return 0;
 }

@@ -18,6 +18,12 @@ void RunFig7() {
   core::ReportTable table(
       "Fig. 7: scaling up ResNet50 serving on Flink (ir=256, bsz=1)",
       {"Tool", "mp", "Throughput ev/s", "StdDev"});
+  struct Row {
+    const char* tool;
+    int mp;
+  };
+  std::vector<Row> rows;
+  std::vector<core::ExperimentConfig> configs;
   for (const char* tool : tools) {
     for (int mp : parallelism) {
       core::ExperimentConfig cfg = ThroughputConfig("flink", tool,
@@ -26,12 +32,16 @@ void RunFig7() {
       cfg.input_rate = 256.0;
       cfg.duration_s = 240.0;
       cfg.drain_s = 2.0;
-      auto results = Run2(cfg);
-      core::Aggregate thr = core::AggregateThroughput(results);
-      table.AddRow({tool, std::to_string(mp),
-                    core::ReportTable::Num(thr.mean),
-                    core::ReportTable::Num(thr.stddev)});
+      rows.push_back({tool, mp});
+      configs.push_back(std::move(cfg));
     }
+  }
+  auto grouped = Run2All(configs);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    core::Aggregate thr = core::AggregateThroughput(grouped[i]);
+    table.AddRow({rows[i].tool, std::to_string(rows[i].mp),
+                  core::ReportTable::Num(thr.mean),
+                  core::ReportTable::Num(thr.stddev)});
   }
   Emit(table, "fig07_scaleup_resnet.csv");
   std::printf(
@@ -42,8 +52,9 @@ void RunFig7() {
 }  // namespace
 }  // namespace crayfish::bench
 
-int main() {
+int main(int argc, char** argv) {
   crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::Init(argc, argv);
   crayfish::bench::RunFig7();
   return 0;
 }

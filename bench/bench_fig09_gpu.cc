@@ -6,6 +6,8 @@
 // tf-serving-cpu 3974 -> tf-serving-gpu 3016 (-24.1%). tf-serving-gpu
 // edges out onnx-gpu and beats onnx-cpu by 18.4%.
 
+#include <iterator>
+
 #include "bench/bench_common.h"
 
 namespace crayfish::bench {
@@ -27,8 +29,7 @@ void RunFig9() {
   core::ReportTable table(
       "Fig. 9: GPU acceleration, Flink + ResNet50 (ir=0.2, mp=1, bsz=8)",
       {"Config", "Latency ms", "StdDev ms", "Paper ms"});
-  double cpu_latency[2] = {0.0, 0.0};
-  int idx = 0;
+  std::vector<core::ExperimentConfig> configs;
   for (const Ref& ref : refs) {
     core::ExperimentConfig cfg;
     cfg.engine = "flink";
@@ -40,8 +41,13 @@ void RunFig9() {
     cfg.use_gpu = ref.gpu;
     cfg.duration_s = 300.0;
     cfg.drain_s = 20.0;
-    auto results = Run2(cfg);
-    core::Aggregate lat = core::AggregateLatencyMean(results);
+    configs.push_back(std::move(cfg));
+  }
+  auto grouped = Run2All(configs);
+  double cpu_latency[2] = {0.0, 0.0};
+  for (size_t idx = 0; idx < std::size(refs); ++idx) {
+    const Ref& ref = refs[idx];
+    core::Aggregate lat = core::AggregateLatencyMean(grouped[idx]);
     const std::string name =
         std::string(ref.tool) + (ref.gpu ? "-gpu" : "-cpu");
     table.AddRow({name, core::ReportTable::Num(lat.mean),
@@ -56,7 +62,6 @@ void RunFig9() {
                   name.c_str(), improvement,
                   std::string(ref.tool) == "onnx" ? 16.4 : 24.1);
     }
-    ++idx;
   }
   Emit(table, "fig09_gpu.csv");
 }
@@ -64,8 +69,9 @@ void RunFig9() {
 }  // namespace
 }  // namespace crayfish::bench
 
-int main() {
+int main(int argc, char** argv) {
   crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::Init(argc, argv);
   crayfish::bench::RunFig9();
   return 0;
 }

@@ -19,6 +19,13 @@ void RunFig10() {
   core::ReportTable table(
       "Fig. 10: e2e latency of the SPSs vs batch size, FFNN (ir=1, mp=1)",
       {"SPS", "Serving", "bsz", "Latency ms", "StdDev ms"});
+  struct Row {
+    const char* engine;
+    std::string serving;
+    int bsz;
+  };
+  std::vector<Row> rows;
+  std::vector<core::ExperimentConfig> configs;
   for (const char* engine : engines) {
     for (bool external : {false, true}) {
       // Ray cannot reach TF-Serving natively; it uses Ray Serve (the
@@ -28,14 +35,18 @@ void RunFig10() {
                                                    : "tf-serving")
                    : "onnx";
       for (int bsz : batch_sizes) {
-        core::ExperimentConfig cfg = ClosedLoopConfig(engine, serving, bsz);
-        auto results = Run2(cfg);
-        core::Aggregate lat = core::AggregateLatencyMean(results);
-        table.AddRow({engine, serving, std::to_string(bsz),
-                      core::ReportTable::Num(lat.mean),
-                      core::ReportTable::Num(lat.stddev)});
+        rows.push_back({engine, serving, bsz});
+        configs.push_back(ClosedLoopConfig(engine, serving, bsz));
       }
     }
+  }
+  auto grouped = Run2All(configs);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    core::Aggregate lat = core::AggregateLatencyMean(grouped[i]);
+    table.AddRow({rows[i].engine, rows[i].serving,
+                  std::to_string(rows[i].bsz),
+                  core::ReportTable::Num(lat.mean),
+                  core::ReportTable::Num(lat.stddev)});
   }
   Emit(table, "fig10_latency_sps.csv");
   std::printf(
@@ -46,8 +57,9 @@ void RunFig10() {
 }  // namespace
 }  // namespace crayfish::bench
 
-int main() {
+int main(int argc, char** argv) {
   crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::Init(argc, argv);
   crayfish::bench::RunFig10();
   return 0;
 }

@@ -19,6 +19,13 @@ void RunFig11() {
   core::ReportTable table(
       "Fig. 11: scaling up the SPSs, FFNN (ir=30k, bsz=1)",
       {"SPS", "Serving", "mp", "Throughput ev/s", "StdDev"});
+  struct Row {
+    const char* engine;
+    std::string serving;
+    int mp;
+  };
+  std::vector<Row> rows;
+  std::vector<core::ExperimentConfig> configs;
   for (const char* engine : engines) {
     for (bool external : {false, true}) {
       const std::string serving =
@@ -30,13 +37,18 @@ void RunFig11() {
                                                       "ffnn");
         cfg.parallelism = mp;
         cfg.duration_s = 8.0;
-        auto results = Run2(cfg);
-        core::Aggregate thr = core::AggregateThroughput(results);
-        table.AddRow({engine, serving, std::to_string(mp),
-                      core::ReportTable::Num(thr.mean),
-                      core::ReportTable::Num(thr.stddev)});
+        rows.push_back({engine, serving, mp});
+        configs.push_back(std::move(cfg));
       }
     }
+  }
+  auto grouped = Run2All(configs);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    core::Aggregate thr = core::AggregateThroughput(grouped[i]);
+    table.AddRow({rows[i].engine, rows[i].serving,
+                  std::to_string(rows[i].mp),
+                  core::ReportTable::Num(thr.mean),
+                  core::ReportTable::Num(thr.stddev)});
   }
   Emit(table, "fig11_scaleup_sps.csv");
   std::printf(
@@ -47,8 +59,9 @@ void RunFig11() {
 }  // namespace
 }  // namespace crayfish::bench
 
-int main() {
+int main(int argc, char** argv) {
   crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::Init(argc, argv);
   crayfish::bench::RunFig11();
   return 0;
 }

@@ -19,6 +19,12 @@ void RunFig12() {
   core::ReportTable table(
       "Fig. 12: flink[N-N-N] vs flink[32-N-32], FFNN (ir=30k, bsz=1)",
       {"Tool", "N", "flink[N-N-N] ev/s", "flink[32-N-32] ev/s", "Ratio"});
+  struct Row {
+    const char* tool;
+    int n;
+  };
+  std::vector<Row> rows;
+  std::vector<core::ExperimentConfig> configs;  // chained/unchained pairs
   for (const char* tool : tools) {
     for (int n : parallelism) {
       core::ExperimentConfig chained = ThroughputConfig("flink", tool,
@@ -28,16 +34,22 @@ void RunFig12() {
       core::ExperimentConfig unchained = chained;
       unchained.source_parallelism = 32;
       unchained.sink_parallelism = 32;
-      const double thr_chained =
-          core::AggregateThroughput(Run2(chained)).mean;
-      const double thr_unchained =
-          core::AggregateThroughput(Run2(unchained)).mean;
-      table.AddRow({tool, std::to_string(n),
-                    core::ReportTable::Num(thr_chained),
-                    core::ReportTable::Num(thr_unchained),
-                    core::ReportTable::Num(thr_unchained /
-                                           thr_chained, 2)});
+      rows.push_back({tool, n});
+      configs.push_back(std::move(chained));
+      configs.push_back(std::move(unchained));
     }
+  }
+  auto grouped = Run2All(configs);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double thr_chained =
+        core::AggregateThroughput(grouped[2 * i]).mean;
+    const double thr_unchained =
+        core::AggregateThroughput(grouped[2 * i + 1]).mean;
+    table.AddRow({rows[i].tool, std::to_string(rows[i].n),
+                  core::ReportTable::Num(thr_chained),
+                  core::ReportTable::Num(thr_unchained),
+                  core::ReportTable::Num(thr_unchained /
+                                         thr_chained, 2)});
   }
   Emit(table, "fig12_operator_parallelism.csv");
   std::printf(
@@ -47,8 +59,9 @@ void RunFig12() {
 }  // namespace
 }  // namespace crayfish::bench
 
-int main() {
+int main(int argc, char** argv) {
   crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::Init(argc, argv);
   crayfish::bench::RunFig12();
   return 0;
 }

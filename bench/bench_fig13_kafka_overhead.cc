@@ -19,10 +19,26 @@ void RunFig13() {
       "Fig. 13: e2e latency, Crayfish (kafka) vs standalone Flink "
       "(no-kafka), ONNX + FFNN (ir=1, mp=1)",
       {"bsz", "kafka ms", "no-kafka ms", "reduction %"});
-  for (int bsz : {1, 32, 128, 512}) {
-    core::ExperimentConfig cfg = ClosedLoopConfig("flink", "onnx", bsz);
+  const int batch_sizes[] = {1, 32, 128, 512};
+  std::vector<core::ExperimentConfig> configs;
+  for (int bsz : batch_sizes) {
+    configs.push_back(ClosedLoopConfig("flink", "onnx", bsz));
+  }
+  // The throughput config rides in the same sweep (last slot).
+  core::ExperimentConfig thr_cfg = ThroughputConfig("flink", "onnx",
+                                                    "ffnn");
+  thr_cfg.source_parallelism = 32;
+  thr_cfg.sink_parallelism = 32;
+  thr_cfg.duration_s = 10.0;
+  configs.push_back(thr_cfg);
+  auto grouped = Run2All(configs);
+
+  size_t idx = 0;
+  for (int bsz : batch_sizes) {
+    const core::ExperimentConfig& cfg = configs[idx];
     const double kafka_ms =
-        core::AggregateLatencyMean(Run2(cfg)).mean;
+        core::AggregateLatencyMean(grouped[idx]).mean;
+    ++idx;
     auto standalone = core::RunStandaloneFlink(cfg);
     CRAYFISH_CHECK(standalone.ok()) << standalone.status().ToString();
     const double nokafka_ms = standalone->summary.latency_mean_ms;
@@ -35,13 +51,8 @@ void RunFig13() {
   Emit(latency_table, "fig13_kafka_overhead_latency.csv");
 
   // --- throughput, overloaded, operator-level parallelism ---
-  core::ExperimentConfig thr_cfg = ThroughputConfig("flink", "onnx",
-                                                    "ffnn");
-  thr_cfg.source_parallelism = 32;
-  thr_cfg.sink_parallelism = 32;
-  thr_cfg.duration_s = 10.0;
   const double kafka_thr =
-      core::AggregateThroughput(Run2(thr_cfg)).mean;
+      core::AggregateThroughput(grouped[idx]).mean;
   core::ExperimentConfig standalone_cfg = thr_cfg;
   // The standalone pipeline has no stage decoupling knob; its scoring
   // stage is the bottleneck either way.
@@ -63,8 +74,9 @@ void RunFig13() {
 }  // namespace
 }  // namespace crayfish::bench
 
-int main() {
+int main(int argc, char** argv) {
   crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::Init(argc, argv);
   crayfish::bench::RunFig13();
   return 0;
 }

@@ -29,15 +29,16 @@ void RunTable4() {
       "Table 4: serving-tool throughput on Apache Flink (bsz=1, mp=1)",
       {"Model", "Tool", "Type", "Throughput ev/s", "StdDev", "Paper ev/s"});
 
+  struct Row {
+    std::string model;
+    std::string tool;
+    double paper;
+  };
+  std::vector<Row> rows;
+  std::vector<core::ExperimentConfig> configs;
   for (const auto& [tool, paper] : paper_ffnn) {
-    core::ExperimentConfig cfg = ThroughputConfig("flink", tool, "ffnn");
-    auto results = Run2(cfg);
-    core::Aggregate thr = core::AggregateThroughput(results);
-    table.AddRow({"FFNN", tool,
-                  serving::IsExternalTool(tool) ? "external" : "embedded",
-                  core::ReportTable::Num(thr.mean),
-                  core::ReportTable::Num(thr.stddev),
-                  core::ReportTable::Num(paper)});
+    rows.push_back({"FFNN", tool, paper});
+    configs.push_back(ThroughputConfig("flink", tool, "ffnn"));
   }
   for (const auto& [tool, paper] : paper_resnet) {
     core::ExperimentConfig cfg = ThroughputConfig("flink", tool, "resnet50");
@@ -46,13 +47,18 @@ void RunTable4() {
     cfg.input_rate = 16.0;
     cfg.duration_s = 300.0;
     cfg.drain_s = 2.0;
-    auto results = Run2(cfg);
-    core::Aggregate thr = core::AggregateThroughput(results);
-    table.AddRow({"ResNet50", tool,
-                  serving::IsExternalTool(tool) ? "external" : "embedded",
+    rows.push_back({"ResNet50", tool, paper});
+    configs.push_back(std::move(cfg));
+  }
+  auto grouped = Run2All(configs);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    core::Aggregate thr = core::AggregateThroughput(grouped[i]);
+    table.AddRow({rows[i].model, rows[i].tool,
+                  serving::IsExternalTool(rows[i].tool) ? "external"
+                                                        : "embedded",
                   core::ReportTable::Num(thr.mean),
                   core::ReportTable::Num(thr.stddev),
-                  core::ReportTable::Num(paper)});
+                  core::ReportTable::Num(rows[i].paper)});
   }
   Emit(table, "table4_serving_throughput.csv");
 }
@@ -60,8 +66,9 @@ void RunTable4() {
 }  // namespace
 }  // namespace crayfish::bench
 
-int main() {
+int main(int argc, char** argv) {
   crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::Init(argc, argv);
   crayfish::bench::RunTable4();
   return 0;
 }

@@ -158,34 +158,51 @@ void KafkaCluster::Fetch(const std::string& client_host,
         sim_->Schedule(
             config_.request_overhead_s,
             [this, tp, offset, max_records, max_bytes, max_wait_s,
-             client_host, on_records = std::move(on_records)]() mutable {
+             client_host = std::move(client_host),
+             on_records = std::move(on_records)]() mutable {
               auto topic_it = topics_.find(tp.topic);
               CRAYFISH_CHECK(topic_it != topics_.end());
               Partition& part =
                   topic_it->second.partitions[static_cast<size_t>(
                       tp.partition)];
               PendingFetch fetch{offset, max_records, max_bytes,
-                                 client_host, std::move(on_records),
+                                 std::move(client_host),
+                                 std::move(on_records),
                                  std::make_shared<bool>(false)};
               if (part.end_offset() > offset) {
-                AnswerFetch(tp, fetch);
+                AnswerFetch(tp, std::move(fetch));
                 return;
               }
-              // Long-poll: park until append or timeout.
+              // Long-poll: park until append or timeout. The timeout event
+              // captures only the done token; the parked fetch itself is
+              // moved into the waiter list and re-located on expiry, so the
+              // callback and host string are never copied.
               auto done = fetch.done;
               topic_it->second.waiters[static_cast<size_t>(tp.partition)]
-                  .push_back(fetch);
-              sim_->Schedule(max_wait_s, [this, tp, done, fetch]() {
+                  .push_back(std::move(fetch));
+              sim_->Schedule(max_wait_s, [this, tp, done]() {
                 if (*done) return;
                 *done = true;
-                AnswerFetch(tp, fetch);
+                auto wt_it = topics_.find(tp.topic);
+                CRAYFISH_CHECK(wt_it != topics_.end());
+                auto& waiters =
+                    wt_it->second.waiters[static_cast<size_t>(tp.partition)];
+                for (auto w = waiters.begin(); w != waiters.end(); ++w) {
+                  if (w->done == done) {
+                    PendingFetch parked = std::move(*w);
+                    waiters.erase(w);
+                    AnswerFetch(tp, std::move(parked));
+                    return;
+                  }
+                }
+                CRAYFISH_CHECK(false)
+                    << "pending fetch missing for " << tp.ToString();
               });
             });
       });
 }
 
-void KafkaCluster::AnswerFetch(const TopicPartition& tp,
-                               const PendingFetch& fetch) {
+void KafkaCluster::AnswerFetch(const TopicPartition& tp, PendingFetch fetch) {
   auto topic_it = topics_.find(tp.topic);
   CRAYFISH_CHECK(topic_it != topics_.end());
   Partition& part =
@@ -210,7 +227,7 @@ void KafkaCluster::AnswerFetch(const TopicPartition& tp,
         ->Increment(static_cast<double>(records.size()));
   }
   network_->Send(leader, fetch.client_host, response_bytes,
-                 [on_records = fetch.on_records,
+                 [on_records = std::move(fetch.on_records),
                   records = std::move(records)]() mutable {
                    if (on_records) on_records(std::move(records));
                  });
@@ -227,7 +244,7 @@ void KafkaCluster::WakeWaiters(const TopicPartition& tp) {
   for (PendingFetch& fetch : to_answer) {
     if (*fetch.done) continue;
     *fetch.done = true;
-    AnswerFetch(tp, fetch);
+    AnswerFetch(tp, std::move(fetch));
   }
 }
 

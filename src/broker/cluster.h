@@ -146,8 +146,10 @@ class KafkaCluster {
     std::vector<std::vector<PendingFetch>> waiters;
   };
 
-  /// Completes a fetch at the broker and sends the response back.
-  void AnswerFetch(const TopicPartition& tp, const PendingFetch& fetch);
+  /// Completes a fetch at the broker and sends the response back. Takes the
+  /// fetch by value so the records callback moves end-to-end (a PendingFetch
+  /// copy would copy its std::function and client-host string).
+  void AnswerFetch(const TopicPartition& tp, PendingFetch fetch);
   void WakeWaiters(const TopicPartition& tp);
   uint64_t BatchWireSize(const std::vector<Record>& batch) const;
 

@@ -2,7 +2,9 @@
 #define CRAYFISH_BROKER_RECORD_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "common/bytes.h"
 #include "sim/simulation.h"
@@ -33,9 +35,18 @@ struct Record {
   uint64_t wire_size = 0;
   /// Number of data points in the carried CrayfishDataBatch.
   uint32_t batch_size = 1;
-  /// Optional real payload (JSON CrayfishDataBatch); may be empty for
-  /// synthetic sized-only records.
-  Bytes payload;
+  /// Optional real payload (JSON CrayfishDataBatch); null for synthetic
+  /// sized-only records. Shared immutably: the producer materializes the
+  /// bytes once, and the partition log, fetch responses, and every fan-out
+  /// consumer reference that same buffer — copying a Record copies one
+  /// refcounted pointer, never the payload bytes.
+  std::shared_ptr<const Bytes> payload;
+
+  bool has_payload() const { return payload != nullptr && !payload->empty(); }
+  /// Takes ownership of `bytes` as this record's immutable payload.
+  void SetPayload(Bytes bytes) {
+    payload = std::make_shared<const Bytes>(std::move(bytes));
+  }
 };
 
 /// Fixed per-record envelope bytes (headers, CRC, timestamps) added on top

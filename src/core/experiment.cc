@@ -8,6 +8,7 @@
 #include "common/stats.h"
 #include "core/dataset.h"
 #include "core/input_producer.h"
+#include "core/sweep.h"
 #include "model/formats.h"
 #include "model/graph.h"
 #include "serving/calibration.h"
@@ -204,13 +205,10 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
 
 crayfish::StatusOr<std::vector<ExperimentResult>> RunRepeated(
     ExperimentConfig config, int repeats) {
-  std::vector<ExperimentResult> results;
-  for (int i = 0; i < repeats; ++i) {
-    config.seed = config.seed * 1000003 + static_cast<uint64_t>(i) + 1;
-    CRAYFISH_ASSIGN_OR_RETURN(ExperimentResult r, RunExperiment(config));
-    results.push_back(std::move(r));
-  }
-  return results;
+  // The seed chain is materialized up front and the repeats run through the
+  // sweep pool (serial when the resolved job count is 1); results come back
+  // in submission order, so output is identical to the old serial loop.
+  return RunExperiments(MakeRepeatedConfigs(std::move(config), repeats));
 }
 
 namespace {

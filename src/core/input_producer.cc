@@ -47,8 +47,8 @@ void InputProducer::EmitNext() {
       const std::string json = batch.ToJson();
       record.batch_id = batch.id;
       record.create_time = batch.created_at;
-      record.payload.assign(json.begin(), json.end());
-      record.wire_size = record.payload.size();
+      record.SetPayload(Bytes(json.begin(), json.end()));
+      record.wire_size = record.payload->size();
     } else {
       CrayfishDataBatch batch = generator_.NextMetadataOnly(sim_->Now());
       record.batch_id = batch.id;

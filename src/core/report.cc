@@ -68,9 +68,8 @@ std::string CsvEscape(const std::string& s) {
 }
 }  // namespace
 
-crayfish::Status ReportTable::WriteCsv(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return crayfish::Status::IoError("cannot open " + path);
+std::string ReportTable::ToCsv() const {
+  std::ostringstream out;
   for (size_t c = 0; c < columns_.size(); ++c) {
     if (c > 0) out << ",";
     out << CsvEscape(columns_[c]);
@@ -83,6 +82,13 @@ crayfish::Status ReportTable::WriteCsv(const std::string& path) const {
     }
     out << "\n";
   }
+  return out.str();
+}
+
+crayfish::Status ReportTable::WriteCsv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return crayfish::Status::IoError("cannot open " + path);
+  out << ToCsv();
   if (!out) return crayfish::Status::IoError("short write: " + path);
   return crayfish::Status::Ok();
 }

@@ -23,7 +23,10 @@ class ReportTable {
   std::string ToString() const;
   /// Prints ToString() to stdout.
   void Print() const;
-  /// Writes RFC-4180-ish CSV (quoted only when needed).
+  /// Renders RFC-4180-ish CSV (quoted only when needed) as a string —
+  /// exactly the bytes WriteCsv would put on disk.
+  std::string ToCsv() const;
+  /// Writes ToCsv() to `path`.
   crayfish::Status WriteCsv(const std::string& path) const;
 
   size_t rows() const { return rows_.size(); }

@@ -2,9 +2,10 @@
 #define CRAYFISH_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstddef>
 #include <vector>
+
+#include "sim/inline_action.h"
 
 namespace crayfish::sim {
 
@@ -16,10 +17,16 @@ using SimTime = double;
 struct Event {
   SimTime time = 0.0;
   uint64_t seq = 0;
-  std::function<void()> action;
+  InlineAction action;
 };
 
 /// Min-heap of events ordered by (time, seq).
+///
+/// Implemented as an implicit 4-ary heap over a flat vector rather than
+/// std::priority_queue: the wider node fans out the comparison work across
+/// one cache line of children (sift-down does ~half the levels of a binary
+/// heap), Pop() can move the root out instead of copying it, and the
+/// backing store's capacity is reused across the whole run.
 class EventQueue {
  public:
   EventQueue() = default;
@@ -27,7 +34,7 @@ class EventQueue {
   /// Enqueues an action at an absolute time. Returns the event's sequence
   /// number (usable for debugging; cancellation is handled by guards at the
   /// call sites, not by the queue).
-  uint64_t Push(SimTime time, std::function<void()> action);
+  uint64_t Push(SimTime time, InlineAction action);
 
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
@@ -36,15 +43,19 @@ class EventQueue {
   /// Removes and returns the earliest event.
   Event Pop();
 
- private:
-  struct Compare {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  /// Pre-sizes the backing store (events are reused in place; this only
+  /// avoids the first few vector growths of a large run).
+  void Reserve(size_t n) { heap_.reserve(n); }
 
-  std::priority_queue<Event, std::vector<Event>, Compare> heap_;
+ private:
+  static constexpr size_t kArity = 4;
+
+  static bool Before(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  std::vector<Event> heap_;
   uint64_t next_seq_ = 0;
 };
 

@@ -17,7 +17,7 @@ double Link::IdleTransferTime(uint64_t bytes) const {
          static_cast<double>(bytes) / spec_.bandwidth_bytes_per_s;
 }
 
-void Link::Transfer(uint64_t bytes, std::function<void()> on_delivered) {
+void Link::Transfer(uint64_t bytes, InlineAction on_delivered) {
   const SimTime now = sim_->Now();
   const double tx_time =
       static_cast<double>(bytes) / spec_.bandwidth_bytes_per_s;
@@ -71,7 +71,7 @@ Link* Network::GetOrCreateLink(const std::string& from,
 }
 
 void Network::Send(const std::string& from, const std::string& to,
-                   uint64_t bytes, std::function<void()> on_delivered) {
+                   uint64_t bytes, InlineAction on_delivered) {
   CRAYFISH_CHECK(HasHost(from)) << "unknown host " << from;
   CRAYFISH_CHECK(HasHost(to)) << "unknown host " << to;
   if (from == to) {

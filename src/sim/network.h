@@ -34,7 +34,7 @@ class Link {
 
   /// Delivers `bytes` to the receiver, invoking `on_delivered` at the
   /// simulated arrival instant.
-  void Transfer(uint64_t bytes, std::function<void()> on_delivered);
+  void Transfer(uint64_t bytes, InlineAction on_delivered);
 
   /// Time a transfer of `bytes` would take on an idle link.
   double IdleTransferTime(uint64_t bytes) const;
@@ -85,7 +85,7 @@ class Network {
   /// Transfers between a host and itself are instantaneous (loopback).
   /// CHECK-fails on unknown hosts (topology errors are programmer errors).
   void Send(const std::string& from, const std::string& to, uint64_t bytes,
-            std::function<void()> on_delivered);
+            InlineAction on_delivered);
 
   /// Idle-link transfer estimate between two hosts.
   double IdleTransferTime(const std::string& from, const std::string& to,

@@ -6,12 +6,12 @@ namespace crayfish::sim {
 
 Simulation::Simulation(uint64_t seed) : seed_(seed), rng_(seed) {}
 
-void Simulation::Schedule(SimTime delay, std::function<void()> action) {
+void Simulation::Schedule(SimTime delay, InlineAction action) {
   if (delay < 0.0) delay = 0.0;
   queue_.Push(now_ + delay, std::move(action));
 }
 
-void Simulation::ScheduleAt(SimTime time, std::function<void()> action) {
+void Simulation::ScheduleAt(SimTime time, InlineAction action) {
   if (time < now_) time = now_;
   queue_.Push(time, std::move(action));
 }

@@ -35,12 +35,13 @@ class Simulation {
 
   /// Schedules `action` to run `delay` seconds from now. Negative delays
   /// clamp to zero (fire at the current instant, after pending same-time
-  /// events).
-  void Schedule(SimTime delay, std::function<void()> action);
+  /// events). Accepts any void() callable; captures up to
+  /// InlineAction::kInlineBytes are stored without allocating.
+  void Schedule(SimTime delay, InlineAction action);
 
   /// Schedules `action` at an absolute time; times before Now() clamp to
   /// Now().
-  void ScheduleAt(SimTime time, std::function<void()> action);
+  void ScheduleAt(SimTime time, InlineAction action);
 
   /// Runs events until the queue empties or simulated time would exceed
   /// `until`. Returns the number of events executed.

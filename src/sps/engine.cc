@@ -131,12 +131,12 @@ void StreamEngine::TraceMark(uint64_t batch_id, obs::Stage stage) {
 }
 
 void StreamEngine::MaybeRealApply(const broker::Record& record) {
-  if (scoring_.external || record.payload.empty() ||
+  if (scoring_.external || !record.has_payload() ||
       scoring_.library == nullptr || !scoring_.library->loaded()) {
     return;
   }
   // Parse the CrayfishDataBatch JSON payload into a [batch, ...] tensor.
-  const std::string json(record.payload.begin(), record.payload.end());
+  const std::string json(record.payload->begin(), record.payload->end());
   auto doc = crayfish::JsonValue::Parse(json);
   CRAYFISH_CHECK(doc.ok()) << doc.status().ToString();
   const crayfish::JsonValue* shape = doc->Find("shape");

@@ -292,6 +292,53 @@ TEST(R5FloatAccumTest, OnlyMetricsFilesAreInScope) {
 }
 
 // ---------------------------------------------------------------------------
+// R6: host-threading primitives
+// ---------------------------------------------------------------------------
+
+TEST(R6HostThreadingTest, FlagsStdThreadingPrimitives) {
+  const auto fs = Lint("src/sim/simulation.cc",
+                       "std::thread worker([] {});\n"
+                       "std::mutex mu;\n"
+                       "std::atomic<int> n{0};\n"
+                       "auto f = std::async([] { return 1; });\n"
+                       "std::condition_variable cv;\n");
+  EXPECT_EQ(CountRule(fs, Rule::kHostThreading), 5);
+}
+
+TEST(R6HostThreadingTest, BareIdentifiersAreNotPrimitives) {
+  // Unqualified names (a variable called `thread`, a member `.atomic`)
+  // and other namespaces' symbols must not trip the rule.
+  const auto fs = Lint("src/sim/simulation.cc",
+                       "int thread = 0;\n"
+                       "config.mutex = true;\n"
+                       "my::thread t;\n"
+                       "// std::thread in a comment\n"
+                       "const char* s = \"std::mutex\";\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(R6HostThreadingTest, SweepRunnerAndBenchAreAllowlisted) {
+  const std::string src = "std::vector<std::jthread> pool;\n"
+                          "std::atomic<size_t> next{0};\n";
+  EXPECT_TRUE(Lint("src/core/sweep.cc", src).empty());
+  EXPECT_TRUE(Lint("src/core/sweep.h", src).empty());
+  EXPECT_TRUE(Lint("bench/bench_perf_harness.cc", src).empty());
+  EXPECT_TRUE(Lint("/abs/prefix/bench/bench_common.h", src).empty());
+  EXPECT_EQ(CountRule(Lint("src/core/experiment.cc", src),
+                      Rule::kHostThreading), 2);
+  EXPECT_EQ(CountRule(Lint("src/broker/cluster.cc", src),
+                      Rule::kHostThreading), 2);
+}
+
+TEST(R6HostThreadingTest, SuppressionWithJustificationSilences) {
+  const auto fs = Lint(
+      "src/core/a.cc",
+      "std::once_flag once;  // lint: host-threading-ok process-level init "
+      "guard, never inside a simulation\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------------
 // R0: suppression hygiene + output format
 // ---------------------------------------------------------------------------
 

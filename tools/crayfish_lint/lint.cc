@@ -57,6 +57,14 @@ bool InMetricsCode(std::string_view path) {
          PathEndsWith(path, "src/core/breakdown.cc") || InDir(path, "src/obs");
 }
 
+/// R6 allowlist: the sweep runner owns the host thread pool, and bench
+/// harness code may measure with host threads; simulated components must
+/// stay single-threaded so event order is bit-deterministic.
+bool IsHostThreadingAllowlisted(std::string_view path) {
+  return PathEndsWith(path, "src/core/sweep.h") ||
+         PathEndsWith(path, "src/core/sweep.cc") || InDir(path, "bench");
+}
+
 bool IsWallClockAllowlisted(std::string_view path) {
   // The logging real-time sink is the single place allowed to read the host
   // clock (it never feeds back into simulation state).
@@ -189,6 +197,7 @@ const std::map<std::string, Rule, std::less<>> kKeywordToRule = {
     {"order-independent", Rule::kHashOrder},
     {"status-ignored", Rule::kIgnoredStatus},
     {"float-ok", Rule::kFloatAccum},
+    {"host-threading-ok", Rule::kHostThreading},
 };
 
 // ---------------------------------------------------------------------------
@@ -209,6 +218,7 @@ class Linter {
     if (InSchedulingDir(path_)) CheckHashOrder();
     CheckIgnoredStatus();
     if (InMetricsCode(path_)) CheckFloatAccumulators();
+    if (!IsHostThreadingAllowlisted(path_)) CheckHostThreading();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 return a.line < b.line;
@@ -244,7 +254,7 @@ class Linter {
         Report(Rule::kSuppression, s.line,
                "unknown lint suppression keyword '" + s.keyword + "'",
                "use one of: wall-clock-ok, unseeded-ok, order-independent, "
-               "status-ignored, float-ok");
+               "status-ignored, float-ok, host-threading-ok");
       } else if (s.justification.empty()) {
         Report(Rule::kSuppression, s.line,
                "lint suppression '" + s.keyword +
@@ -499,6 +509,46 @@ class Linter {
     }
   }
 
+  // R6 --------------------------------------------------------------------
+  void CheckHostThreading() {
+    static const std::set<std::string> banned = {
+        "thread",        "jthread",
+        "mutex",         "recursive_mutex",
+        "timed_mutex",   "recursive_timed_mutex",
+        "shared_mutex",  "shared_timed_mutex",
+        "condition_variable", "condition_variable_any",
+        "atomic",        "atomic_flag",
+        "atomic_ref",    "future",
+        "shared_future", "promise",
+        "packaged_task", "async",
+        "lock_guard",    "unique_lock",
+        "shared_lock",   "scoped_lock",
+        "counting_semaphore", "binary_semaphore",
+        "latch",         "barrier",
+        "call_once",     "once_flag",
+        "stop_source",   "stop_token"};
+    for (int i = 0; i < static_cast<int>(toks_.size()); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != TokenKind::kIdentifier || banned.count(t.text) == 0) {
+        continue;
+      }
+      // Only std-qualified uses: `std::thread`, `std::atomic<...>`. A bare
+      // `thread` identifier (a variable, a field) is not a primitive.
+      const int colons = PrevCode(toks_, i);
+      if (colons < 0 || !toks_[colons].IsPunct("::")) continue;
+      const int qual = PrevCode(toks_, colons);
+      if (qual < 0 || !toks_[qual].IsIdent("std")) continue;
+      Report(Rule::kHostThreading, t.line,
+             "host-threading primitive 'std::" + t.text +
+                 "' outside the sweep runner; simulated components must stay "
+                 "single-threaded so event order is bit-deterministic",
+             "run concurrency at the experiment level through "
+             "core::SweepRunner (src/core/sweep.h), or annotate the line "
+             "`// lint: host-threading-ok <why>` if this code never runs "
+             "inside a simulation");
+    }
+  }
+
   const std::string& path_;
   const std::vector<Token>& toks_;
   const SymbolTable& table_;
@@ -523,6 +573,8 @@ std::string_view RuleName(Rule rule) {
       return "R4";
     case Rule::kFloatAccum:
       return "R5";
+    case Rule::kHostThreading:
+      return "R6";
   }
   return "R?";
 }
@@ -541,6 +593,8 @@ std::string_view SuppressionKeyword(Rule rule) {
       return "status-ignored";
     case Rule::kFloatAccum:
       return "float-ok";
+    case Rule::kHostThreading:
+      return "host-threading-ok";
   }
   return "";
 }

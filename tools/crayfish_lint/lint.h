@@ -20,6 +20,8 @@ enum class Rule {
                   //     scheduling-adjacent directories
   kIgnoredStatus, // R4: no discarded common::Status results
   kFloatAccum,    // R5: no float accumulators in metrics/stats code
+  kHostThreading, // R6: no host-threading primitives outside the sweep
+                  //     runner (src/core/sweep*) and bench/
 };
 
 /// Stable short name used in machine-readable output ("R1", "R2", ...).

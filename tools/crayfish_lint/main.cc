@@ -78,11 +78,14 @@ int Usage() {
          "      (src/sim, src/broker, src/sps, src/serving, src/core)\n"
          "  R4  no discarded common::Status results\n"
          "  R5  no float accumulators in metrics/stats code\n"
+         "  R6  no host-threading primitives (std::thread, std::mutex,\n"
+         "      std::atomic, ...) outside src/core/sweep.{h,cc} and bench/\n"
          "\n"
          "Suppress a finding on its line (or the line below a standalone\n"
          "comment) with `// lint: <keyword> <justification>`, keywords:\n"
          "  wall-clock-ok unseeded-ok order-independent status-ignored "
-         "float-ok\n";
+         "float-ok\n"
+         "  host-threading-ok\n";
   return 2;
 }
 

@@ -2,15 +2,23 @@
 // original framework's per-experiment configuration workflow (Table 1).
 //
 // Usage:
-//   crayfish_run [flags] <config.properties> [measurements.csv]
+//   crayfish_run [flags] <config.properties>... [measurements.csv]
 //
-// Flags (any of them implicitly enables tracing for the run):
+// Several config files may be given; they run concurrently on a host
+// thread pool (one deterministic single-threaded simulation each) and
+// their summaries print in argument order. Observability flags and the
+// measurements CSV apply to single-config runs only.
+//
+// Flags:
+//   --jobs=N            max concurrent experiments (default: hardware
+//                       concurrency; --jobs=1 recovers serial behavior)
 //   --trace_out=PATH    write a Chrome trace-event JSON (load in Perfetto
 //                       or chrome://tracing) of every batch's stage spans
 //   --trace_csv=PATH    write per-span CSV (batch_id,stage,start,end,dur)
 //   --metrics_out=PATH  write the metrics-registry snapshot as JSON
 //   --breakdown         print the per-stage latency decomposition
 //   --help              this text
+// (any observability flag implicitly enables tracing for the run)
 //
 // Example config:
 //   engine        = flink            # flink|kafka-streams|spark|ray
@@ -31,7 +39,9 @@
 //   # engine-specific overrides pass through verbatim, e.g.:
 //   # spark.max_offsets_per_trigger = 768
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -40,6 +50,7 @@
 #include "common/logging.h"
 #include "core/experiment.h"
 #include "core/report.h"
+#include "core/sweep.h"
 
 namespace {
 
@@ -88,14 +99,17 @@ core::ExperimentConfig FromConfig(const Config& cfg) {
 void PrintUsage(const char* prog) {
   std::fprintf(
       stderr,
-      "usage: %s [flags] <config.properties> [measurements.csv]\n"
+      "usage: %s [flags] <config.properties>... [measurements.csv]\n"
       "flags:\n"
+      "  --jobs=N            max concurrent experiments (default: hardware\n"
+      "                      concurrency; --jobs=1 runs serially)\n"
       "  --trace_out=PATH    Chrome trace-event JSON (Perfetto-loadable)\n"
       "  --trace_csv=PATH    per-span CSV export of the trace\n"
       "  --metrics_out=PATH  metrics-registry snapshot as JSON\n"
       "  --breakdown         print the per-stage latency decomposition\n"
       "  --help              show this text\n"
-      "any observability flag enables tracing for the run\n",
+      "any observability flag enables tracing; observability flags and the\n"
+      "measurements CSV require a single config file\n",
       prog);
 }
 
@@ -113,6 +127,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string trace_csv;
   std::string metrics_out;
+  std::string jobs_str;
   bool print_breakdown = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -123,7 +138,8 @@ int main(int argc, char** argv) {
     }
     if (arg == "--breakdown") {
       print_breakdown = true;
-    } else if (ParseFlag(arg, "--trace_out", &trace_out) ||
+    } else if (ParseFlag(arg, "--jobs", &jobs_str) ||
+               ParseFlag(arg, "--trace_out", &trace_out) ||
                ParseFlag(arg, "--trace_csv", &trace_csv) ||
                ParseFlag(arg, "--metrics_out", &metrics_out)) {
       // value captured by ParseFlag
@@ -135,9 +151,66 @@ int main(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
-  if (positional.empty() || positional.size() > 2) {
+  if (!jobs_str.empty()) {
+    const int jobs = std::atoi(jobs_str.c_str());
+    if (jobs < 1) {
+      std::fprintf(stderr, "--jobs must be >= 1\n");
+      return 2;
+    }
+    core::SetDefaultSweepJobs(jobs);
+  }
+  // The trailing positional is the measurements CSV when it ends in
+  // ".csv"; everything else is a config file.
+  std::string measurements_csv;
+  auto ends_with_csv = [](const std::string& path) {
+    return path.size() >= 4 &&
+           path.compare(path.size() - 4, 4, ".csv") == 0;
+  };
+  if (positional.size() >= 2 && ends_with_csv(positional.back())) {
+    measurements_csv = positional.back();
+    positional.pop_back();
+  }
+  if (positional.empty()) {
     PrintUsage(argv[0]);
     return 2;
+  }
+  const bool want_obs_flags = print_breakdown || !trace_out.empty() ||
+                              !trace_csv.empty() || !metrics_out.empty();
+  if (positional.size() > 1 && (want_obs_flags ||
+                                !measurements_csv.empty())) {
+    std::fprintf(stderr,
+                 "observability flags and the measurements CSV require a "
+                 "single config file\n");
+    return 2;
+  }
+  if (positional.size() > 1) {
+    // Multi-config mode: run every experiment concurrently (one
+    // deterministic simulation per host thread) and print summaries in
+    // argument order.
+    std::vector<core::ExperimentConfig> batch;
+    for (const std::string& path : positional) {
+      auto cfg_or = Config::FromFile(path);
+      if (!cfg_or.ok()) {
+        std::fprintf(stderr, "config error (%s): %s\n", path.c_str(),
+                     cfg_or.status().ToString().c_str());
+        return 2;
+      }
+      batch.push_back(FromConfig(*cfg_or));
+    }
+    std::printf("running %zu experiments (jobs=%d) ...\n", batch.size(),
+                std::min(core::ResolveSweepJobs(0),
+                         static_cast<int>(batch.size())));
+    auto results = core::RunExperiments(batch);
+    if (!results.ok()) {
+      std::fprintf(stderr, "experiment failed: %s\n",
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < results->size(); ++i) {
+      std::printf("%-40s %s\n", batch[i].Label().c_str(),
+                  (*results)[i].summary.ToString().c_str());
+    }
+    return 0;
   }
   auto cfg_or = Config::FromFile(positional[0]);
   if (!cfg_or.ok()) {
@@ -207,15 +280,15 @@ int main(int argc, char** argv) {
                 metrics_out.c_str());
   }
 
-  if (positional.size() == 2) {
+  if (!measurements_csv.empty()) {
     crayfish::Status s = core::MetricsAnalyzer::WriteMeasurementsCsv(
-        positional[1], result->measurements);
+        measurements_csv, result->measurements);
     if (!s.ok()) {
       std::fprintf(stderr, "csv error: %s\n", s.ToString().c_str());
       return 1;
     }
     std::printf("wrote %zu measurements to %s\n",
-                result->measurements.size(), positional[1].c_str());
+                result->measurements.size(), measurements_csv.c_str());
   }
   return 0;
 }

@@ -3,14 +3,21 @@
 // repeats each, the paper's protocol) and emits a combined CSV.
 //
 // Usage:
-//   crayfish_sweep <config.properties> <sweep_key> <v1,v2,...> [out.csv]
+//   crayfish_sweep [--jobs=N] <config.properties> <sweep_key> <v1,v2,...>
+//                  [out.csv]
+//
+// All sweep points (and their repeats) run concurrently on a host thread
+// pool — one deterministic single-threaded simulation each — and the
+// table is assembled in sweep order, so the CSV is byte-identical to a
+// serial run. --jobs=1 recovers fully serial execution.
 //
 // Examples:
 //   crayfish_sweep exp.properties mp 1,2,4,8,16 fig6_onnx.csv
-//   crayfish_sweep exp.properties bsz 32,128,512
+//   crayfish_sweep --jobs=4 exp.properties bsz 32,128,512
 //   crayfish_sweep exp.properties serving onnx,tf-serving,torchserve
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,6 +26,7 @@
 #include "common/logging.h"
 #include "core/experiment.h"
 #include "core/report.h"
+#include "core/sweep.h"
 
 namespace {
 
@@ -67,59 +75,95 @@ core::ExperimentConfig ConfigToExperiment(const Config& cfg) {
 }
 
 int main(int argc, char** argv) {
-  if (argc < 4 || argc > 5) {
-    std::fprintf(
-        stderr,
-        "usage: %s <config.properties> <sweep_key> <v1,v2,...> [out.csv]\n",
-        argv[0]);
+  const auto print_usage = [&argv] {
+    std::fprintf(stderr,
+                 "usage: %s [--jobs=N] <config.properties> <sweep_key> "
+                 "<v1,v2,...> [out.csv]\n",
+                 argv[0]);
+  };
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      const int jobs = std::atoi(arg.c_str() + 7);
+      if (jobs < 1) {
+        std::fprintf(stderr, "--jobs must be >= 1\n");
+        return 2;
+      }
+      core::SetDefaultSweepJobs(jobs);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      print_usage();
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 3 || positional.size() > 4) {
+    print_usage();
     return 2;
   }
-  auto base_or = Config::FromFile(argv[1]);
+  auto base_or = Config::FromFile(positional[0]);
   if (!base_or.ok()) {
     std::fprintf(stderr, "config error: %s\n",
                  base_or.status().ToString().c_str());
     return 2;
   }
-  const std::string sweep_key = argv[2];
-  const std::vector<std::string> values = SplitCsv(argv[3]);
+  const std::string sweep_key = positional[1];
+  const std::vector<std::string> values = SplitCsv(positional[2]);
   if (values.empty()) {
     std::fprintf(stderr, "no sweep values given\n");
     return 2;
+  }
+
+  // Materialize every point's repeats up front and run them as one
+  // parallel batch; results come back in submission order, so regrouping
+  // by repeat count reproduces the serial per-point loop exactly.
+  constexpr int kRepeats = 2;
+  std::vector<core::ExperimentConfig> batch;
+  batch.reserve(values.size() * kRepeats);
+  for (const std::string& value : values) {
+    Config point = *base_or;
+    point.Set(sweep_key, value);
+    for (core::ExperimentConfig& cfg :
+         core::MakeRepeatedConfigs(ConfigToExperiment(point), kRepeats)) {
+      batch.push_back(std::move(cfg));
+    }
+  }
+  auto all = core::RunExperiments(batch);
+  if (!all.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 all.status().ToString().c_str());
+    return 1;
   }
 
   crayfish::core::ReportTable table(
       "sweep over " + sweep_key,
       {sweep_key, "throughput ev/s", "thr stddev", "latency mean ms",
        "lat stddev ms", "p99 ms"});
-  for (const std::string& value : values) {
-    Config point = *base_or;
-    point.Set(sweep_key, value);
-    core::ExperimentConfig cfg = ConfigToExperiment(point);
-    auto results = core::RunRepeated(cfg, 2);
-    if (!results.ok()) {
-      std::fprintf(stderr, "%s=%s failed: %s\n", sweep_key.c_str(),
-                   value.c_str(), results.status().ToString().c_str());
-      return 1;
-    }
-    const core::Aggregate thr = core::AggregateThroughput(*results);
-    const core::Aggregate lat = core::AggregateLatencyMean(*results);
-    table.AddRow({value, core::ReportTable::Num(thr.mean),
+  for (size_t i = 0; i < values.size(); ++i) {
+    const std::vector<core::ExperimentResult> results(
+        all->begin() + static_cast<long>(i) * kRepeats,
+        all->begin() + static_cast<long>(i + 1) * kRepeats);
+    const core::Aggregate thr = core::AggregateThroughput(results);
+    const core::Aggregate lat = core::AggregateLatencyMean(results);
+    table.AddRow({values[i], core::ReportTable::Num(thr.mean),
                   core::ReportTable::Num(thr.stddev),
                   core::ReportTable::Num(lat.mean),
                   core::ReportTable::Num(lat.stddev),
                   core::ReportTable::Num(
-                      (*results)[0].summary.latency_p99_ms)});
+                      results[0].summary.latency_p99_ms)});
     std::printf("%s=%s done (thr %.1f ev/s, lat %.2f ms)\n",
-                sweep_key.c_str(), value.c_str(), thr.mean, lat.mean);
+                sweep_key.c_str(), values[i].c_str(), thr.mean, lat.mean);
   }
   table.Print();
-  if (argc == 5) {
-    crayfish::Status s = table.WriteCsv(argv[4]);
+  if (positional.size() == 4) {
+    crayfish::Status s = table.WriteCsv(positional[3]);
     if (!s.ok()) {
       std::fprintf(stderr, "csv error: %s\n", s.ToString().c_str());
       return 1;
     }
-    std::printf("[csv: %s]\n", argv[4]);
+    std::printf("[csv: %s]\n", positional[3].c_str());
   }
   return 0;
 }
