@@ -1,0 +1,35 @@
+# Gate: the module DAG documented in DESIGN.md §4.3 must be the include
+# graph crayfish_lint actually observes over src/. Run as
+#   cmake -DLINT_BIN=... -DSRC_DIR=... -DDESIGN_MD=... -P check_lint_dag.cmake
+# The doc embeds the edges inside a fenced block opened by
+# ```crayfish-lint-dag ... ``` and the comparison is verbatim, so adding or
+# removing a cross-module include without updating the doc fails the build.
+
+if(NOT LINT_BIN OR NOT SRC_DIR OR NOT DESIGN_MD)
+  message(FATAL_ERROR "usage: cmake -DLINT_BIN=... -DSRC_DIR=... -DDESIGN_MD=... -P check_lint_dag.cmake")
+endif()
+
+execute_process(
+  COMMAND ${LINT_BIN} --dump-dag ${SRC_DIR}
+  OUTPUT_VARIABLE observed
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crayfish_lint --dump-dag failed with exit code ${rc}")
+endif()
+
+file(READ ${DESIGN_MD} doc)
+string(REGEX MATCH "```crayfish-lint-dag\n([^`]*)```" m "${doc}")
+if(NOT CMAKE_MATCH_1)
+  message(FATAL_ERROR "DESIGN.md has no ```crayfish-lint-dag fenced block; add one containing the output of `crayfish_lint --dump-dag src`")
+endif()
+set(documented "${CMAKE_MATCH_1}")
+
+# Normalize trailing whitespace on both sides.
+string(STRIP "${observed}" observed)
+string(STRIP "${documented}" documented)
+
+if(NOT observed STREQUAL documented)
+  message(FATAL_ERROR "DESIGN.md §4.3 DAG is out of date.\n--- documented ---\n${documented}\n--- observed (crayfish_lint --dump-dag) ---\n${observed}\nUpdate the fenced block to match the observed edges (or fix the stray include).")
+endif()
+
+message(STATUS "DESIGN.md §4.3 DAG matches the observed include graph")

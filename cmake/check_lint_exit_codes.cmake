@@ -1,0 +1,55 @@
+# Gate: crayfish_lint's exit-code contract. CI keys off the distinction:
+#   0 = clean, 1 = findings, 2 = usage / internal / IO error.
+# Run as: cmake -DLINT_BIN=... -DSRC_DIR=... -P check_lint_exit_codes.cmake
+
+if(NOT LINT_BIN OR NOT SRC_DIR)
+  message(FATAL_ERROR "usage: cmake -DLINT_BIN=... -DSRC_DIR=... -P check_lint_exit_codes.cmake")
+endif()
+
+# A missing input is an internal error (2), never a silent pass and never
+# "findings".
+execute_process(
+  COMMAND ${LINT_BIN} ${SRC_DIR}/definitely_not_a_real_path_for_lint
+  RESULT_VARIABLE rc_missing
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc_missing EQUAL 2)
+  message(FATAL_ERROR "expected exit 2 for a missing path, got ${rc_missing}")
+endif()
+
+# No inputs at all is a usage error (2).
+execute_process(
+  COMMAND ${LINT_BIN}
+  RESULT_VARIABLE rc_noargs
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc_noargs EQUAL 2)
+  message(FATAL_ERROR "expected exit 2 with no inputs, got ${rc_noargs}")
+endif()
+
+# --help is informational (0).
+execute_process(
+  COMMAND ${LINT_BIN} --help
+  RESULT_VARIABLE rc_help
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc_help EQUAL 0)
+  message(FATAL_ERROR "expected exit 0 for --help, got ${rc_help}")
+endif()
+
+# A clean tree exits 0, and --jobs must not change the output bytes.
+execute_process(
+  COMMAND ${LINT_BIN} ${SRC_DIR}
+  RESULT_VARIABLE rc_serial
+  OUTPUT_VARIABLE out_serial
+  ERROR_QUIET)
+execute_process(
+  COMMAND ${LINT_BIN} --jobs=4 ${SRC_DIR}
+  RESULT_VARIABLE rc_jobs
+  OUTPUT_VARIABLE out_jobs
+  ERROR_QUIET)
+if(NOT rc_serial EQUAL rc_jobs)
+  message(FATAL_ERROR "exit code differs under --jobs: ${rc_serial} vs ${rc_jobs}")
+endif()
+if(NOT out_serial STREQUAL out_jobs)
+  message(FATAL_ERROR "stdout differs between serial and --jobs=4 runs; parallel output must be deterministic")
+endif()
+
+message(STATUS "crayfish_lint exit codes and --jobs determinism verified")

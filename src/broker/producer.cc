@@ -1,7 +1,7 @@
 #include "broker/producer.h"
 
 #include "common/logging.h"
-#include "obs/trace.h"
+#include "obs/trace.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 
 namespace crayfish::broker {
 

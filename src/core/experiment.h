@@ -13,8 +13,8 @@
 #include "core/generator.h"
 #include "core/metrics.h"
 #include "core/output_consumer.h"
-#include "obs/registry.h"
-#include "obs/trace.h"
+#include "obs/registry.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
+#include "obs/trace.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 #include "serving/model_profile.h"
 
 namespace crayfish::core {

@@ -4,7 +4,7 @@
 
 #include "common/json.h"
 #include "common/logging.h"
-#include "obs/trace.h"
+#include "obs/trace.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 #include "sps/flink_engine.h"
 #include "sps/kafka_streams_engine.h"
 #include "sps/ray_engine.h"

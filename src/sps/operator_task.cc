@@ -1,7 +1,7 @@
 #include "sps/operator_task.h"
 
 #include "common/logging.h"
-#include "obs/registry.h"
+#include "obs/registry.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 
 namespace crayfish::sps {
 

@@ -5,7 +5,11 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
+#include "crayfish_lint/include_graph.h"
+#include "crayfish_lint/ir.h"
 #include "crayfish_lint/lexer.h"
+#include "crayfish_lint/parser.h"
 
 namespace crayfish::lint {
 namespace {
@@ -370,6 +374,432 @@ TEST(FindingTest, SuggestionsOffByDefault) {
       LintSource("src/sim/a.cc", "auto t = time(nullptr);\n", {}, {});
   ASSERT_EQ(fs.size(), 1u);
   EXPECT_TRUE(fs[0].suggestion.empty());
+}
+
+// ---------------------------------------------------------------------------
+// R7: architecture layering
+// ---------------------------------------------------------------------------
+
+TEST(R7LayeringTest, ModuleOfAndRanks) {
+  EXPECT_EQ(ModuleOf("src/broker/record.h"), "broker");
+  EXPECT_EQ(ModuleOf("/abs/prefix/src/obs/trace.cc"), "obs");
+  EXPECT_EQ(ModuleOf("tools/crayfish_lint/lint.cc"), "");
+  EXPECT_EQ(ModuleOf("tests/lint_test.cc"), "");
+  EXPECT_LT(ModuleRank("common"), ModuleRank("sim"));
+  EXPECT_LT(ModuleRank("broker"), ModuleRank("sps"));
+  EXPECT_LT(ModuleRank("core"), ModuleRank("obs"));
+  EXPECT_EQ(ModuleRank("sim"), ModuleRank("tensor"));
+  EXPECT_EQ(ModuleRank("not_a_module"), -1);
+}
+
+TEST(R7LayeringTest, DownwardEdgesAllowedBackEdgesNot) {
+  EXPECT_TRUE(LayeringAllows("sps", "broker"));
+  EXPECT_TRUE(LayeringAllows("obs", "common"));
+  EXPECT_TRUE(LayeringAllows("core", "serving"));
+  EXPECT_TRUE(LayeringAllows("sps", "serving"));   // the one sanctioned edge
+  EXPECT_FALSE(LayeringAllows("serving", "sps"));  // not the reverse
+  EXPECT_FALSE(LayeringAllows("sim", "obs"));
+  EXPECT_FALSE(LayeringAllows("broker", "sps"));
+  EXPECT_FALSE(LayeringAllows("sim", "tensor"));  // same layer, not excepted
+}
+
+TEST(R7LayeringTest, FlagsBackEdgeIncludeWithModulePath) {
+  const auto fs = Lint("src/sim/resource.cc",
+                       "#include \"obs/trace.h\"\n"
+                       "#include \"common/status.h\"\n");
+  ASSERT_EQ(CountRule(fs, Rule::kLayering), 1);
+  EXPECT_EQ(fs[0].line, 1);
+  ASSERT_EQ(fs[0].path.size(), 2u);
+  EXPECT_EQ(fs[0].path[0], "sim");
+  EXPECT_EQ(fs[0].path[1], "obs");
+}
+
+TEST(R7LayeringTest, DownwardAndSystemIncludesAreFine) {
+  const auto fs = Lint("src/core/experiment.cc",
+                       "#include <vector>\n"
+                       "#include \"broker/record.h\"\n"
+                       "#include \"common/status.h\"\n"
+                       "#include \"core/experiment.h\"\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(R7LayeringTest, HarnessCodeIsExemptFromLayering) {
+  const auto fs = Lint("tools/crayfish_run.cc",
+                       "#include \"obs/trace.h\"\n"
+                       "#include \"core/experiment.h\"\n");
+  EXPECT_FALSE(HasRule(fs, Rule::kLayering));
+}
+
+TEST(R7LayeringTest, SuppressionOnIncludeLineSilences) {
+  const auto fs = Lint(
+      "src/sim/resource.cc",
+      "#include \"obs/trace.h\"  // lint: layering-ok instrumentation hook\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(R7LayeringTest, AdHocIncludeFromModuleIsFlagged) {
+  const auto fs = Lint("src/sps/engine.cc", "#include \"engine.h\"\n");
+  ASSERT_EQ(CountRule(fs, Rule::kLayering), 1);
+  EXPECT_NE(fs[0].message.find("not module-qualified"), std::string::npos);
+}
+
+TEST(R7LayeringTest, IncludeGraphFindsCycles) {
+  IncludeGraph graph;
+  graph.Add(ParseSource("src/sim/a.cc", "#include \"obs/trace.h\"\n"));
+  graph.Add(ParseSource("src/obs/b.cc", "#include \"sim/events.h\"\n"));
+  const auto cycles = graph.FindCycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  const std::vector<std::string> expected = {"obs", "sim", "obs"};
+  EXPECT_EQ(cycles[0], expected);
+  const auto fs = LintIncludeCycles(graph);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, Rule::kLayering);
+  EXPECT_EQ(fs[0].path, expected);
+  EXPECT_NE(fs[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(R7LayeringTest, AcyclicGraphHasNoCycleFindings) {
+  IncludeGraph graph;
+  graph.Add(ParseSource("src/sps/a.cc", "#include \"broker/record.h\"\n"));
+  graph.Add(ParseSource("src/broker/b.cc", "#include \"common/status.h\"\n"));
+  EXPECT_TRUE(graph.FindCycles().empty());
+  EXPECT_TRUE(LintIncludeCycles(graph).empty());
+}
+
+// ---------------------------------------------------------------------------
+// R8: flow-sensitive use-after-move
+// ---------------------------------------------------------------------------
+
+TEST(R8UseAfterMoveTest, FlagsStraightLineUseAfterMove) {
+  const auto fs = Lint("src/broker/a.cc",
+                       "void F(Batch batch) {\n"
+                       "  Enqueue(std::move(batch));\n"
+                       "  size_t n = batch.size();\n"
+                       "}\n");
+  ASSERT_EQ(CountRule(fs, Rule::kUseAfterMove), 1);
+  EXPECT_EQ(fs[0].line, 3);
+  EXPECT_NE(fs[0].message.find("last move at line 2"), std::string::npos);
+}
+
+TEST(R8UseAfterMoveTest, FlagsDoubleMove) {
+  const auto fs = Lint("src/broker/a.cc",
+                       "void F(Record rec) {\n"
+                       "  a_.Push(std::move(rec));\n"
+                       "  b_.Push(std::move(rec));\n"
+                       "}\n");
+  ASSERT_EQ(CountRule(fs, Rule::kUseAfterMove), 1);
+  EXPECT_EQ(fs[0].line, 3);
+}
+
+TEST(R8UseAfterMoveTest, ConditionalMoveDoesNotFlag) {
+  // Moved on only one branch: a must-analysis stays quiet at the join.
+  const auto fs = Lint("src/broker/a.cc",
+                       "void F(Batch batch, bool fast) {\n"
+                       "  if (fast) {\n"
+                       "    Enqueue(std::move(batch));\n"
+                       "  }\n"
+                       "  Log(batch.size());\n"
+                       "}\n");
+  EXPECT_FALSE(HasRule(fs, Rule::kUseAfterMove));
+}
+
+TEST(R8UseAfterMoveTest, MovedOnBothBranchesFlags) {
+  const auto fs = Lint("src/broker/a.cc",
+                       "void F(Batch batch, bool fast) {\n"
+                       "  if (fast) {\n"
+                       "    EnqueueFast(std::move(batch));\n"
+                       "  } else {\n"
+                       "    EnqueueSlow(std::move(batch));\n"
+                       "  }\n"
+                       "  Log(batch.size());\n"
+                       "}\n");
+  ASSERT_EQ(CountRule(fs, Rule::kUseAfterMove), 1);
+  EXPECT_EQ(fs[0].line, 7);
+}
+
+TEST(R8UseAfterMoveTest, ReassignmentMakesTheNameSafeAgain) {
+  const auto fs = Lint("src/broker/a.cc",
+                       "void F(Batch batch) {\n"
+                       "  Enqueue(std::move(batch));\n"
+                       "  batch = NextBatch();\n"
+                       "  Log(batch.size());\n"
+                       "}\n");
+  EXPECT_FALSE(HasRule(fs, Rule::kUseAfterMove));
+}
+
+TEST(R8UseAfterMoveTest, EarlyReturnAfterMoveIsFine) {
+  const auto fs = Lint("src/broker/a.cc",
+                       "void F(Batch batch, bool fast) {\n"
+                       "  if (fast) {\n"
+                       "    Enqueue(std::move(batch));\n"
+                       "    return;\n"
+                       "  }\n"
+                       "  Log(batch.size());\n"
+                       "}\n");
+  EXPECT_FALSE(HasRule(fs, Rule::kUseAfterMove));
+}
+
+TEST(R8UseAfterMoveTest, FlagsLoopCarriedMove) {
+  // The move escapes to the loop back-edge: the second iteration moves a
+  // value that iteration one already gave away.
+  const auto fs = Lint("src/broker/a.cc",
+                       "void F(Buffer buffer) {\n"
+                       "  while (HasNext()) {\n"
+                       "    sink_.Push(std::move(buffer));\n"
+                       "  }\n"
+                       "}\n");
+  EXPECT_EQ(CountRule(fs, Rule::kUseAfterMove), 1);
+}
+
+TEST(R8UseAfterMoveTest, RangeForLoopVariableRebindsEachIteration) {
+  // Moving the loop variable of a range-for is fine: it rebinds per element.
+  const auto fs = Lint("src/broker/a.cc",
+                       "void F(std::vector<Fetch> to_answer) {\n"
+                       "  for (Fetch& fetch : to_answer) {\n"
+                       "    Answer(std::move(fetch));\n"
+                       "  }\n"
+                       "}\n");
+  EXPECT_FALSE(HasRule(fs, Rule::kUseAfterMove));
+}
+
+TEST(R8UseAfterMoveTest, NestedLambdaRecaptureIsNotADoubleMove) {
+  // The real broker pattern: an outer capture moves `batch`, and the inner
+  // lambda re-moves its own copy of the capture. One statement, one move.
+  const auto fs = Lint(
+      "src/broker/a.cc",
+      "void F(Batch batch) {\n"
+      "  sim_->Schedule(1, [this, batch = std::move(batch)]() mutable {\n"
+      "    done_ = [batch = std::move(batch)]() { Commit(batch); };\n"
+      "  });\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(fs, Rule::kUseAfterMove));
+}
+
+TEST(R8UseAfterMoveTest, MemberMovesAreNotTracked) {
+  // `std::move(queue_.front())`, `std::move(this->buf_)`: no aliasing model
+  // for members, so they never flag.
+  const auto fs = Lint("src/broker/a.cc",
+                       "void F() {\n"
+                       "  out.push_back(std::move(buffer_.front()));\n"
+                       "  out.push_back(std::move(buffer_.front()));\n"
+                       "}\n");
+  EXPECT_FALSE(HasRule(fs, Rule::kUseAfterMove));
+}
+
+TEST(R8UseAfterMoveTest, SuppressionWithJustificationSilences) {
+  const auto fs = Lint("src/broker/a.cc",
+                       "void F(Batch batch) {\n"
+                       "  Enqueue(std::move(batch));\n"
+                       "  batch.clear();  // lint: move-ok vector guarantees "
+                       "empty after move\n"
+                       "}\n");
+  EXPECT_FALSE(HasRule(fs, Rule::kUseAfterMove));
+}
+
+TEST(R8UseAfterMoveTest, ResetMethodMakesTheNameSafeAgain) {
+  const auto fs = Lint("src/broker/a.cc",
+                       "void F(Batch batch) {\n"
+                       "  Enqueue(std::move(batch));\n"
+                       "  batch.clear();\n"
+                       "  Log(batch.size());\n"
+                       "}\n");
+  EXPECT_FALSE(HasRule(fs, Rule::kUseAfterMove));
+}
+
+// ---------------------------------------------------------------------------
+// R9: immutable shared payload aliasing
+// ---------------------------------------------------------------------------
+
+/// Builds the two-file project the R9 fixtures share: `record.h` declares the
+/// immutable payload member (its construction site), `other` is the file
+/// under test.
+std::vector<Finding> LintWithPayloadHome(const std::string& other_path,
+                                         const std::string& other_src) {
+  const FileIR home = ParseSource(
+      "src/broker/record.h",
+      "struct Record {\n"
+      "  std::shared_ptr<const Bytes> payload;\n"
+      "};\n");
+  const FileIR other = ParseSource(other_path, other_src);
+  ProjectContext ctx;
+  CollectProject(home, &ctx);
+  CollectProject(other, &ctx);
+  LintOptions options;
+  options.fix_suggestions = true;
+  return LintFile(other, ctx, options);
+}
+
+TEST(R9PayloadAliasTest, FlagsConstCastOnPayload) {
+  const auto fs = LintWithPayloadHome(
+      "src/sps/operator_task.cc",
+      "void Mutate(Record& rec) {\n"
+      "  auto* raw = const_cast<Bytes*>(rec.payload.get());\n"
+      "}\n");
+  ASSERT_EQ(CountRule(fs, Rule::kPayloadAlias), 1);
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_NE(fs[0].message.find("payload"), std::string::npos);
+}
+
+TEST(R9PayloadAliasTest, FlagsConstPointerCastRewrap) {
+  const auto fs = LintWithPayloadHome(
+      "src/sps/operator_task.cc",
+      "void Rewrap(Record& rec) {\n"
+      "  auto mut = std::const_pointer_cast<Bytes>(rec.payload);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(fs, Rule::kPayloadAlias), 1);
+}
+
+TEST(R9PayloadAliasTest, FlagsAssignmentOutsideConstructionSite) {
+  const auto fs = LintWithPayloadHome(
+      "src/sps/operator_task.cc",
+      "void Rebind(Record& rec, std::shared_ptr<const Bytes> b) {\n"
+      "  rec.payload = b;\n"
+      "}\n");
+  ASSERT_EQ(CountRule(fs, Rule::kPayloadAlias), 1);
+  EXPECT_NE(fs[0].message.find("src/broker/record.h"), std::string::npos);
+}
+
+TEST(R9PayloadAliasTest, ConstructionSiteMayAssign) {
+  // The declaring file is the producer construction site: SetPayload-style
+  // assignment there is the sanctioned write.
+  const FileIR home = ParseSource(
+      "src/broker/record.h",
+      "struct Record {\n"
+      "  std::shared_ptr<const Bytes> payload;\n"
+      "  void SetPayload(Bytes b) {\n"
+      "    this->payload = std::make_shared<const Bytes>(std::move(b));\n"
+      "  }\n"
+      "};\n");
+  ProjectContext ctx;
+  CollectProject(home, &ctx);
+  EXPECT_TRUE(ctx.immutable_member_home.count("payload") > 0);
+  const auto fs = LintFile(home, ctx, {});
+  EXPECT_FALSE(HasRule(fs, Rule::kPayloadAlias));
+}
+
+TEST(R9PayloadAliasTest, ReadsAndCopiesAreFine) {
+  const auto fs = LintWithPayloadHome(
+      "src/sps/operator_task.cc",
+      "size_t Read(const Record& rec) {\n"
+      "  auto copy = std::make_shared<Bytes>(*rec.payload);\n"
+      "  return rec.payload->size();\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(fs, Rule::kPayloadAlias));
+}
+
+TEST(R9PayloadAliasTest, SuppressionWithJustificationSilences) {
+  const auto fs = LintWithPayloadHome(
+      "src/sps/operator_task.cc",
+      "void Mutate(Record& rec) {\n"
+      "  // lint: aliasing-ok bench-only scratch record, never published\n"
+      "  auto* raw = const_cast<Bytes*>(rec.payload.get());\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(fs, Rule::kPayloadAlias));
+}
+
+// ---------------------------------------------------------------------------
+// JSON output
+// ---------------------------------------------------------------------------
+
+TEST(JsonOutputTest, RoundTripsThroughProjectJsonParser) {
+  const auto fs = Lint("src/sim/a.cc",
+                       "#include \"obs/trace.h\"\n"
+                       "auto t = time(nullptr);\n");
+  ASSERT_GE(fs.size(), 2u);
+  const std::string json =
+      FindingsToJson(fs, /*files_scanned=*/1, {"cannot read src/sim/gone.cc"});
+
+  const auto parsed = crayfish::JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << json;
+  const crayfish::JsonValue& doc = *parsed;
+  EXPECT_EQ(doc.GetStringOr("tool", ""), "crayfish_lint");
+  EXPECT_EQ(doc.GetIntOr("schema_version", 0), 2);
+  EXPECT_EQ(doc.GetIntOr("files_scanned", 0), 1);
+  ASSERT_NE(doc.Find("errors"), nullptr);
+  EXPECT_EQ(doc.Find("errors")->size(), 1u);
+  ASSERT_NE(doc.Find("findings"), nullptr);
+  EXPECT_EQ(doc.Find("findings")->size(), fs.size());
+  const crayfish::JsonValue& first = doc.Find("findings")->as_array()[0];
+  EXPECT_EQ(first.GetStringOr("file", ""), "src/sim/a.cc");
+  EXPECT_EQ(first.GetStringOr("rule", ""), "R7");
+  EXPECT_EQ(first.GetStringOr("suppress_keyword", ""), "layering-ok");
+  ASSERT_NE(first.Find("path"), nullptr);
+  ASSERT_EQ(first.Find("path")->size(), 2u);
+  EXPECT_EQ(first.Find("path")->as_array()[0].as_string(), "sim");
+}
+
+TEST(JsonOutputTest, EscapesQuotesAndBackslashes) {
+  Finding f;
+  f.file = "src/sim/a.cc";
+  f.line = 1;
+  f.rule = Rule::kWallClock;
+  f.message = "text with \"quotes\" and \\backslash\\ and\nnewline";
+  const std::string json = FindingsToJson({f}, 1, {});
+  const auto parsed = crayfish::JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << json;
+  EXPECT_EQ(parsed->Find("findings")->as_array()[0].GetStringOr("message", ""),
+            f.message);
+}
+
+TEST(JsonOutputTest, EmptyRunIsValidJson) {
+  const std::string json = FindingsToJson({}, 0, {});
+  const auto parsed = crayfish::JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << json;
+  ASSERT_NE(parsed->Find("findings"), nullptr);
+  EXPECT_EQ(parsed->Find("findings")->size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parser / IR
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, ExtractsIncludesAndKinds) {
+  const FileIR ir = ParseSource("src/sps/a.cc",
+                                "#include <vector>\n"
+                                "#include \"broker/record.h\"\n");
+  ASSERT_EQ(ir.includes.size(), 2u);
+  EXPECT_TRUE(ir.includes[0].is_system);
+  EXPECT_EQ(ir.includes[1].target, "broker/record.h");
+  EXPECT_EQ(ir.includes[1].line, 2);
+}
+
+TEST(ParserTest, BuildsCfgSkeletonWithEvents) {
+  const FileIR ir = ParseSource("src/broker/a.cc",
+                                "void F(Batch batch) {\n"
+                                "  if (ok) {\n"
+                                "    Enqueue(std::move(batch));\n"
+                                "  } else {\n"
+                                "    Drop();\n"
+                                "  }\n"
+                                "  return;\n"
+                                "}\n");
+  ASSERT_EQ(ir.functions.size(), 1u);
+  const Function& fn = ir.functions[0];
+  EXPECT_EQ(fn.name, "F");
+  ASSERT_EQ(fn.params.size(), 1u);
+  EXPECT_EQ(fn.params[0].name, "batch");
+  const std::string dump = DumpFunction(fn);
+  EXPECT_NE(dump.find("if@2"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("moves[batch]"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("return@7"), std::string::npos) << dump;
+}
+
+TEST(ParserTest, SuppressionInsidePreprocessorTokenIsExtracted) {
+  const FileIR ir = ParseSource(
+      "src/sim/a.cc",
+      "#include \"obs/trace.h\"  // lint: layering-ok hook only\n");
+  ASSERT_EQ(ir.suppressions.size(), 1u);
+  EXPECT_EQ(ir.suppressions[0].keyword, "layering-ok");
+  EXPECT_EQ(ir.suppressions[0].applies_to, 1);
+}
+
+TEST(ParserTest, ProseMentioningLintIsNotASuppression) {
+  const FileIR ir = ParseSource(
+      "src/sim/a.cc",
+      "// crayfish_lint: determinism checks for the simulated stack\n"
+      "// syntax is `// lint: <keyword> <justification>`\n"
+      "int x = 0;\n");
+  EXPECT_TRUE(ir.suppressions.empty());
 }
 
 }  // namespace

@@ -1,0 +1,76 @@
+#include "crayfish_lint/ir.h"
+
+#include <sstream>
+
+namespace crayfish::lint {
+namespace {
+
+void AppendEventList(std::ostringstream* os, const char* label,
+                     const std::vector<std::pair<std::string, int>>& events) {
+  if (events.empty()) return;
+  *os << " " << label << "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) *os << " ";
+    *os << events[i].first;
+  }
+  *os << "]";
+}
+
+}  // namespace
+
+std::string_view StmtKindName(StmtKind kind) {
+  switch (kind) {
+    case StmtKind::kExpr:
+      return "expr";
+    case StmtKind::kIf:
+      return "if";
+    case StmtKind::kLoop:
+      return "loop";
+    case StmtKind::kSwitch:
+      return "switch";
+    case StmtKind::kTry:
+      return "try";
+    case StmtKind::kBlock:
+      return "block";
+    case StmtKind::kReturn:
+      return "return";
+  }
+  return "?";
+}
+
+std::string DumpStmts(const std::vector<Stmt>& stmts, int indent) {
+  std::ostringstream os;
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  for (const Stmt& s : stmts) {
+    os << pad << StmtKindName(s.kind) << "@" << s.line;
+    AppendEventList(&os, "uses", s.uses);
+    AppendEventList(&os, "moves", s.moves);
+    AppendEventList(&os, "resets", s.resets);
+    if (!s.decls.empty()) {
+      os << " decls[";
+      for (size_t i = 0; i < s.decls.size(); ++i) {
+        if (i > 0) os << " ";
+        os << s.decls[i].name;
+      }
+      os << "]";
+    }
+    os << "\n";
+    for (const auto& branch : s.branches) {
+      os << DumpStmts(branch, indent + 2);
+    }
+  }
+  return os.str();
+}
+
+std::string DumpFunction(const Function& fn) {
+  std::ostringstream os;
+  os << fn.name << "@" << fn.line << " params[";
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    if (i > 0) os << " ";
+    os << fn.params[i].name;
+  }
+  os << "]\n" << DumpStmts(fn.body, 2);
+  return os.str();
+}
+
+}  // namespace crayfish::lint

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
+#include <iomanip>
 #include <map>
+#include <set>
 #include <sstream>
+#include <utility>
 
 namespace crayfish::lint {
 namespace {
@@ -37,6 +41,12 @@ bool InDir(std::string_view path, std::string_view dir) {
   return path.substr(0, needle.size() - 1) == needle.substr(1);
 }
 
+/// True when the linted file and the recorded home file are the same file,
+/// whichever of the two carries the longer path prefix.
+bool SamePath(std::string_view a, std::string_view b) {
+  return a == b || PathEndsWith(a, b) || PathEndsWith(b, a);
+}
+
 /// R3 applies where iteration order can reach scheduling decisions or
 /// exported results.
 bool InSchedulingDir(std::string_view path) {
@@ -57,138 +67,26 @@ bool InMetricsCode(std::string_view path) {
          PathEndsWith(path, "src/core/breakdown.cc") || InDir(path, "src/obs");
 }
 
-/// R6 allowlist: the sweep runner owns the host thread pool, and bench
-/// harness code may measure with host threads; simulated components must
-/// stay single-threaded so event order is bit-deterministic.
+/// R6 allowlist: the sweep runner owns the host thread pool, bench harness
+/// code may measure with host threads, and the lint tool's own --jobs pool
+/// runs outside any simulation; simulated components must stay
+/// single-threaded so event order is bit-deterministic.
 bool IsHostThreadingAllowlisted(std::string_view path) {
   return PathEndsWith(path, "src/core/sweep.h") ||
-         PathEndsWith(path, "src/core/sweep.cc") || InDir(path, "bench");
+         PathEndsWith(path, "src/core/sweep.cc") || InDir(path, "bench") ||
+         InDir(path, "tools/crayfish_lint");
 }
 
+/// R1 allowlist: the logging real-time sink is the single src/ place allowed
+/// to read the host clock (it never feeds back into simulation state), and
+/// bench/ harness code exists to measure wall time.
 bool IsWallClockAllowlisted(std::string_view path) {
-  // The logging real-time sink is the single place allowed to read the host
-  // clock (it never feeds back into simulation state).
-  return PathEndsWith(path, "src/common/logging.cc");
+  return PathEndsWith(path, "src/common/logging.cc") || InDir(path, "bench");
 }
 
 bool IsRngAllowlisted(std::string_view path) {
   return PathEndsWith(path, "src/common/rng.h") ||
          PathEndsWith(path, "src/common/rng.cc");
-}
-
-// ---------------------------------------------------------------------------
-// Token-stream helpers
-// ---------------------------------------------------------------------------
-
-bool IsCode(const Token& t) {
-  return t.kind != TokenKind::kComment && t.kind != TokenKind::kPreprocessor;
-}
-
-/// Index of the next/previous code token, or -1.
-int NextCode(const std::vector<Token>& toks, int i) {
-  for (int k = i + 1; k < static_cast<int>(toks.size()); ++k) {
-    if (IsCode(toks[k])) return k;
-  }
-  return -1;
-}
-int PrevCode(const std::vector<Token>& toks, int i) {
-  for (int k = i - 1; k >= 0; --k) {
-    if (IsCode(toks[k])) return k;
-  }
-  return -1;
-}
-
-/// Starting at the index of a `<` token, returns the index just past the
-/// matching `>` (handles `>>` produced by the lexer), or -1 when unmatched.
-int SkipAngles(const std::vector<Token>& toks, int open) {
-  int depth = 0;
-  for (int k = open; k < static_cast<int>(toks.size()); ++k) {
-    const Token& t = toks[k];
-    if (!IsCode(t)) continue;
-    if (t.IsPunct("<")) ++depth;
-    if (t.IsPunct("<<")) depth += 2;
-    if (t.IsPunct(">")) --depth;
-    if (t.IsPunct(">>")) depth -= 2;
-    if (t.IsPunct(";")) return -1;  // statement ended: it was a comparison
-    if (depth <= 0) return k + 1;
-  }
-  return -1;
-}
-
-/// Starting at the index of a `(` token, returns the index of the matching
-/// `)`, or -1.
-int MatchParen(const std::vector<Token>& toks, int open) {
-  int depth = 0;
-  for (int k = open; k < static_cast<int>(toks.size()); ++k) {
-    const Token& t = toks[k];
-    if (!IsCode(t)) continue;
-    if (t.IsPunct("(")) ++depth;
-    if (t.IsPunct(")")) {
-      --depth;
-      if (depth == 0) return k;
-    }
-  }
-  return -1;
-}
-
-const std::set<std::string> kTypePositionExclusions = {
-    "return", "co_return", "co_await", "co_yield", "case",   "goto",
-    "new",    "delete",    "throw",    "else",     "do",     "sizeof",
-    "alignof", "typedef",  "using",    "namespace", "if",    "while",
-    "for",    "switch",    "template", "typename", "class",  "struct",
-    "enum",   "public",    "private",  "protected", "operator",
-};
-
-// ---------------------------------------------------------------------------
-// Suppressions
-// ---------------------------------------------------------------------------
-
-struct Suppression {
-  std::string keyword;
-  std::string justification;
-  int line = 0;           ///< line the comment is on
-  int applies_to = 0;     ///< line of code it suppresses
-};
-
-std::string Trim(std::string s) {
-  const auto is_noise = [](char c) {
-    return c == ' ' || c == '\t' || c == '-' || c == ':' ||
-           static_cast<unsigned char>(c) >= 0x80;  // em-dash bytes etc.
-  };
-  size_t b = 0;
-  while (b < s.size() && is_noise(s[b])) ++b;
-  size_t e = s.size();
-  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '/' ||
-                   s[e - 1] == '*')) {
-    --e;
-  }
-  return s.substr(b, e - b);
-}
-
-/// Extracts `// lint: <keyword> <justification>` comments. A comment on a
-/// line of its own applies to the next line; a trailing comment applies to
-/// its own line.
-std::vector<Suppression> ParseSuppressions(const std::vector<Token>& toks) {
-  std::set<int> code_lines;
-  for (const Token& t : toks) {
-    if (IsCode(t)) code_lines.insert(t.line);
-  }
-  std::vector<Suppression> out;
-  for (const Token& t : toks) {
-    if (t.kind != TokenKind::kComment) continue;
-    const size_t at = t.text.find("lint:");
-    if (at == std::string::npos) continue;
-    std::istringstream rest(t.text.substr(at + 5));
-    Suppression s;
-    rest >> s.keyword;
-    std::string tail;
-    std::getline(rest, tail);
-    s.justification = Trim(tail);
-    s.line = t.line;
-    s.applies_to = code_lines.count(t.line) ? t.line : t.line + 1;
-    out.push_back(std::move(s));
-  }
-  return out;
 }
 
 const std::map<std::string, Rule, std::less<>> kKeywordToRule = {
@@ -198,20 +96,47 @@ const std::map<std::string, Rule, std::less<>> kKeywordToRule = {
     {"status-ignored", Rule::kIgnoredStatus},
     {"float-ok", Rule::kFloatAccum},
     {"host-threading-ok", Rule::kHostThreading},
+    {"layering-ok", Rule::kLayering},
+    {"move-ok", Rule::kUseAfterMove},
+    {"aliasing-ok", Rule::kPayloadAlias},
 };
 
 // ---------------------------------------------------------------------------
-// Rules
+// R8 flow state
+// ---------------------------------------------------------------------------
+
+/// Must-moved analysis state at one program point: the names that were moved
+/// away on *every* path reaching here, with the line of the latest move.
+struct FlowState {
+  std::map<std::string, int> moved;
+  bool reachable = true;
+};
+
+/// Join at a control-flow merge: a name stays moved only when both incoming
+/// edges moved it (must-analysis, so a conditional move never fires R8).
+FlowState MergeFlow(const FlowState& a, const FlowState& b) {
+  if (!a.reachable) return b;
+  if (!b.reachable) return a;
+  FlowState out;
+  for (const auto& [name, line] : a.moved) {
+    const auto it = b.moved.find(name);
+    if (it != b.moved.end()) out.moved[name] = std::min(line, it->second);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Linter
 // ---------------------------------------------------------------------------
 
 class Linter {
  public:
-  Linter(const std::string& path, const std::vector<Token>& toks,
-         const SymbolTable& table, const LintOptions& options)
-      : path_(path), toks_(toks), table_(table), options_(options) {}
+  Linter(const FileIR& ir, const ProjectContext& ctx,
+         const LintOptions& options)
+      : ir_(ir), ctx_(ctx), options_(options), path_(ir.path),
+        toks_(ir.tokens) {}
 
   std::vector<Finding> Run() {
-    suppressions_ = ParseSuppressions(toks_);
     CheckSuppressionComments();
     if (!IsWallClockAllowlisted(path_)) CheckWallClock();
     if (!IsRngAllowlisted(path_)) CheckRandomness();
@@ -219,17 +144,20 @@ class Linter {
     CheckIgnoredStatus();
     if (InMetricsCode(path_)) CheckFloatAccumulators();
     if (!IsHostThreadingAllowlisted(path_)) CheckHostThreading();
-    std::sort(findings_.begin(), findings_.end(),
-              [](const Finding& a, const Finding& b) {
-                return a.line < b.line;
-              });
+    CheckLayering();
+    CheckUseAfterMove();
+    CheckPayloadAlias();
+    std::stable_sort(findings_.begin(), findings_.end(),
+                     [](const Finding& a, const Finding& b) {
+                       return a.line < b.line;
+                     });
     return std::move(findings_);
   }
 
  private:
-  void Report(Rule rule, int line, std::string message,
-              std::string suggestion) {
-    for (const Suppression& s : suppressions_) {
+  void Report(Rule rule, int line, std::string message, std::string suggestion,
+              std::vector<std::string> path = {}) {
+    for (const Suppression& s : ir_.suppressions) {
       if (s.applies_to != line) continue;
       const auto it = kKeywordToRule.find(s.keyword);
       if (it != kKeywordToRule.end() && it->second == rule &&
@@ -242,6 +170,7 @@ class Linter {
     f.line = line;
     f.rule = rule;
     f.message = std::move(message);
+    f.path = std::move(path);
     if (options_.fix_suggestions) f.suggestion = std::move(suggestion);
     findings_.push_back(std::move(f));
   }
@@ -249,12 +178,13 @@ class Linter {
   // R0: a malformed suppression is itself a finding, so a typo'd keyword
   // cannot silently disable enforcement.
   void CheckSuppressionComments() {
-    for (const Suppression& s : suppressions_) {
+    for (const Suppression& s : ir_.suppressions) {
       if (kKeywordToRule.find(s.keyword) == kKeywordToRule.end()) {
         Report(Rule::kSuppression, s.line,
                "unknown lint suppression keyword '" + s.keyword + "'",
                "use one of: wall-clock-ok, unseeded-ok, order-independent, "
-               "status-ignored, float-ok, host-threading-ok");
+               "status-ignored, float-ok, host-threading-ok, layering-ok, "
+               "move-ok, aliasing-ok");
       } else if (s.justification.empty()) {
         Report(Rule::kSuppression, s.line,
                "lint suppression '" + s.keyword +
@@ -343,7 +273,8 @@ class Linter {
       }
       int k = NextCode(toks_, i);
       if (k >= 0 && toks_[k].IsPunct("<")) k = SkipAngles(toks_, k);
-      if (k >= 0 && k < static_cast<int>(toks_.size()) && !IsCode(toks_[k])) {
+      if (k >= 0 && k < static_cast<int>(toks_.size()) &&
+          !IsCodeToken(toks_[k])) {
         k = NextCode(toks_, k - 1);
       }
       if (k >= static_cast<int>(toks_.size())) continue;
@@ -368,7 +299,7 @@ class Linter {
         int colon = -1;
         int depth = 0;
         for (int k = open; k < close; ++k) {
-          if (!IsCode(toks_[k])) continue;
+          if (!IsCodeToken(toks_[k])) continue;
           if (toks_[k].IsPunct("(")) ++depth;
           if (toks_[k].IsPunct(")")) --depth;
           if (depth == 1 && toks_[k].IsPunct(":")) {
@@ -417,38 +348,10 @@ class Linter {
 
   // R4 --------------------------------------------------------------------
   void CheckIgnoredStatus() {
-    for (int i = 0; i < static_cast<int>(toks_.size()); ++i) {
-      const Token& t = toks_[i];
-      if (t.kind != TokenKind::kIdentifier) continue;
-      // Statement start: previous code token ends a statement or block.
-      const int prev = PrevCode(toks_, i);
-      if (prev >= 0) {
-        const Token& p = toks_[prev];
-        const bool boundary = p.IsPunct(";") || p.IsPunct("{") ||
-                              p.IsPunct("}") || p.IsPunct(")") ||
-                              p.IsIdent("else") || p.IsIdent("do");
-        if (!boundary) continue;
-      }
-      if (kTypePositionExclusions.count(t.text) > 0) continue;
-      // Walk the qualified/member chain to the callee identifier.
-      int callee = i;
-      int k = NextCode(toks_, i);
-      while (k >= 0 && (toks_[k].IsPunct("::") || toks_[k].IsPunct(".") ||
-                        toks_[k].IsPunct("->"))) {
-        const int name = NextCode(toks_, k);
-        if (name < 0 || toks_[name].kind != TokenKind::kIdentifier) break;
-        callee = name;
-        k = NextCode(toks_, name);
-      }
-      if (k < 0 || !toks_[k].IsPunct("(")) continue;
-      const int close = MatchParen(toks_, k);
-      if (close < 0) continue;
-      const int after = NextCode(toks_, close);
-      if (after < 0 || !toks_[after].IsPunct(";")) continue;
-      const std::string& name = toks_[callee].text;
-      if (!table_.ReturnsStatusUnambiguously(name)) continue;
-      Report(Rule::kIgnoredStatus, toks_[callee].line,
-             "result of '" + name +
+    for (const DiscardedCall& c : ir_.discarded_calls) {
+      if (!ctx_.symbols.ReturnsStatusUnambiguously(c.callee)) continue;
+      Report(Rule::kIgnoredStatus, c.line,
+             "result of '" + c.callee +
                  "' (returns common::Status) is discarded; failures would "
                  "vanish silently",
              "check it (Status st = ...; if (!st.ok()) ...), propagate with "
@@ -549,13 +452,263 @@ class Linter {
     }
   }
 
+  // R7 --------------------------------------------------------------------
+  void CheckLayering() {
+    const std::string from = ModuleOf(path_);
+    if (from.empty()) return;  // tools/bench/tests sit above the DAG
+    for (const Include& inc : ir_.includes) {
+      if (inc.is_system) continue;
+      const size_t slash = inc.target.find('/');
+      const std::string to =
+          slash == std::string::npos ? "" : inc.target.substr(0, slash);
+      if (ModuleRank(to) < 0) {
+        Report(Rule::kLayering, inc.line,
+               "quoted include \"" + inc.target + "\" from module '" + from +
+                   "' is not module-qualified, so the layering DAG cannot "
+                   "place it",
+               "include project headers as \"<module>/<header>.h\" (e.g. "
+               "\"broker/record.h\"); for genuinely external headers "
+               "annotate `// lint: layering-ok <why>`",
+               {from});
+        continue;
+      }
+      if (LayeringAllows(from, to)) continue;
+      std::ostringstream msg;
+      msg << "include of \"" << inc.target
+          << "\" is a back-edge in the module DAG: '" << from << "' (layer "
+          << ModuleRank(from) << ") may only include strictly lower layers, "
+          << "but '" << to << "' is layer " << ModuleRank(to)
+          << "; allowed order is common -> {sim, tensor} -> {broker, model} "
+          << "-> {sps, serving} -> core -> obs (plus sps -> serving)";
+      Report(Rule::kLayering, inc.line, msg.str(),
+             "invert the dependency: move the shared type into a lower "
+             "layer, or have the lower layer expose a hook the higher layer "
+             "registers into; if the edge is an intentional exception, "
+             "annotate `// lint: layering-ok <why>`",
+             {from, to});
+    }
+  }
+
+  // R8 --------------------------------------------------------------------
+  void CheckUseAfterMove() {
+    for (const Function& fn : ir_.functions) {
+      std::set<std::string> tracked;
+      for (const VarDecl& p : fn.params) tracked.insert(p.name);
+      CollectDeclNames(fn.body, &tracked);
+      if (tracked.empty()) continue;
+      reported_moves_.clear();
+      FlowState in;
+      RunStmts(fn.body, in, tracked);
+    }
+  }
+
+  void CollectDeclNames(const std::vector<Stmt>& stmts,
+                        std::set<std::string>* out) {
+    for (const Stmt& s : stmts) {
+      for (const VarDecl& d : s.decls) out->insert(d.name);
+      for (const auto& branch : s.branches) CollectDeclNames(branch, out);
+    }
+  }
+
+  FlowState RunStmts(const std::vector<Stmt>& stmts, FlowState st,
+                     const std::set<std::string>& tracked) {
+    for (const Stmt& s : stmts) {
+      if (!st.reachable) break;
+      st = RunStmt(s, std::move(st), tracked);
+    }
+    return st;
+  }
+
+  FlowState RunStmt(const Stmt& s, FlowState st,
+                    const std::set<std::string>& tracked) {
+    // Uses are checked before this statement's own moves so `f(x, move(y))`
+    // never flags within one statement (argument order is unspecified; the
+    // analysis stays conservative and only reports cross-statement facts).
+    for (const auto& [name, line] : s.uses) {
+      const auto it = st.moved.find(name);
+      if (it == st.moved.end()) continue;
+      ReportMove(name, line, it->second, /*second_move=*/false);
+    }
+    for (const auto& [name, line] : s.moves) {
+      if (tracked.count(name) == 0) continue;
+      const auto it = st.moved.find(name);
+      if (it != st.moved.end()) {
+        ReportMove(name, line, it->second, /*second_move=*/true);
+      }
+      st.moved[name] = line;
+    }
+    for (const auto& [name, line] : s.resets) {
+      (void)line;
+      st.moved.erase(name);
+    }
+    for (const VarDecl& d : s.decls) st.moved.erase(d.name);
+
+    switch (s.kind) {
+      case StmtKind::kExpr:
+        return st;
+      case StmtKind::kReturn:
+        st.reachable = false;
+        return st;
+      case StmtKind::kBlock:
+        return s.branches.empty() ? st
+                                  : RunStmts(s.branches.front(), st, tracked);
+      case StmtKind::kIf: {
+        if (s.branches.empty()) return st;
+        FlowState then_out = RunStmts(s.branches[0], st, tracked);
+        FlowState else_out =
+            s.branches.size() > 1 ? RunStmts(s.branches[1], st, tracked) : st;
+        return MergeFlow(then_out, else_out);
+      }
+      case StmtKind::kLoop: {
+        if (s.branches.empty()) return st;
+        // Two passes: the second sees the first iteration's end state, so a
+        // move that survives to the loop back-edge is reported (dedup keeps
+        // each site at one finding).
+        FlowState once = RunStmts(s.branches.front(), st, tracked);
+        RunStmts(s.branches.front(), once, tracked);
+        return MergeFlow(st, once);  // body may run zero times
+      }
+      case StmtKind::kSwitch:
+      case StmtKind::kTry: {
+        // Any branch (or none) may run: merge every branch exit with the
+        // fall-through state.
+        FlowState out = st;
+        for (const auto& branch : s.branches) {
+          out = MergeFlow(out, RunStmts(branch, st, tracked));
+        }
+        return out;
+      }
+    }
+    return st;
+  }
+
+  void ReportMove(const std::string& name, int line, int moved_line,
+                  bool second_move) {
+    if (!reported_moves_.insert({line, name}).second) return;
+    std::ostringstream msg;
+    if (second_move) {
+      msg << "'" << name << "' is moved again here, but every path reaching "
+          << "this line already moved it (last move at line " << moved_line
+          << "); the second move hands over an empty value";
+    } else {
+      msg << "use of '" << name << "' after move: every path reaching this "
+          << "line moved it away (last move at line " << moved_line
+          << "), so only destruction or reassignment is safe";
+    }
+    Report(Rule::kUseAfterMove, line, msg.str(),
+           "reassign '" + name +
+               "' before this line or restructure so the move is the final "
+               "use; if the moved-from state is deliberately reused (e.g. a "
+               "pooled buffer), annotate `// lint: move-ok <why>`");
+  }
+
+  // R9 --------------------------------------------------------------------
+  void CheckPayloadAlias() {
+    if (ctx_.immutable_member_home.empty()) return;
+    const int n = static_cast<int>(toks_.size());
+    for (int i = 0; i < n; ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (t.text == "const_cast" || t.text == "const_pointer_cast") {
+        const std::string touched = ImmutableNameInStatement(i);
+        if (touched.empty()) continue;
+        const std::string& home = ctx_.immutable_member_home.at(touched);
+        Report(Rule::kPayloadAlias, t.line,
+               "'" + t.text + "' in a statement touching immutable shared "
+                   "payload '" + touched + "' (declared shared_ptr<const T> "
+                   "in " + home + "); casting away const re-opens a buffer "
+                   "that consumers alias zero-copy",
+               "copy the bytes into a fresh buffer "
+               "(std::make_shared<Bytes>(*" + touched + ")) and publish the "
+               "copy; if the cast provably never mutates shared state, "
+               "annotate `// lint: aliasing-ok <why>`");
+        continue;
+      }
+      const auto home_it = ctx_.immutable_member_home.find(t.text);
+      if (home_it == ctx_.immutable_member_home.end()) continue;
+      const int prev = PrevCode(toks_, i);
+      const int next = NextCode(toks_, i);
+      const bool member_access =
+          prev >= 0 && (toks_[prev].IsPunct(".") || toks_[prev].IsPunct("->"));
+      const bool assigned = next >= 0 && toks_[next].IsPunct("=");
+      if (!member_access || !assigned) continue;
+      if (SamePath(path_, home_it->second)) continue;  // construction site
+      Report(Rule::kPayloadAlias, t.line,
+             "assignment to immutable shared payload '" + t.text +
+                 "' outside its construction site (" + home_it->second +
+                 "); after publication these bytes are aliased zero-copy by "
+                 "every consumer",
+             "build a new record through the producer-side constructor / "
+             "SetPayload instead of rebinding the member in place; if this "
+             "site provably owns the only reference, annotate "
+             "`// lint: aliasing-ok <why>`");
+    }
+  }
+
+  /// First immutable-shared name mentioned in the statement containing token
+  /// `i` (bounded by `;`/`{`/`}` on both sides), or "".
+  std::string ImmutableNameInStatement(int i) {
+    const int n = static_cast<int>(toks_.size());
+    int begin = i;
+    for (int k = i - 1; k >= 0; --k) {
+      if (!IsCodeToken(toks_[k])) continue;
+      if (toks_[k].IsPunct(";") || toks_[k].IsPunct("{") ||
+          toks_[k].IsPunct("}")) {
+        break;
+      }
+      begin = k;
+    }
+    int end = i;
+    for (int k = i + 1; k < n; ++k) {
+      if (!IsCodeToken(toks_[k])) continue;
+      if (toks_[k].IsPunct(";") || toks_[k].IsPunct("{") ||
+          toks_[k].IsPunct("}")) {
+        break;
+      }
+      end = k;
+    }
+    for (int k = begin; k <= end; ++k) {
+      if (toks_[k].kind == TokenKind::kIdentifier &&
+          ctx_.immutable_member_home.count(toks_[k].text) > 0) {
+        return toks_[k].text;
+      }
+    }
+    return "";
+  }
+
+  const FileIR& ir_;
+  const ProjectContext& ctx_;
+  const LintOptions& options_;
   const std::string& path_;
   const std::vector<Token>& toks_;
-  const SymbolTable& table_;
-  const LintOptions& options_;
-  std::vector<Suppression> suppressions_;
+  std::set<std::pair<int, std::string>> reported_moves_;
   std::vector<Finding> findings_;
 };
+
+// ---------------------------------------------------------------------------
+// JSON serialization
+// ---------------------------------------------------------------------------
+
+std::string JsonEscape(std::string_view s) {
+  std::ostringstream os;
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c)) << std::dec;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
 
 }  // namespace
 
@@ -575,6 +728,12 @@ std::string_view RuleName(Rule rule) {
       return "R5";
     case Rule::kHostThreading:
       return "R6";
+    case Rule::kLayering:
+      return "R7";
+    case Rule::kUseAfterMove:
+      return "R8";
+    case Rule::kPayloadAlias:
+      return "R9";
   }
   return "R?";
 }
@@ -595,6 +754,12 @@ std::string_view SuppressionKeyword(Rule rule) {
       return "float-ok";
     case Rule::kHostThreading:
       return "host-threading-ok";
+    case Rule::kLayering:
+      return "layering-ok";
+    case Rule::kUseAfterMove:
+      return "move-ok";
+    case Rule::kPayloadAlias:
+      return "aliasing-ok";
   }
   return "";
 }
@@ -608,44 +773,52 @@ std::string Finding::ToString() const {
   return os.str();
 }
 
-void CollectReturnTypes(const std::vector<Token>& toks, SymbolTable* table) {
-  for (int i = 0; i < static_cast<int>(toks.size()); ++i) {
-    const Token& t = toks[i];
-    if (t.kind != TokenKind::kIdentifier) continue;
-    if (t.text == "Status" || t.text == "StatusOr") {
-      int k = NextCode(toks, i);
-      if (t.text == "StatusOr") {
-        if (k < 0 || !toks[k].IsPunct("<")) continue;
-        k = SkipAngles(toks, k);
-        if (k < 0 || k >= static_cast<int>(toks.size())) continue;
-        if (!IsCode(toks[k])) k = NextCode(toks, k - 1);
-      }
-      if (k >= 0 && toks[k].kind == TokenKind::kIdentifier) {
-        const int paren = NextCode(toks, k);
-        if (paren >= 0 && toks[paren].IsPunct("(")) {
-          table->status_returning.insert(toks[k].text);
-        }
-      }
-      continue;
+std::vector<Finding> LintFile(const FileIR& ir, const ProjectContext& ctx,
+                              const LintOptions& options) {
+  Linter linter(ir, ctx, options);
+  return linter.Run();
+}
+
+std::vector<Finding> LintIncludeCycles(const IncludeGraph& graph) {
+  std::vector<Finding> out;
+  for (const auto& cycle : graph.FindCycles()) {
+    if (cycle.size() < 2) continue;
+    Finding f;
+    f.rule = Rule::kLayering;
+    const std::string site = graph.EdgeSite(cycle[0], cycle[1]);
+    const size_t colon = site.rfind(':');
+    if (colon != std::string::npos) {
+      f.file = site.substr(0, colon);
+      f.line = std::atoi(site.c_str() + colon + 1);
     }
-    // Any other `<type-ish ident> <ident> (` pair marks the name as NOT
-    // (only) Status-returning, so overloaded names are never flagged.
-    if (kTypePositionExclusions.count(t.text) > 0) continue;
-    const int name = NextCode(toks, i);
-    if (name < 0 || toks[name].kind != TokenKind::kIdentifier) continue;
-    const int paren = NextCode(toks, name);
-    if (paren >= 0 && toks[paren].IsPunct("(")) {
-      table->other_returning.insert(toks[name].text);
+    std::ostringstream msg;
+    msg << "module cycle in the include graph: ";
+    for (size_t k = 0; k < cycle.size(); ++k) {
+      if (k > 0) msg << " -> ";
+      msg << cycle[k];
     }
+    msg << "; the architecture requires the module graph to be a DAG, and a "
+        << "cycle cannot be excused at any single include site";
+    f.message = msg.str();
+    f.path = cycle;
+    out.push_back(std::move(f));
   }
+  return out;
 }
 
 std::vector<Finding> LintTokens(const std::string& path,
                                 const std::vector<Token>& tokens,
                                 const SymbolTable& table,
                                 const LintOptions& options) {
-  Linter linter(path, tokens, table, options);
-  return linter.Run();
+  FileIR ir = ParseFile(path, tokens);
+  ProjectContext ctx;
+  ctx.symbols = table;
+  // Only this file's immutable decls: the legacy single-file entry points
+  // keep R4 resolution exactly as the caller-supplied table dictates.
+  for (const ImmutableSharedDecl& d : ir.immutable_decls) {
+    ctx.immutable_member_home.emplace(d.name, ir.path);
+  }
+  return LintFile(ir, ctx, options);
 }
 
 std::vector<Finding> LintSource(const std::string& path,
@@ -653,6 +826,46 @@ std::vector<Finding> LintSource(const std::string& path,
                                 const SymbolTable& table,
                                 const LintOptions& options) {
   return LintTokens(path, Lex(source), table, options);
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings,
+                           size_t files_scanned,
+                           const std::vector<std::string>& errors) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"tool\": \"crayfish_lint\",\n";
+  os << "  \"schema_version\": 2,\n";
+  os << "  \"files_scanned\": " << files_scanned << ",\n";
+  os << "  \"errors\": [";
+  for (size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << JsonEscape(errors[i]) << "\"";
+  }
+  os << "],\n";
+  os << "  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i > 0 ? ",\n    " : "\n    ");
+    os << "{\"file\": \"" << JsonEscape(f.file) << "\", \"line\": " << f.line
+       << ", \"rule\": \"" << RuleName(f.rule) << "\", \"suppress_keyword\": \""
+       << SuppressionKeyword(f.rule) << "\", \"message\": \""
+       << JsonEscape(f.message) << "\"";
+    if (!f.suggestion.empty()) {
+      os << ", \"suggestion\": \"" << JsonEscape(f.suggestion) << "\"";
+    }
+    if (!f.path.empty()) {
+      os << ", \"path\": [";
+      for (size_t k = 0; k < f.path.size(); ++k) {
+        if (k > 0) os << ", ";
+        os << "\"" << JsonEscape(f.path[k]) << "\"";
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << (findings.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
 }
 
 }  // namespace crayfish::lint

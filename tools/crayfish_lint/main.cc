@@ -1,24 +1,34 @@
 // crayfish_lint: determinism & correctness static analysis for the Crayfish
-// simulated stack. See DESIGN.md "Determinism rules" for the rule set.
+// simulated stack. See DESIGN.md "Determinism rules" and §4.3 "Architecture
+// layering" for the rule set.
 //
 // Usage:
-//   crayfish_lint [--fix-suggestions] <file-or-dir>...
+//   crayfish_lint [--fix-suggestions] [--format=text|json] [--jobs=N]
+//                 [--dump-dag] <file-or-dir>...
 //
-// Output is machine readable, one finding per line:
+// Text output is machine readable, one finding per line:
 //   <file>:<line>: <rule>: <message>
-// Exit status: 0 = clean, 1 = findings, 2 = usage/IO error.
+// --format=json emits one SARIF-ish JSON document on stdout instead.
+// Exit status: 0 = clean, 1 = findings, 2 = usage or internal/IO error.
+// Unreadable files are reported and skipped so one bad path cannot hide the
+// findings of the rest; any such error still forces exit status 2.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "crayfish_lint/include_graph.h"
 #include "crayfish_lint/lexer.h"
 #include "crayfish_lint/lint.h"
+#include "crayfish_lint/parser.h"
 
 namespace fs = std::filesystem;
 
@@ -68,36 +78,70 @@ bool ReadFile(const std::string& path, std::string* out) {
 
 int Usage() {
   std::cerr
-      << "usage: crayfish_lint [--fix-suggestions] <file-or-dir>...\n"
+      << "usage: crayfish_lint [--fix-suggestions] [--format=text|json]\n"
+         "                     [--jobs=N] [--dump-dag] <file-or-dir>...\n"
          "\n"
          "Determinism & correctness rules enforced over the Crayfish "
          "sources:\n"
-         "  R1  no wall-clock reads (allowlisted: src/common/logging.cc)\n"
+         "  R1  no wall-clock reads (allowlisted: src/common/logging.cc,\n"
+         "      bench/)\n"
          "  R2  no ambient randomness outside src/common/rng.{h,cc}\n"
          "  R3  no unordered-container iteration in scheduling dirs\n"
          "      (src/sim, src/broker, src/sps, src/serving, src/core)\n"
-         "  R4  no discarded common::Status results\n"
+         "  R4  no discarded common::Status results (call-graph aware)\n"
          "  R5  no float accumulators in metrics/stats code\n"
          "  R6  no host-threading primitives (std::thread, std::mutex,\n"
-         "      std::atomic, ...) outside src/core/sweep.{h,cc} and bench/\n"
+         "      std::atomic, ...) outside src/core/sweep.{h,cc}, bench/,\n"
+         "      and tools/crayfish_lint/\n"
+         "  R7  include graph must follow the module DAG\n"
+         "      common -> {sim, tensor} -> {broker, model} ->\n"
+         "      {sps, serving} -> core -> obs (plus sps -> serving)\n"
+         "  R8  no use of a moved-from local/parameter on any path\n"
+         "  R9  no mutation or const-stripping of shared_ptr<const T>\n"
+         "      payloads outside their construction site\n"
+         "\n"
+         "Flags:\n"
+         "  --fix-suggestions  append a remediation hint to each finding\n"
+         "  --format=json      one JSON document on stdout instead of lines\n"
+         "  --jobs=N           lint files with N worker threads (output\n"
+         "                     order stays deterministic)\n"
+         "  --dump-dag         print the observed module edges (the block\n"
+         "                     DESIGN.md §4.3 embeds) and exit\n"
          "\n"
          "Suppress a finding on its line (or the line below a standalone\n"
          "comment) with `// lint: <keyword> <justification>`, keywords:\n"
          "  wall-clock-ok unseeded-ok order-independent status-ignored "
          "float-ok\n"
-         "  host-threading-ok\n";
+         "  host-threading-ok layering-ok move-ok aliasing-ok\n";
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool fix_suggestions = false;
+  crayfish::lint::LintOptions options;
+  std::string format = "text";
+  int jobs = 1;
+  bool dump_dag = false;
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--fix-suggestions") {
-      fix_suggestions = true;
+      options.fix_suggestions = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") {
+        std::cerr << "crayfish_lint: unknown format '" << format << "'\n";
+        return Usage();
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(arg.c_str() + 7);
+      if (jobs < 1) {
+        std::cerr << "crayfish_lint: --jobs wants a positive integer\n";
+        return Usage();
+      }
+    } else if (arg == "--dump-dag") {
+      dump_dag = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -121,39 +165,91 @@ int main(int argc, char** argv) {
     std::vector<std::string> sub = GatherFiles(root);
     files.insert(files.end(), sub.begin(), sub.end());
   }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  // Pass 1: tokenize everything and build the cross-file return-type table
-  // that R4 resolves callees against.
-  std::vector<std::vector<crayfish::lint::Token>> token_streams;
-  token_streams.reserve(files.size());
-  crayfish::lint::SymbolTable table;
+  // Pass 1 (serial): read, lex, and parse every file; fold each file's
+  // declarations into the shared project context (the R4 return-type table
+  // and the R9 construction-site map) and the R7 include graph. Unreadable
+  // files become errors, not an early exit, so the rest still gets linted.
+  std::vector<crayfish::lint::FileIR> irs;
+  irs.reserve(files.size());
+  crayfish::lint::ProjectContext ctx;
+  crayfish::lint::IncludeGraph graph;
+  std::vector<std::string> errors;
   for (const std::string& file : files) {
     std::string content;
     if (!ReadFile(file, &content)) {
-      std::cerr << "crayfish_lint: cannot read " << file << "\n";
-      return 2;
+      errors.push_back("cannot read " + file);
+      continue;
     }
-    token_streams.push_back(crayfish::lint::Lex(content));
-    crayfish::lint::CollectReturnTypes(token_streams.back(), &table);
+    irs.push_back(
+        crayfish::lint::ParseSource(file, content));
+    crayfish::lint::CollectProject(irs.back(), &ctx);
+    graph.Add(irs.back());
   }
 
-  // Pass 2: run the rules.
-  crayfish::lint::LintOptions options;
-  options.fix_suggestions = fix_suggestions;
-  size_t finding_count = 0;
-  size_t files_with_findings = 0;
-  for (size_t i = 0; i < files.size(); ++i) {
-    const std::vector<crayfish::lint::Finding> findings =
-        crayfish::lint::LintTokens(files[i], token_streams[i], table, options);
-    if (!findings.empty()) ++files_with_findings;
-    for (const crayfish::lint::Finding& f : findings) {
+  if (dump_dag) {
+    std::cout << graph.Dump();
+    for (const std::string& e : errors) {
+      std::cerr << "crayfish_lint: " << e << "\n";
+    }
+    return errors.empty() ? 0 : 2;
+  }
+
+  // Pass 2: run the rules, optionally across worker threads. Results land in
+  // a per-file slot indexed by the pass-1 order, so output is byte-identical
+  // whatever --jobs is.
+  std::vector<std::vector<crayfish::lint::Finding>> results(irs.size());
+  int workers = jobs;
+  if (static_cast<size_t>(workers) > irs.size()) {
+    workers = static_cast<int>(irs.size());
+  }
+  if (workers <= 1) {
+    for (size_t i = 0; i < irs.size(); ++i) {
+      results[i] = crayfish::lint::LintFile(irs[i], ctx, options);
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < irs.size();
+             i = next.fetch_add(1)) {
+          results[i] = crayfish::lint::LintFile(irs[i], ctx, options);
+        }
+      });
+    }
+  }
+
+  std::vector<crayfish::lint::Finding> all;
+  for (std::vector<crayfish::lint::Finding>& per_file : results) {
+    all.insert(all.end(), std::make_move_iterator(per_file.begin()),
+               std::make_move_iterator(per_file.end()));
+  }
+  // Project-level R7: module cycles are emergent facts of the whole include
+  // graph, reported after the per-file findings.
+  std::vector<crayfish::lint::Finding> cycles =
+      crayfish::lint::LintIncludeCycles(graph);
+  all.insert(all.end(), std::make_move_iterator(cycles.begin()),
+             std::make_move_iterator(cycles.end()));
+
+  if (format == "json") {
+    std::cout << crayfish::lint::FindingsToJson(all, irs.size(), errors);
+  } else {
+    std::set<std::string> files_with_findings;
+    for (const crayfish::lint::Finding& f : all) {
       std::cout << f.ToString() << "\n";
-      ++finding_count;
+      files_with_findings.insert(f.file);
     }
+    std::cerr << "crayfish_lint: " << irs.size() << " files, " << all.size()
+              << " finding(s) in " << files_with_findings.size()
+              << " file(s)\n";
   }
-
-  std::cerr << "crayfish_lint: " << files.size() << " files, "
-            << finding_count << " finding(s) in " << files_with_findings
-            << " file(s)\n";
-  return finding_count == 0 ? 0 : 1;
+  for (const std::string& e : errors) {
+    std::cerr << "crayfish_lint: " << e << "\n";
+  }
+  if (!errors.empty()) return 2;
+  return all.empty() ? 0 : 1;
 }
