@@ -12,6 +12,7 @@ KafkaCluster::KafkaCluster(sim::Simulation* sim, sim::Network* network,
                            ClusterConfig config)
     : sim_(sim), network_(network), config_(std::move(config)) {
   CRAYFISH_CHECK_GT(config_.num_brokers, 0);
+  broker_up_.assign(static_cast<size_t>(config_.num_brokers), true);
   for (int i = 0; i < config_.num_brokers; ++i) {
     const std::string host = config_.host_prefix + std::to_string(i);
     broker_hosts_.push_back(host);
@@ -70,6 +71,72 @@ const std::string& KafkaCluster::LeaderHost(const TopicPartition& tp) const {
   return broker_hosts_[idx];
 }
 
+bool KafkaCluster::IsBrokerUp(int broker_index) const {
+  CRAYFISH_CHECK_GE(broker_index, 0);
+  CRAYFISH_CHECK_LT(broker_index, static_cast<int>(broker_up_.size()));
+  return broker_up_[static_cast<size_t>(broker_index)];
+}
+
+bool KafkaCluster::LeaderAvailable(const TopicPartition& tp) const {
+  return IsBrokerUp(tp.partition % static_cast<int>(broker_hosts_.size()));
+}
+
+void KafkaCluster::SetClientDefaults(crayfish::RetryPolicy retry,
+                                     double auto_commit_interval_s) {
+  CRAYFISH_CHECK_OK(retry.Validate());
+  CRAYFISH_CHECK_GE(auto_commit_interval_s, 0.0);
+  client_retry_ = retry;
+  auto_commit_interval_s_ = auto_commit_interval_s;
+}
+
+void KafkaCluster::CrashBroker(int broker_index) {
+  if (!IsBrokerUp(broker_index)) return;
+  broker_up_[static_cast<size_t>(broker_index)] = false;
+  CRAYFISH_LOG(Info) << "broker "
+                     << broker_hosts_[static_cast<size_t>(broker_index)]
+                     << " crashed at t=" << sim_->Now();
+  FlushWaitersOfBroker(broker_index);
+  // Crash-triggered rebalance: every dynamic group loses its sessions
+  // through the crashed broker and re-syncs. Members keep their callbacks;
+  // new owners resume from committed offsets (at-least-once).
+  for (const auto& [key, state] : groups_) {
+    const size_t slash = key.rfind('/');
+    CRAYFISH_CHECK(slash != std::string::npos);
+    Rebalance(key.substr(0, slash), key.substr(slash + 1));
+  }
+}
+
+void KafkaCluster::RestartBroker(int broker_index) {
+  if (IsBrokerUp(broker_index)) return;
+  broker_up_[static_cast<size_t>(broker_index)] = true;
+  CRAYFISH_LOG(Info) << "broker "
+                     << broker_hosts_[static_cast<size_t>(broker_index)]
+                     << " restarted at t=" << sim_->Now();
+}
+
+void KafkaCluster::FlushWaitersOfBroker(int broker_index) {
+  const int brokers = static_cast<int>(broker_hosts_.size());
+  for (auto& [topic, state] : topics_) {
+    for (size_t p = 0; p < state.waiters.size(); ++p) {
+      if (static_cast<int>(p) % brokers != broker_index) continue;
+      auto& waiters = state.waiters[p];
+      if (waiters.empty()) continue;
+      std::vector<PendingFetch> flushed;
+      flushed.swap(waiters);
+      for (PendingFetch& fetch : flushed) {
+        if (*fetch.done) continue;
+        *fetch.done = true;
+        // The connection died with the broker: the client sees an empty
+        // response after the error delay; no network traffic is modelled.
+        sim_->Schedule(config_.unavailable_error_delay_s,
+                       [on_records = std::move(fetch.on_records)]() mutable {
+                         if (on_records) on_records({});
+                       });
+      }
+    }
+  }
+}
+
 uint64_t KafkaCluster::BatchWireSize(const std::vector<Record>& batch) const {
   uint64_t total = 0;
   for (const Record& r : batch) total += r.wire_size + kRecordEnvelopeBytes;
@@ -99,6 +166,17 @@ void KafkaCluster::Produce(const std::string& client_host,
     return;
   }
   const std::string leader = LeaderHost(tp);
+  if (!LeaderAvailable(tp)) {
+    // Connection refused: the leader is down, nothing crosses the network.
+    sim_->Schedule(config_.unavailable_error_delay_s,
+                   [on_ack = std::move(on_ack), leader]() {
+                     if (on_ack) {
+                       on_ack(crayfish::Status::Unavailable(
+                           "broker down: " + leader));
+                     }
+                   });
+    return;
+  }
   if (obs::MetricsRegistry* reg = sim_->metrics()) {
     reg->Counter("broker_bytes_in", {{"broker", leader}})
         ->Increment(static_cast<double>(request_bytes));
@@ -117,6 +195,20 @@ void KafkaCluster::Produce(const std::string& client_host,
             process, [this, tp, leader, client_host,
                       batch = std::move(batch),
                       on_ack = std::move(on_ack)]() mutable {
+              if (!LeaderAvailable(tp)) {
+                // The broker died while the request was in flight: the
+                // batch was never appended; the client sees the dropped
+                // connection as a retriable error.
+                sim_->Schedule(
+                    config_.unavailable_error_delay_s,
+                    [on_ack = std::move(on_ack), leader]() {
+                      if (on_ack) {
+                        on_ack(crayfish::Status::Unavailable(
+                            "broker crashed mid-produce: " + leader));
+                      }
+                    });
+                return;
+              }
               auto topic_it = topics_.find(tp.topic);
               CRAYFISH_CHECK(topic_it != topics_.end());
               Partition& part =
@@ -150,6 +242,14 @@ void KafkaCluster::Fetch(const std::string& client_host,
   CRAYFISH_CHECK_LT(tp.partition,
                     static_cast<int>(it->second.partitions.size()));
   const std::string leader = LeaderHost(tp);
+  if (!LeaderAvailable(tp)) {
+    // Connection refused: empty response after the error delay.
+    sim_->Schedule(config_.unavailable_error_delay_s,
+                   [on_records = std::move(on_records)]() mutable {
+                     if (on_records) on_records({});
+                   });
+    return;
+  }
   // Fetch request (small) travels to the leader.
   network_->Send(
       client_host, leader, /*request bytes=*/128,
@@ -160,6 +260,15 @@ void KafkaCluster::Fetch(const std::string& client_host,
             [this, tp, offset, max_records, max_bytes, max_wait_s,
              client_host = std::move(client_host),
              on_records = std::move(on_records)]() mutable {
+              if (!LeaderAvailable(tp)) {
+                // Crashed while the request was in flight.
+                sim_->Schedule(
+                    config_.unavailable_error_delay_s,
+                    [on_records = std::move(on_records)]() mutable {
+                      if (on_records) on_records({});
+                    });
+                return;
+              }
               auto topic_it = topics_.find(tp.topic);
               CRAYFISH_CHECK(topic_it != topics_.end());
               Partition& part =
@@ -305,8 +414,18 @@ void KafkaCluster::Rebalance(const std::string& group,
   }
 }
 
+int KafkaCluster::CoordinatorBroker(const std::string& group) const {
+  uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  for (const char c : group) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return static_cast<int>(h % broker_hosts_.size());
+}
+
 void KafkaCluster::CommitOffset(const std::string& group,
                                 const TopicPartition& tp, int64_t offset) {
+  if (!broker_up_[static_cast<size_t>(CoordinatorBroker(group))]) return;
   committed_[group][tp.ToString()] = offset;
 }
 

@@ -10,6 +10,7 @@
 
 #include "broker/partition.h"
 #include "broker/record.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
@@ -31,6 +32,9 @@ struct ClusterConfig {
   uint64_t max_request_bytes = 50ULL * 1024 * 1024;
   /// Host-name prefix for broker VMs ("kafka-0".."kafka-3").
   std::string host_prefix = "kafka-";
+  /// How long a client waits before its request against a down broker
+  /// fails (connection-refused style error, no network traffic).
+  double unavailable_error_delay_s = 0.01;
 };
 
 /// A simulated Apache Kafka cluster.
@@ -62,6 +66,40 @@ class KafkaCluster {
   /// Leader broker host for a partition; CHECK-fails on unknown topic.
   const std::string& LeaderHost(const TopicPartition& tp) const;
 
+  // --- fault injection (broker host crash/restart) ---
+  //
+  // There is no leader failover: a crashed broker's partitions stay
+  // unavailable until RestartBroker, which keeps outage windows exactly as
+  // long as the fault plan says (deterministic, and the worst case the
+  // paper's single-replica deployment would see). Produce/fetch requests
+  // against a down leader fail with retriable errors after
+  // `unavailable_error_delay_s`; parked long-poll fetches are flushed with
+  // empty responses; every dynamic consumer group rebalances (the crash
+  // severs member sessions, as losing a coordinator/leader does in Kafka).
+
+  /// Marks broker `broker_index` down. Idempotent.
+  void CrashBroker(int broker_index);
+  /// Brings a crashed broker back; its partition logs survived (clean
+  /// restart from disk). Idempotent.
+  void RestartBroker(int broker_index);
+  bool IsBrokerUp(int broker_index) const;
+  /// Whether the leader broker of `tp` is up.
+  bool LeaderAvailable(const TopicPartition& tp) const;
+
+  /// Client-side robustness defaults: producers/consumers constructed with
+  /// a disabled retry policy inherit these (set by the fault subsystem
+  /// before clients are built, so every client in an experiment is covered
+  /// without per-component plumbing). `auto_commit_interval_s > 0` makes
+  /// consumers periodically commit delivered offsets.
+  void SetClientDefaults(crayfish::RetryPolicy retry,
+                         double auto_commit_interval_s);
+  const crayfish::RetryPolicy& default_client_retry() const {
+    return client_retry_;
+  }
+  double default_auto_commit_interval_s() const {
+    return auto_commit_interval_s_;
+  }
+
   /// Produce a batch of records to one partition. The callback fires when
   /// the client receives the broker ack. Requests above
   /// `max_request_bytes` fail fast with InvalidArgument (delivered on the
@@ -79,6 +117,17 @@ class KafkaCluster {
              std::function<void(std::vector<Record>)> on_records);
 
   // --- consumer-group offset store ---
+  //
+  // Offsets live on the group's coordinator broker (Kafka keeps them in
+  // __consumer_offsets, owned by one broker per group). A commit while
+  // the coordinator is down is lost — the consumer re-reads from the
+  // last offset that did land, which is exactly the duplicate window
+  // at-least-once delivery permits.
+
+  /// Broker index hosting `group`'s coordinator (FNV-1a of the group
+  /// name, so it is stable across runs and platforms).
+  int CoordinatorBroker(const std::string& group) const;
+  /// Stores the offset; silently dropped while the coordinator is down.
   void CommitOffset(const std::string& group, const TopicPartition& tp,
                     int64_t offset);
   /// Committed offset or 0 when none.
@@ -164,10 +213,17 @@ class KafkaCluster {
 
   void Rebalance(const std::string& group, const std::string& topic);
 
+  /// Flushes parked fetch waiters for all partitions led by a (newly
+  /// crashed) broker with empty responses.
+  void FlushWaitersOfBroker(int broker_index);
+
   sim::Simulation* sim_;
   sim::Network* network_;
   ClusterConfig config_;
   std::vector<std::string> broker_hosts_;
+  std::vector<bool> broker_up_;
+  crayfish::RetryPolicy client_retry_;
+  double auto_commit_interval_s_ = 0.0;
   /// Ordered maps on purpose (lint R3): rebalance and fetch scheduling
   /// iterate these, so the container must enumerate in a stable order for
   /// runs to be reproducible. Do not switch to unordered_map.

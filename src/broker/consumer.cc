@@ -17,6 +17,26 @@ KafkaConsumer::KafkaConsumer(KafkaCluster* cluster, std::string client_host,
   CRAYFISH_CHECK(cluster != nullptr);
   CRAYFISH_CHECK(cluster->network()->HasHost(client_host_))
       << "consumer host " << client_host_ << " not on the network";
+  retry_ = config_.retry.enabled() ? config_.retry
+                                   : cluster->default_client_retry();
+  if (retry_.enabled()) {
+    CRAYFISH_CHECK_OK(retry_.Validate());
+    rng_.emplace(cluster->simulation()->ForkRng());
+  }
+  auto_commit_interval_s_ = config_.auto_commit_interval_s > 0.0
+                                ? config_.auto_commit_interval_s
+                                : cluster->default_auto_commit_interval_s();
+  if (auto_commit_interval_s_ > 0.0) ScheduleAutoCommit();
+}
+
+void KafkaConsumer::ScheduleAutoCommit() {
+  auto alive = alive_;
+  cluster_->simulation()->Schedule(auto_commit_interval_s_,
+                                   [this, alive]() {
+                                     if (!*alive || closed_) return;
+                                     CommitPositions();
+                                     ScheduleAutoCommit();
+                                   });
 }
 
 KafkaConsumer::~KafkaConsumer() {
@@ -39,6 +59,7 @@ crayfish::Status KafkaConsumer::Assign(const std::string& topic,
                             ? start_offset
                             : cluster_->CommittedOffset(group_, tp);
     positions_[tp.ToString()] = pos;
+    delivered_[tp.ToString()] = pos;
     paused_[tp.ToString()] = false;
     StartFetchLoop(tp);
   }
@@ -87,10 +108,53 @@ void KafkaConsumer::Reassign(const std::string& topic,
   ++(*generation_);
   assignment_.clear();
   positions_.clear();
+  delivered_.clear();
   paused_.clear();
+  fetch_attempts_.clear();
   buffer_.clear();
   crayfish::Status s = Assign(topic, partitions);
   CRAYFISH_CHECK(s.ok()) << s.ToString();
+}
+
+void KafkaConsumer::FailAndRestart(double restart_delay_s) {
+  CRAYFISH_CHECK_GE(restart_delay_s, 0.0);
+  if (closed_) return;
+  ++restarts_;
+  // The task dies without committing: everything since the last commit
+  // (including prefetched and delivered-but-uncommitted records) will be
+  // refetched after the restart — duplicates, never loss.
+  ++(*generation_);
+  std::map<std::string, std::vector<int>> topics;
+  for (const TopicPartition& tp : assignment_) {
+    topics[tp.topic].push_back(tp.partition);
+  }
+  assignment_.clear();
+  positions_.clear();
+  delivered_.clear();
+  paused_.clear();
+  fetch_attempts_.clear();
+  buffer_.clear();
+  auto alive = alive_;
+  if (pending_poll_) {
+    // The engine's outstanding Poll sees an empty result once the task is
+    // back (never before: the task is down in between).
+    *pending_poll_done_ = true;
+    poll_armed_at_ = -1.0;
+    PollCallback cb = std::move(pending_poll_);
+    pending_poll_ = nullptr;
+    pending_poll_done_ = nullptr;
+    cluster_->simulation()->Schedule(restart_delay_s,
+                                     [cb = std::move(cb)]() { cb({}); });
+  }
+  cluster_->simulation()->Schedule(
+      restart_delay_s, [this, alive, topics = std::move(topics)]() {
+        if (!*alive || closed_) return;
+        for (const auto& [topic, parts] : topics) {
+          // start_offset -1: resume from the group's committed offsets.
+          crayfish::Status s = Assign(topic, parts);
+          CRAYFISH_CHECK(s.ok()) << s.ToString();
+        }
+      });
 }
 
 void KafkaConsumer::StartFetchLoop(const TopicPartition& tp) {
@@ -99,13 +163,34 @@ void KafkaConsumer::StartFetchLoop(const TopicPartition& tp) {
 
 void KafkaConsumer::FetchOnce(const TopicPartition& tp) {
   if (closed_) return;
+  const std::string key = tp.ToString();
   if (buffer_.size() >= config_.max_buffered_records) {
-    paused_[tp.ToString()] = true;
+    paused_[key] = true;
     return;
   }
-  const int64_t offset = positions_[tp.ToString()];
   auto generation = generation_;
   const uint64_t my_generation = *generation;
+  if (retry_.enabled() && !cluster_->LeaderAvailable(tp)) {
+    // Leader down: back off instead of hammering the dead broker. The loop
+    // never gives up — max_retries only caps the backoff exponent.
+    const int attempt = std::min(fetch_attempts_[key],
+                                 retry_.max_retries - 1);
+    ++fetch_attempts_[key];
+    ++retries_;
+    if (obs::MetricsRegistry* reg = cluster_->simulation()->metrics()) {
+      reg->Counter("fault_retries", {{"component", "consumer"}})
+          ->Increment(1.0);
+    }
+    cluster_->simulation()->Schedule(
+        retry_.BackoffFor(attempt, &*rng_),
+        [this, generation, my_generation, tp]() {
+          if (*generation != my_generation) return;
+          FetchOnce(tp);
+        });
+    return;
+  }
+  fetch_attempts_[key] = 0;
+  const int64_t offset = positions_[key];
   cluster_->Fetch(
       client_host_, tp, offset, config_.fetch_max_records,
       config_.fetch_max_bytes, config_.fetch_max_wait_s,
@@ -136,7 +221,10 @@ void KafkaConsumer::FetchOnce(const TopicPartition& tp) {
                     tracer->Mark(r.batch_id, obs::Stage::kDeserialize, now);
                   }
                 }
-                for (Record& r : records) buffer_.push_back(std::move(r));
+                const std::string key = tp.ToString();
+                for (Record& r : records) {
+                  buffer_.push_back(BufferedRecord{key, std::move(r)});
+                }
                 MaybeDeliver();
                 FetchOnce(tp);
               });
@@ -192,7 +280,12 @@ void KafkaConsumer::MaybeDeliver() {
   const size_t n = std::min(buffer_.size(), config_.max_poll_records);
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    out.push_back(std::move(buffer_.front()));
+    BufferedRecord& front = buffer_.front();
+    // Fetch responses arrive in offset order per partition, so the
+    // delivered high-water mark only ever advances.
+    delivered_[front.tp_key] =
+        std::max(delivered_[front.tp_key], front.record.offset + 1);
+    out.push_back(std::move(front.record));
     buffer_.pop_front();
   }
   records_consumed_ += out.size();
@@ -217,7 +310,7 @@ void KafkaConsumer::ResumePausedLoops() {
 
 void KafkaConsumer::CommitPositions() {
   for (const TopicPartition& tp : assignment_) {
-    cluster_->CommitOffset(group_, tp, positions_[tp.ToString()]);
+    cluster_->CommitOffset(group_, tp, delivered_[tp.ToString()]);
   }
 }
 
@@ -235,6 +328,11 @@ void KafkaConsumer::Close() {
 int64_t KafkaConsumer::position(const TopicPartition& tp) const {
   auto it = positions_.find(tp.ToString());
   return it == positions_.end() ? -1 : it->second;
+}
+
+int64_t KafkaConsumer::delivered_position(const TopicPartition& tp) const {
+  auto it = delivered_.find(tp.ToString());
+  return it == delivered_.end() ? -1 : it->second;
 }
 
 }  // namespace crayfish::broker

@@ -6,11 +6,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "broker/cluster.h"
 #include "broker/record.h"
+#include "common/retry.h"
+#include "common/rng.h"
 #include "common/status.h"
 
 namespace crayfish::obs {
@@ -33,6 +36,15 @@ struct ConsumerConfig {
   size_t max_buffered_records = 5000;
   /// Client-side deserialization cost per record.
   double deserialize_per_record_s = 8e-6;
+  /// Backoff policy for fetch sessions against an unavailable leader.
+  /// Disabled policies inherit the cluster's client defaults. A consumer
+  /// never gives up (its fetch loop must outlive the outage); max_retries
+  /// only caps the backoff exponent.
+  crayfish::RetryPolicy retry;
+  /// When > 0, commit delivered offsets every interval (Kafka
+  /// enable.auto.commit); <= 0 inherits the cluster default (off unless
+  /// the fault subsystem enables it).
+  double auto_commit_interval_s = 0.0;
 };
 
 /// Kafka consumer client with background fetch sessions.
@@ -78,17 +90,33 @@ class KafkaConsumer {
   /// an empty vector). At most one outstanding Poll at a time.
   void Poll(double timeout_s, PollCallback on_records);
 
-  /// Synchronously commits the consumed positions for all assigned
+  /// Synchronously commits the *delivered* positions for all assigned
   /// partitions (offset bookkeeping only; no simulated round trip, as
-  /// commits piggyback on fetch sessions).
+  /// commits piggyback on fetch sessions). Prefetched-but-undelivered
+  /// records are deliberately not covered: committing past them would lose
+  /// them across a rebalance or restart (at-least-once requires the commit
+  /// high-water mark to trail delivery, never lead it).
   void CommitPositions();
+
+  /// Fault hook: simulates the crash of the task driving this consumer.
+  /// Nothing is committed (in-flight progress dies with the task); after
+  /// `restart_delay_s` the same assignment is re-adopted and fetch sessions
+  /// resume from the group's committed offsets, re-processing anything
+  /// uncommitted (at-least-once, duplicates possible, no loss). An
+  /// outstanding Poll completes empty once the restart delay elapses.
+  void FailAndRestart(double restart_delay_s);
 
   /// Stops fetch loops; outstanding fetches are dropped on arrival.
   void Close();
 
   int64_t position(const TopicPartition& tp) const;
+  /// Next offset after the last record handed out by Poll (-1 if the
+  /// partition is not assigned).
+  int64_t delivered_position(const TopicPartition& tp) const;
   size_t buffered() const { return buffer_.size(); }
   uint64_t records_consumed() const { return records_consumed_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t restarts() const { return restarts_; }
   const std::string& group() const { return group_; }
   const std::vector<TopicPartition>& assignment() const {
     return assignment_;
@@ -101,10 +129,19 @@ class KafkaConsumer {
  private:
   void StartFetchLoop(const TopicPartition& tp);
   void FetchOnce(const TopicPartition& tp);
+  /// Periodic delivered-offset commit (enable.auto.commit).
+  void ScheduleAutoCommit();
   void MaybeDeliver();
   void ResumePausedLoops();
   /// Adopts a coordinator assignment (dynamic membership).
   void Reassign(const std::string& topic, std::vector<int> partitions);
+
+  /// A prefetched record plus the partition it came from, so delivery can
+  /// advance that partition's delivered offset.
+  struct BufferedRecord {
+    std::string tp_key;
+    Record record;
+  };
 
   KafkaCluster* cluster_;
   std::string client_host_;
@@ -114,9 +151,21 @@ class KafkaConsumer {
   /// Next offset to fetch per partition. Ordered (lint R3): commit order and
   /// paused-loop pickup follow map iteration and must be deterministic.
   std::map<std::string, int64_t> positions_;
+  /// Next offset after the last *delivered* record per partition; what
+  /// CommitPositions commits. Ordered (lint R3), same reason as above.
+  std::map<std::string, int64_t> delivered_;
   /// Partitions whose fetch loop is paused on buffer pressure.
   std::map<std::string, bool> paused_;
-  std::deque<Record> buffer_;
+  /// Consecutive unavailable-leader backoffs per partition (reset on a
+  /// healthy fetch). Ordered (lint R3), same reason as above.
+  std::map<std::string, int> fetch_attempts_;
+  std::deque<BufferedRecord> buffer_;
+  /// Effective retry policy (config override or cluster default).
+  crayfish::RetryPolicy retry_;
+  /// Jitter RNG; forked only when retries are enabled so fault-free runs
+  /// draw exactly the same RNG streams as before this feature existed.
+  std::optional<crayfish::Rng> rng_;
+  double auto_commit_interval_s_ = 0.0;
   bool closed_ = false;
   /// Generation counter: Close() bumps it so stale fetch responses are
   /// ignored.
@@ -131,6 +180,8 @@ class KafkaConsumer {
   obs::HistogramMetric* poll_wait_hist_ = nullptr;
   obs::HistogramMetric* buffer_hist_ = nullptr;
   uint64_t records_consumed_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t restarts_ = 0;
   /// Guards coordinator callbacks against consumer destruction.
   std::shared_ptr<bool> alive_;
   /// Dynamic-membership state (-1 = not dynamically subscribed).

@@ -1,6 +1,9 @@
 #include "broker/producer.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "obs/registry.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 #include "obs/trace.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 
 namespace crayfish::broker {
@@ -12,6 +15,12 @@ KafkaProducer::KafkaProducer(KafkaCluster* cluster, std::string client_host,
   CRAYFISH_CHECK(cluster != nullptr);
   CRAYFISH_CHECK(cluster->network()->HasHost(client_host_))
       << "producer host " << client_host_ << " not on the network";
+  retry_ = config_.retry.enabled() ? config_.retry
+                                   : cluster->default_client_retry();
+  if (retry_.enabled()) {
+    CRAYFISH_CHECK_OK(retry_.Validate());
+    rng_.emplace(cluster->simulation()->ForkRng());
+  }
 }
 
 KafkaProducer::~KafkaProducer() { *alive_ = false; }
@@ -79,7 +88,8 @@ void KafkaProducer::FlushPartition(const TopicPartition& tp) {
   sim->Schedule(serialize, [this, cluster, host = std::move(host), tp,
                             record_count, alive = alive_,
                             batch = std::move(batch)]() mutable {
-    auto acks = std::move(batch.acks);
+    auto acks =
+        std::make_shared<std::vector<AckCallback>>(std::move(batch.acks));
     // The produce request leaves the client here: linger + client-side
     // serialization end, network transfer begins. MarkProduce resolves to
     // the input- or output-side stage from the batch's append count.
@@ -89,19 +99,81 @@ void KafkaProducer::FlushPartition(const TopicPartition& tp) {
         tracer->MarkProduce(r.batch_id, now);
       }
     }
-    cluster->Produce(
-        host, tp, std::move(batch.records),
-        [this, alive, acks = std::move(acks)](crayfish::Status s) {
-          if (*alive && !s.ok()) ++send_errors_;
-          for (const AckCallback& cb : acks) {
-            if (cb) cb(s);
-          }
-        });
     if (*alive) {
       ++batches_sent_;
       records_sent_ += record_count;
     }
+    if (*alive && retry_.enabled()) {
+      SendBatch(tp, std::move(batch.records), std::move(acks), /*attempt=*/0);
+      return;
+    }
+    // Retry disabled (or the producer is gone): the legacy single-attempt
+    // path. Records handed to Flush() are still owed to the broker.
+    cluster->Produce(host, tp, std::move(batch.records),
+                     [this, alive, acks](crayfish::Status s) {
+                       if (*alive && !s.ok()) ++send_errors_;
+                       for (const AckCallback& cb : *acks) {
+                         if (cb) cb(s);
+                       }
+                     });
   });
+}
+
+void KafkaProducer::SendBatch(const TopicPartition& tp,
+                              std::vector<Record> records,
+                              std::shared_ptr<std::vector<AckCallback>> acks,
+                              int attempt) {
+  // A retriable failure never surfaces to the ack: like Kafka's
+  // retries=MAX_INT producer default, the batch re-sends until the
+  // partition leader is back. `attempt` only drives the backoff exponent,
+  // capped at max_retries - 1 (the re-send copy is cheap: record payloads
+  // are shared_ptrs).
+  auto backup = std::make_shared<std::vector<Record>>(records);
+
+  // One attempt settles exactly once: whichever of {timeout, ack} arrives
+  // first wins, the loser is ignored.
+  auto settled = std::make_shared<bool>(false);
+  auto fail = [this, tp, acks, attempt, backup,
+               alive = alive_](crayfish::Status s) {
+    if (*alive && crayfish::RetryPolicy::IsRetriable(s)) {
+      ++retries_;
+      if (obs::MetricsRegistry* reg = cluster_->simulation()->metrics()) {
+        reg->Counter("fault_retries", {{"component", "producer"}})
+            ->Increment(1.0);
+      }
+      const double delay = retry_.BackoffFor(
+          std::min(attempt, retry_.max_retries - 1), &*rng_);
+      cluster_->simulation()->Schedule(
+          delay, [this, tp, acks, attempt, backup, alive]() mutable {
+            if (!*alive) return;  // teardown mid-backoff: drop the re-send
+            SendBatch(tp, std::move(*backup), acks, attempt + 1);
+          });
+      return;
+    }
+    if (*alive) ++send_errors_;
+    for (const AckCallback& cb : *acks) {
+      if (cb) cb(s);
+    }
+  };
+
+  cluster_->simulation()->Schedule(retry_.timeout_s, [settled, fail, tp]() {
+    if (*settled) return;
+    *settled = true;
+    fail(crayfish::Status::Timeout("produce timed out: " + tp.ToString()));
+  });
+
+  cluster_->Produce(client_host_, tp, std::move(records),
+                    [settled, fail, acks](crayfish::Status s) {
+                      if (*settled) return;  // late reply after timeout
+                      *settled = true;
+                      if (!s.ok()) {
+                        fail(s);
+                        return;
+                      }
+                      for (const AckCallback& cb : *acks) {
+                        if (cb) cb(s);
+                      }
+                    });
 }
 
 void KafkaProducer::Flush() {

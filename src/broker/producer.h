@@ -5,11 +5,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "broker/cluster.h"
 #include "broker/record.h"
+#include "common/retry.h"
+#include "common/rng.h"
 #include "common/status.h"
 
 namespace crayfish::broker {
@@ -23,6 +26,12 @@ struct ProducerConfig {
   double linger_s = 0.0;
   /// Client-side serialization cost per record (JSON encode).
   double serialize_per_record_s = 8e-6;
+  /// Timeout/backoff policy for produce requests. Disabled by default; a
+  /// disabled policy inherits the cluster's client defaults (set by the
+  /// fault subsystem). When active, retriable failures (broker down,
+  /// request timeout) re-send the batch — possibly duplicating an append
+  /// whose ack was lost, i.e. at-least-once delivery.
+  crayfish::RetryPolicy retry;
 };
 
 /// Kafka producer client: partitions records, batches per partition, and
@@ -53,7 +62,9 @@ class KafkaProducer {
   uint64_t records_sent() const { return records_sent_; }
   uint64_t batches_sent() const { return batches_sent_; }
   uint64_t send_errors() const { return send_errors_; }
+  uint64_t retries() const { return retries_; }
   const std::string& client_host() const { return client_host_; }
+  const crayfish::RetryPolicy& retry_policy() const { return retry_; }
 
  private:
   struct PendingBatch {
@@ -64,6 +75,10 @@ class KafkaProducer {
   };
 
   void FlushPartition(const TopicPartition& tp);
+  /// Sends one produce attempt (0-based `attempt`), arming a timeout and
+  /// re-sending with backoff on retriable failure.
+  void SendBatch(const TopicPartition& tp, std::vector<Record> records,
+                 std::shared_ptr<std::vector<AckCallback>> acks, int attempt);
 
   KafkaCluster* cluster_;
   std::string client_host_;
@@ -75,9 +90,15 @@ class KafkaProducer {
   /// and therefore broker append order — must not depend on hash order.
   std::map<std::string, int> round_robin_;
   std::map<TopicPartition, PendingBatch> pending_;
+  /// Effective retry policy (config override or cluster default).
+  crayfish::RetryPolicy retry_;
+  /// Jitter RNG, forked only when retries are enabled so fault-free runs
+  /// draw exactly the same RNG streams as before this feature existed.
+  std::optional<crayfish::Rng> rng_;
   uint64_t records_sent_ = 0;
   uint64_t batches_sent_ = 0;
   uint64_t send_errors_ = 0;
+  uint64_t retries_ = 0;
 };
 
 }  // namespace crayfish::broker

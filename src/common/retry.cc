@@ -1,0 +1,36 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crayfish {
+
+double RetryPolicy::BackoffFor(int attempt, Rng* rng) const {
+  double delay = initial_backoff_s * std::pow(backoff_multiplier, attempt);
+  delay = std::min(delay, max_backoff_s);
+  if (jitter > 0.0 && rng != nullptr) {
+    delay *= rng->Uniform(1.0 - jitter, 1.0 + jitter);
+  }
+  return std::max(delay, 0.0);
+}
+
+Status RetryPolicy::Validate() const {
+  if (max_retries < 0) {
+    return Status::InvalidArgument("retry.max_retries must be >= 0");
+  }
+  if (timeout_s <= 0.0) {
+    return Status::InvalidArgument("retry.timeout_s must be > 0");
+  }
+  if (initial_backoff_s < 0.0 || max_backoff_s < 0.0) {
+    return Status::InvalidArgument("retry backoff delays must be >= 0");
+  }
+  if (backoff_multiplier < 1.0) {
+    return Status::InvalidArgument("retry.backoff_multiplier must be >= 1");
+  }
+  if (jitter < 0.0 || jitter >= 1.0) {
+    return Status::InvalidArgument("retry.jitter must be in [0, 1)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace crayfish

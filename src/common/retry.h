@@ -1,0 +1,51 @@
+#ifndef CRAYFISH_COMMON_RETRY_H_
+#define CRAYFISH_COMMON_RETRY_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace crayfish {
+
+/// Client-side robustness policy: per-attempt timeout plus exponential
+/// backoff with multiplicative jitter. Shared by the Kafka producer and
+/// consumer clients and by the external-serving client in the stream
+/// engines. Disabled by default (max_retries == 0) so baseline experiments
+/// schedule exactly the same events as before this policy existed.
+///
+/// All randomness (the jitter) is drawn from a caller-supplied seeded
+/// `crayfish::Rng`, and only on attempts that actually back off, so enabling
+/// retries does not perturb the RNG streams of fault-free components.
+struct RetryPolicy {
+  /// Maximum number of re-attempts after the first try. 0 disables the
+  /// policy entirely: no timeout events are armed and no RNG is consumed.
+  int max_retries = 0;
+  /// Per-attempt timeout. An attempt with no reply after this long is
+  /// treated as failed (the late reply, if any, is ignored).
+  double timeout_s = 1.0;
+  /// Backoff before re-attempt k (0-based) is
+  ///   min(initial_backoff_s * backoff_multiplier^k, max_backoff_s)
+  /// scaled by a jitter factor drawn uniformly from [1 - jitter, 1 + jitter].
+  double initial_backoff_s = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 2.0;
+  double jitter = 0.2;
+
+  bool enabled() const { return max_retries > 0; }
+
+  /// Returns the jittered backoff delay before re-attempt `attempt`
+  /// (0-based). Draws from `rng` only when jitter > 0.
+  double BackoffFor(int attempt, Rng* rng) const;
+
+  /// Returns OK when the fields describe a usable policy.
+  Status Validate() const;
+
+  /// True for error codes worth retrying (a restarted broker or recovered
+  /// server may succeed where this attempt failed).
+  static bool IsRetriable(const Status& status) {
+    return status.IsUnavailable() || status.IsTimeout();
+  }
+};
+
+}  // namespace crayfish
+
+#endif  // CRAYFISH_COMMON_RETRY_H_

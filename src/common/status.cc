@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Timeout";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 
@@ -9,6 +10,7 @@
 #include "core/dataset.h"
 #include "core/input_producer.h"
 #include "core/sweep.h"
+#include "fault/injector.h"
 #include "model/formats.h"
 #include "model/graph.h"
 #include "serving/calibration.h"
@@ -68,12 +70,20 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
   // Observability is attached before any component is built, so even
   // construction-time activity (topic creation, model loading) is visible
   // to the registry and every hook sees the recorder from the first event.
+  const bool faulted = config.fault_plan.active();
   std::shared_ptr<obs::TraceRecorder> trace;
   std::shared_ptr<obs::MetricsRegistry> metrics;
   if (config.enable_tracing) {
     trace = std::make_shared<obs::TraceRecorder>();
     metrics = std::make_shared<obs::MetricsRegistry>();
     sim.AttachObservability(trace.get(), metrics.get());
+  } else if (faulted) {
+    // Fault runs always carry a registry: the retry counters incremented
+    // by producers/consumers/serving clients are the cross-layer channel
+    // the recovery scorecard reads. Registry updates are passive, so this
+    // does not perturb the run.
+    metrics = std::make_shared<obs::MetricsRegistry>();
+    sim.AttachObservability(nullptr, metrics.get());
   }
 
   sim::Network network(&sim);
@@ -81,6 +91,13 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
   // Kafka cluster (4 brokers, 32-partition topics, LogAppendTime).
   broker::ClusterConfig cluster_config;
   broker::KafkaCluster cluster(&sim, &network, cluster_config);
+  if (faulted) {
+    // Before any client exists: producers, consumers, and the serving
+    // client all inherit the plan's robustness policy at construction.
+    CRAYFISH_RETURN_IF_ERROR(config.fault_plan.Validate());
+    cluster.SetClientDefaults(config.fault_plan.retry,
+                              config.fault_plan.auto_commit_interval_s);
+  }
   CRAYFISH_RETURN_IF_ERROR(
       cluster.CreateTopic("crayfish-in", config.topic_partitions));
   CRAYFISH_RETURN_IF_ERROR(
@@ -141,6 +158,7 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
   scoring.server = server.get();
   scoring.model = profile;
   scoring.use_gpu = config.use_gpu;
+  if (faulted && external) scoring.retry = config.fault_plan.retry;
   CRAYFISH_ASSIGN_OR_RETURN(
       std::unique_ptr<sps::StreamEngine> engine,
       sps::CreateEngine(config.engine, &sim, &network, &cluster,
@@ -167,6 +185,32 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
   ip_opts.materialize_payloads = config.validate_real_inference;
   InputProducer producer(&sim, &cluster, std::move(*generator), ip_opts);
 
+  // Fault schedule: armed after every component exists (hooks bind to the
+  // live server/engine), before the first simulated event.
+  fault::RecoveryTracker tracker;
+  std::optional<fault::FaultInjector> injector;
+  if (faulted) {
+    injector.emplace(&sim, &network, &cluster, &tracker,
+                     &config.fault_plan);
+    fault::FaultHooks hooks;
+    if (server != nullptr) {
+      serving::ExternalServingServer* srv = server.get();
+      hooks.serving_slowdown = [srv](double factor) {
+        srv->InjectSlowdown(factor);
+      };
+      hooks.serving_down = [srv](bool down) { srv->SetServerDown(down); };
+      hooks.serving_worker_delta = [srv](int delta) {
+        srv->SetWorkers(std::max(1, srv->workers() + delta));
+      };
+    }
+    sps::StreamEngine* eng = engine.get();
+    hooks.task_failure = [eng](int task_index, double restart_delay_s) {
+      return eng->InjectTaskFailure(task_index, restart_delay_s);
+    };
+    injector->set_hooks(std::move(hooks));
+    CRAYFISH_RETURN_IF_ERROR(injector->Arm());
+  }
+
   CRAYFISH_RETURN_IF_ERROR(engine->Start());
   output_consumer.Start();
   producer.Start();
@@ -189,6 +233,23 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
   result.real_inferences = engine->real_inferences();
   result.sim_end_s = sim.Now();
   result.sim_events_executed = sim.events_executed();
+  if (faulted) {
+    for (const Measurement& m : result.measurements) {
+      tracker.RecordDelivery(m.batch_id, m.append_time);
+    }
+    result.fault_metrics =
+        tracker.Finalize(result.events_sent, sim.Now());
+    for (const char* component : {"producer", "consumer", "serving-client"}) {
+      result.fault_metrics.retries += static_cast<uint64_t>(
+          metrics->Counter("fault_retries", {{"component", component}})
+              ->value());
+    }
+    fault::RecoveryTracker::PublishMetrics(result.fault_metrics,
+                                           metrics.get());
+    result.has_fault_metrics = true;
+    result.metrics = metrics;
+    if (!config.enable_tracing) sim.AttachObservability(nullptr, nullptr);
+  }
   if (config.enable_tracing) {
     // End-of-run gauges/counters from the serving side, then detach so
     // the recorder outlives the simulation safely.

@@ -13,6 +13,8 @@
 #include "core/generator.h"
 #include "core/metrics.h"
 #include "core/output_consumer.h"
+#include "fault/plan.h"
+#include "fault/recovery.h"
 #include "obs/registry.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 #include "obs/trace.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 #include "serving/model_profile.h"
@@ -74,6 +76,14 @@ struct ExperimentConfig {
   uint64_t max_measurements = 0;
   uint64_t seed = 42;
 
+  // --- fault injection ---
+  /// Deterministic fault schedule (empty = fault-free run). When active,
+  /// the cluster-wide client retry/auto-commit defaults come from
+  /// `fault_plan.retry` / `fault_plan.auto_commit_interval_s`, a
+  /// RecoveryTracker scores the run, and `ExperimentResult.fault_metrics`
+  /// is populated.
+  fault::FaultPlan fault_plan;
+
   // --- observability ---
   /// Attach a TraceRecorder + MetricsRegistry to the run. Recording is
   /// passive (simulated clock only, no events, no RNG), so enabling it
@@ -98,6 +108,10 @@ struct ExperimentResult {
   uint64_t real_inferences = 0;
   double sim_end_s = 0.0;
   uint64_t sim_events_executed = 0;
+
+  // --- populated only when config.fault_plan is active ---
+  bool has_fault_metrics = false;
+  fault::FaultMetrics fault_metrics;
 
   // --- populated only when config.enable_tracing is set ---
   /// Per-stage latency decomposition of the post-warmup window.

@@ -138,6 +138,12 @@ void ExternalServingServer::InvokeModel(
 }
 
 void ExternalServingServer::HandleArrival(PendingRequest request) {
+  if (server_down_) {
+    // Crashed serving process: the request vanishes; no response ever
+    // leaves the host. Clients notice via their own timeouts.
+    ++requests_dropped_;
+    return;
+  }
   if (!ready_) {
     // The service is still loading the model: retry shortly (clients
     // observe this as slow first responses).
@@ -218,6 +224,8 @@ double ExternalServingServer::ComputeSeconds(const ModelProfile& model,
     const double sigma = costs_.jitter_cv;
     compute *= rng_.LogNormal(-0.5 * sigma * sigma, sigma);
   }
+  // Fault-injected straggler slowdown (1.0 when healthy).
+  compute *= slow_factor_;
   return compute;
 }
 
@@ -310,6 +318,13 @@ void ExternalServingServer::SetWorkers(int workers) {
 }
 
 int ExternalServingServer::workers() const { return workers_->servers(); }
+
+void ExternalServingServer::InjectSlowdown(double factor) {
+  CRAYFISH_CHECK_GT(factor, 0.0);
+  slow_factor_ = factor;
+}
+
+void ExternalServingServer::SetServerDown(bool down) { server_down_ = down; }
 
 size_t ExternalServingServer::queue_depth() const {
   size_t depth = workers_->queue_depth() + batch_queue_.size();

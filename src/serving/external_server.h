@@ -102,6 +102,21 @@ class ExternalServingServer {
   void SetWorkers(int workers);
   int workers() const;
 
+  // --- fault-injection hooks ---
+
+  /// Straggler injection: multiplies every inference's compute time.
+  /// CHECK-fails unless factor > 0; 1.0 restores healthy behaviour.
+  void InjectSlowdown(double factor);
+  double slowdown_factor() const { return slow_factor_; }
+
+  /// Marks the serving process down (true) or back up (false). While down,
+  /// arriving requests are dropped on the floor — the serving client's
+  /// timeout/retry machinery is what notices, as with a crashed process
+  /// whose host still routes packets.
+  void SetServerDown(bool down);
+  bool server_down() const { return server_down_; }
+  uint64_t requests_dropped() const { return requests_dropped_; }
+
   const std::string& tool_name() const { return tool_name_; }
   const std::string& host() const { return options_.host; }
   const ExternalCosts& costs() const { return costs_; }
@@ -154,8 +169,10 @@ class ExternalServingServer {
   /// The single accelerator on the serving VM.
   std::unique_ptr<sim::SerialExecutor> gpu_;
   uint64_t requests_served_ = 0;
+  /// Fault-injected straggler multiplier on compute time (1.0 = healthy).
   double slow_factor_ = 1.0;
-  double slow_resample_at_ = 0.0;
+  bool server_down_ = false;
+  uint64_t requests_dropped_ = 0;
   /// Additional models by name (the default model is always present).
   /// Ordered (lint R3): version sweeps and eviction walk this map during
   /// simulated serving, so iteration order is scheduling-visible.

@@ -7,23 +7,47 @@
 
 namespace crayfish::sim {
 
+double PropagationSeconds(const LinkSpec& spec, const LinkDegradation& deg) {
+  return spec.latency_s * deg.latency_mult;
+}
+
+double TransmitSeconds(const LinkSpec& spec, const LinkDegradation& deg,
+                       uint64_t bytes) {
+  return static_cast<double>(bytes) /
+         (spec.bandwidth_bytes_per_s * deg.bandwidth_mult);
+}
+
 Link::Link(Simulation* sim, LinkSpec spec) : sim_(sim), spec_(spec) {
   CRAYFISH_CHECK_GE(spec.latency_s, 0.0);
   CRAYFISH_CHECK_GT(spec.bandwidth_bytes_per_s, 0.0);
 }
 
+void Link::SetDegradation(LinkDegradation deg) {
+  CRAYFISH_CHECK_GE(deg.latency_mult, 0.0);
+  // An injected multiplier must keep effective bandwidth strictly positive;
+  // a zero/negative value would make transfer times infinite or run time
+  // backwards instead of modelling an outage (use `drop` for that).
+  CRAYFISH_CHECK_GT(deg.bandwidth_mult, 0.0);
+  degradation_ = deg;
+}
+
 double Link::IdleTransferTime(uint64_t bytes) const {
-  return spec_.latency_s +
-         static_cast<double>(bytes) / spec_.bandwidth_bytes_per_s;
+  return PropagationSeconds(spec_, degradation_) +
+         TransmitSeconds(spec_, degradation_, bytes);
 }
 
 void Link::Transfer(uint64_t bytes, InlineAction on_delivered) {
+  if (degradation_.drop) {
+    // Partitioned: the transfer vanishes. Senders find out via timeouts.
+    ++dropped_transfers_;
+    return;
+  }
   const SimTime now = sim_->Now();
-  const double tx_time =
-      static_cast<double>(bytes) / spec_.bandwidth_bytes_per_s;
+  const double tx_time = TransmitSeconds(spec_, degradation_, bytes);
   const SimTime tx_start = std::max(now, tx_free_at_);
   tx_free_at_ = tx_start + tx_time;
-  const SimTime deliver_at = tx_free_at_ + spec_.latency_s;
+  const SimTime deliver_at =
+      tx_free_at_ + PropagationSeconds(spec_, degradation_);
   bytes_sent_ += bytes;
   ++transfers_;
   sim_->ScheduleAt(deliver_at, std::move(on_delivered));
@@ -66,8 +90,31 @@ Link* Network::GetOrCreateLink(const std::string& from,
   if (ov != spec_overrides_.end()) spec = ov->second;
   auto link = std::make_unique<Link>(sim_, spec);
   Link* raw = link.get();
+  raw->SetDegradation(DegradationFor(from, to));
   links_[key] = std::move(link);
   return raw;
+}
+
+LinkDegradation Network::DegradationFor(const std::string& from,
+                                        const std::string& to) const {
+  // Most specific match wins; "" is the wildcard.
+  const std::pair<std::string, std::string> candidates[] = {
+      {from, to}, {from, ""}, {"", to}, {"", ""}};
+  for (const auto& key : candidates) {
+    auto it = degradations_.find(key);
+    if (it != degradations_.end()) return it->second;
+  }
+  return LinkDegradation{};
+}
+
+void Network::SetDegradation(const std::string& from, const std::string& to,
+                             LinkDegradation deg) {
+  degradations_[std::make_pair(from, to)] = deg;
+  // Re-resolve every live link so rule precedence stays consistent whether a
+  // link was created before or after the rule was installed.
+  for (auto& [key, link] : links_) {
+    link->SetDegradation(DegradationFor(key.first, key.second));
+  }
 }
 
 void Network::Send(const std::string& from, const std::string& to,
@@ -89,8 +136,8 @@ double Network::IdleTransferTime(const std::string& from,
   LinkSpec spec = default_spec_;
   auto ov = spec_overrides_.find(std::make_pair(from, to));
   if (ov != spec_overrides_.end()) spec = ov->second;
-  return spec.latency_s +
-         static_cast<double>(bytes) / spec.bandwidth_bytes_per_s;
+  const LinkDegradation deg = DegradationFor(from, to);
+  return PropagationSeconds(spec, deg) + TransmitSeconds(spec, deg, bytes);
 }
 
 uint64_t Network::total_bytes_sent() const {

@@ -25,6 +25,27 @@ struct LinkSpec {
   double bandwidth_bytes_per_s = 190.0 * 1024.0 * 1024.0;
 };
 
+/// Fault-injection overlay for a link: multiplies the spec's propagation
+/// latency and divides its bandwidth without rewriting the spec, so lifting
+/// the degradation restores the calibrated baseline exactly. `drop` models a
+/// network partition: transfers are accepted but never delivered (the
+/// sender's timeout/retry machinery is what notices).
+struct LinkDegradation {
+  double latency_mult = 1.0;    // >= 0; 1.0 = healthy
+  double bandwidth_mult = 1.0;  // must stay strictly positive
+  bool drop = false;
+
+  bool active() const {
+    return latency_mult != 1.0 || bandwidth_mult != 1.0 || drop;
+  }
+};
+
+/// One-way propagation delay of a (possibly degraded) link.
+double PropagationSeconds(const LinkSpec& spec, const LinkDegradation& deg);
+/// Serialization time of `bytes` on a (possibly degraded) link.
+double TransmitSeconds(const LinkSpec& spec, const LinkDegradation& deg,
+                       uint64_t bytes);
+
 /// A directed link: propagation latency plus a FIFO-serialized bandwidth
 /// component (one transfer occupies the transmit path at a time; the
 /// latency component overlaps between transfers).
@@ -33,22 +54,32 @@ class Link {
   Link(Simulation* sim, LinkSpec spec);
 
   /// Delivers `bytes` to the receiver, invoking `on_delivered` at the
-  /// simulated arrival instant.
+  /// simulated arrival instant. Under a `drop` degradation the transfer is
+  /// counted as dropped and `on_delivered` never fires.
   void Transfer(uint64_t bytes, InlineAction on_delivered);
 
   /// Time a transfer of `bytes` would take on an idle link.
   double IdleTransferTime(uint64_t bytes) const;
 
+  /// Applies (or, with a default-constructed argument, lifts) a fault
+  /// overlay. CHECK-fails unless the multipliers keep bandwidth strictly
+  /// positive and latency non-negative.
+  void SetDegradation(LinkDegradation deg);
+  const LinkDegradation& degradation() const { return degradation_; }
+
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t transfers() const { return transfers_; }
+  uint64_t dropped_transfers() const { return dropped_transfers_; }
   const LinkSpec& spec() const { return spec_; }
 
  private:
   Simulation* sim_;
   LinkSpec spec_;
+  LinkDegradation degradation_;
   SimTime tx_free_at_ = 0.0;
   uint64_t bytes_sent_ = 0;
   uint64_t transfers_ = 0;
+  uint64_t dropped_transfers_ = 0;
 };
 
 /// A machine in the simulated cluster. Hosts are bookkeeping entities: they
@@ -81,6 +112,19 @@ class Network {
   void SetDefaultLinkSpec(LinkSpec spec) { default_spec_ = spec; }
   const LinkSpec& default_spec() const { return default_spec_; }
 
+  /// Installs a degradation rule for the (from, to) directed pair; an empty
+  /// string is a wildcard ("kafka-0" -> "" degrades every link out of
+  /// kafka-0; "" -> "" degrades the whole fabric). The most specific rule
+  /// wins: exact pair, then (from, *), then (*, to), then (*, *). Rules
+  /// apply to existing links immediately and to links created later;
+  /// installing a default-constructed LinkDegradation lifts the fault.
+  /// Loopback (from == to) traffic is never degraded.
+  void SetDegradation(const std::string& from, const std::string& to,
+                      LinkDegradation deg);
+  /// The rule that applies to the (from, to) pair (identity if none).
+  LinkDegradation DegradationFor(const std::string& from,
+                                 const std::string& to) const;
+
   /// Sends `bytes` from `from` to `to`; `on_delivered` fires at arrival.
   /// Transfers between a host and itself are instantaneous (loopback).
   /// CHECK-fails on unknown hosts (topology errors are programmer errors).
@@ -103,6 +147,7 @@ class Network {
   /// host/link enumeration order is part of the reproducible event order.
   std::map<std::string, Host> hosts_;
   std::map<std::pair<std::string, std::string>, LinkSpec> spec_overrides_;
+  std::map<std::pair<std::string, std::string>, LinkDegradation> degradations_;
   std::map<std::pair<std::string, std::string>, std::unique_ptr<Link>> links_;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/json.h"
 #include "common/logging.h"
+#include "obs/registry.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 #include "obs/trace.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 #include "sps/flink_engine.h"
 #include "sps/kafka_streams_engine.h"
@@ -104,6 +105,12 @@ void StreamEngine::InvokeExternalWithStress(int batch_size,
   // serving-side slowdowns alike.
   const double multiplier =
       StressMultiplier(queue_depth) * SlowDriftFactor();
+  if (scoring_.retry.enabled()) {
+    InvokeExternalAttempt(
+        batch_size, multiplier, /*attempt=*/0,
+        std::make_shared<std::function<void()>>(std::move(done)));
+    return;
+  }
   const double started = sim_->Now();
   scoring_.server->Invoke(
       config_.host, batch_size,
@@ -111,6 +118,49 @@ void StreamEngine::InvokeExternalWithStress(int batch_size,
         const double elapsed = sim_->Now() - started;
         sim_->Schedule((multiplier - 1.0) * elapsed, std::move(done));
       });
+}
+
+void StreamEngine::InvokeExternalAttempt(
+    int batch_size, double multiplier, int attempt,
+    std::shared_ptr<std::function<void()>> done) {
+  const crayfish::RetryPolicy& retry = scoring_.retry;
+  // Whichever of {timeout, response} fires first settles the attempt; a
+  // late response to an already-abandoned attempt is ignored.
+  auto settled = std::make_shared<bool>(false);
+  const double started = sim_->Now();
+  sim_->Schedule(retry.timeout_s, [this, settled, batch_size, multiplier,
+                                   attempt, done]() {
+    if (*settled) return;
+    *settled = true;
+    if (!stopped_ && attempt < scoring_.retry.max_retries) {
+      ++serving_retries_;
+      if (obs::MetricsRegistry* reg = sim_->metrics()) {
+        reg->Counter("fault_retries", {{"component", "serving-client"}})
+            ->Increment(1.0);
+      }
+      sim_->Schedule(scoring_.retry.BackoffFor(attempt, &rng_),
+                     [this, batch_size, multiplier, attempt, done]() {
+                       if (stopped_) {
+                         (*done)();
+                         return;
+                       }
+                       InvokeExternalAttempt(batch_size, multiplier,
+                                             attempt + 1, done);
+                     });
+      return;
+    }
+    // Teardown or retry budget exhausted: unblock the operator thread so
+    // the record keeps flowing (scoring work is lost, the record is not).
+    (*done)();
+  });
+  scoring_.server->Invoke(config_.host, batch_size,
+                          [this, settled, multiplier, started, done]() {
+                            if (*settled) return;
+                            *settled = true;
+                            const double elapsed = sim_->Now() - started;
+                            sim_->Schedule((multiplier - 1.0) * elapsed,
+                                           [done]() { (*done)(); });
+                          });
 }
 
 void StreamEngine::InvokeExternalWithStress(const broker::Record& record,

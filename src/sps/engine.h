@@ -30,6 +30,11 @@ struct ScoringConfig {
   serving::ExternalServingServer* server = nullptr;
   serving::ModelProfile model;
   bool use_gpu = false;
+  /// Timeout/backoff policy for the external-serving RPC (disabled by
+  /// default). When active, an unanswered Invoke is re-issued with
+  /// backoff; after max_retries the record proceeds anyway (scoring work
+  /// is lost but the record is not).
+  crayfish::RetryPolicy retry;
 };
 
 /// Deployment parameters of the data-processor component.
@@ -73,8 +78,21 @@ class StreamEngine {
   /// Stops all task loops (used at experiment teardown).
   virtual void Stop() = 0;
 
+  /// Fault hook: crash-restarts one operator task (`task_index` modulo the
+  /// engine's task count). The task's consumer session dies uncommitted
+  /// and resumes from the group's committed offsets after
+  /// `restart_delay_s` (at-least-once: duplicates possible, no loss).
+  /// Returns the number of tasks restarted — 0 when the engine does not
+  /// model restartable tasks.
+  virtual int InjectTaskFailure(int task_index, double restart_delay_s) {
+    (void)task_index;
+    (void)restart_delay_s;
+    return 0;
+  }
+
   uint64_t events_scored() const { return events_scored_; }
   uint64_t records_emitted() const { return records_emitted_; }
+  uint64_t serving_retries() const { return serving_retries_; }
   const EngineConfig& config() const { return config_; }
   const ScoringConfig& scoring() const { return scoring_; }
 
@@ -152,8 +170,14 @@ class StreamEngine {
   uint64_t events_scored_ = 0;
   uint64_t records_emitted_ = 0;
   uint64_t real_inferences_ = 0;
+  uint64_t serving_retries_ = 0;
 
  private:
+  /// One timed attempt of the external RPC; re-issues with backoff until
+  /// the retry budget runs out, then completes `done` regardless.
+  void InvokeExternalAttempt(int batch_size, double multiplier, int attempt,
+                             std::shared_ptr<std::function<void()>> done);
+
   double stress_ = 0.0;
   double stress_updated_at_ = 0.0;
   double slow_factor_ = 1.0;

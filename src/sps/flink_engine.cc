@@ -405,6 +405,23 @@ void FlinkEngine::OfferToScoring(
   });
 }
 
+int FlinkEngine::InjectTaskFailure(int task_index, double restart_delay_s) {
+  if (stopped_) return 0;
+  if (chained_) {
+    if (slots_.empty()) return 0;
+    SlotState& slot =
+        slots_[static_cast<size_t>(task_index) % slots_.size()];
+    if (!slot.consumer) return 0;
+    slot.consumer->FailAndRestart(restart_delay_s);
+    return 1;
+  }
+  if (source_consumers_.empty()) return 0;
+  source_consumers_[static_cast<size_t>(task_index) %
+                    source_consumers_.size()]
+      ->FailAndRestart(restart_delay_s);
+  return 1;
+}
+
 void FlinkEngine::Stop() {
   if (stopped_) return;
   stopped_ = true;

@@ -66,6 +66,11 @@ class FlinkEngine : public StreamEngine {
   crayfish::Status Start() override;
   void Stop() override;
 
+  /// Crash-restarts one task slot's consumer session (chained mode) or one
+  /// source task (unchained mode); the restarted task resumes from the
+  /// group's committed offsets.
+  int InjectTaskFailure(int task_index, double restart_delay_s) override;
+
   const FlinkCosts& costs() const { return costs_; }
 
  private:

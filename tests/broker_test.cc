@@ -479,6 +479,63 @@ TEST_F(ClientTest, RebalanceResumesFromCommittedOffsetsAtLeastOnce) {
   }
 }
 
+TEST_F(ClientTest, CrashTriggeredRebalanceIsAtLeastOnce) {
+  // Crash the group's coordinator broker mid-stream: the dynamic group
+  // rebalances, the eager-rebalance offset commit is lost with the
+  // coordinator, the crashed broker's partition rejects fetches until
+  // restart, and the producer keeps retrying sends into it. At-least-once
+  // = every record delivered >= 1 time; the post-crash rewind surfaces as
+  // counted duplicates.
+  crayfish::RetryPolicy retry;
+  retry.max_retries = 8;
+  retry.timeout_s = 0.5;
+  cluster_.SetClientDefaults(retry, /*auto_commit_interval_s=*/0.0);
+
+  KafkaProducer producer(&cluster_, "client");
+  KafkaConsumer consumer(&cluster_, "client", "dyn");
+  ASSERT_TRUE(consumer.SubscribeDynamic("t").ok());
+
+  std::multiset<uint64_t> seen;
+  std::function<void()> drain = [&]() {
+    // Deliberately never commits: with the coordinator down during the
+    // crash-triggered rebalance, the eager commit is lost too, so the
+    // survivor rewinds to the last durable offsets (none -> earliest).
+    consumer.Poll(0.3, [&](std::vector<Record> records) {
+      for (const Record& r : records) seen.insert(r.batch_id);
+      if (!consumer.assignment().empty()) drain();
+    });
+  };
+
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(producer.Send("t", MakeRecord(i)).ok());
+  }
+  producer.Flush();
+  drain();
+
+  const int coord = cluster_.CoordinatorBroker("dyn");
+  sim_.Schedule(2.0, [&]() { cluster_.CrashBroker(coord); });
+  sim_.Schedule(3.0, [&]() {
+    // Produced mid-outage: sends to the dead broker's partition retry
+    // with backoff until the leader is back.
+    for (int i = 40; i < 80; ++i) {
+      CRAYFISH_CHECK_OK(producer.Send("t", MakeRecord(i)));
+    }
+    producer.Flush();
+  });
+  sim_.Schedule(6.0, [&]() { cluster_.RestartBroker(coord); });
+  sim_.Run(25.0);
+
+  for (uint64_t id = 0; id < 80; ++id) {
+    EXPECT_GE(seen.count(id), 1u) << "record " << id << " lost";
+  }
+  std::set<uint64_t> unique(seen.begin(), seen.end());
+  EXPECT_EQ(unique.size(), 80u);
+  EXPECT_GT(seen.size(), unique.size()) << "rebalance produced no re-reads";
+  EXPECT_GE(consumer.rebalances_seen(), 2u);  // join + crash-triggered
+  EXPECT_GT(producer.retries() + consumer.retries(), 0u);
+  EXPECT_TRUE(cluster_.IsBrokerUp(coord));  // restarted
+}
+
 TEST_F(ClientTest, JoinUnknownTopicFails) {
   KafkaConsumer consumer(&cluster_, "client", "dyn");
   EXPECT_TRUE(consumer.SubscribeDynamic("ghost").IsNotFound());

@@ -57,6 +57,16 @@ std::string Fingerprint(const ExperimentResult& r) {
     os << "\n";
   }
   os << r.summary.ToJson() << "\n";
+  if (r.has_fault_metrics) {
+    const fault::FaultMetrics& f = r.fault_metrics;
+    os << "faults:" << f.faults_injected << ":" << f.retries << ":"
+       << f.deliveries << ":" << f.unique_deliveries << ":" << f.duplicates
+       << ":" << f.losses << ":";
+    AppendBits(&os, f.downtime_s);
+    AppendBits(&os, f.mean_time_to_recover_s);
+    AppendBits(&os, f.goodput_eps);
+    os << "\n";
+  }
   if (r.trace != nullptr) os << r.trace->ToStageCsv();
   return os.str();
 }
@@ -91,6 +101,58 @@ TEST(DeterminismTest, DifferentSeedsProduceDifferentRuns) {
   EXPECT_NE(Fingerprint(*first), Fingerprint(*second))
       << "two seeds produced identical runs; the seed is not reaching the "
          "workload RNG";
+}
+
+/// The bursty workload from SmallConfig against an external serving tool,
+/// with a broker crash injected mid-run: the fault path adds timers,
+/// retries, and jittered backoff, all of which must stay on the seeded
+/// RNG for the run to reproduce.
+ExperimentConfig FaultedConfig(uint64_t seed) {
+  ExperimentConfig cfg = SmallConfig(seed);
+  cfg.serving = "tf-serving";
+  cfg.enable_tracing = false;  // faulted runs fingerprint via measurements
+
+  fault::FaultSpec crash;
+  crash.kind = fault::FaultKind::kBrokerCrash;
+  crash.name = "crash0";
+  crash.at_s = 3.0;
+  crash.until_s = 6.0;
+  crash.broker = 0;
+  cfg.fault_plan.faults.push_back(crash);
+  cfg.fault_plan.retry.timeout_s = 0.3;
+  cfg.fault_plan.retry.jitter = 0.2;  // jittered backoff draws from the RNG
+  return cfg;
+}
+
+TEST(DeterminismTest, FaultedRunReproducesByteForByte) {
+  auto first = RunExperiment(FaultedConfig(1234));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = RunExperiment(FaultedConfig(1234));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  ASSERT_TRUE(first->has_fault_metrics);
+  ASSERT_GT(first->fault_metrics.retries, 0u)
+      << "the crash produced no retries; the fault path was not exercised";
+  const std::string a = Fingerprint(*first);
+  const std::string b = Fingerprint(*second);
+  if (a != b) {
+    size_t at = 0;
+    while (at < a.size() && at < b.size() && a[at] == b[at]) ++at;
+    FAIL() << "faulted runs diverged at byte " << at << " (sizes "
+           << a.size() << " vs " << b.size() << "); context: \""
+           << a.substr(at > 40 ? at - 40 : 0, 80) << "\" vs \""
+           << b.substr(at > 40 ? at - 40 : 0, 80) << "\"";
+  }
+}
+
+TEST(DeterminismTest, FaultedRunsDivergeAcrossSeeds) {
+  auto first = RunExperiment(FaultedConfig(1234));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = RunExperiment(FaultedConfig(99991));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_NE(Fingerprint(*first), Fingerprint(*second))
+      << "two seeds produced identical faulted runs; retry jitter is not "
+         "reaching the seeded RNG";
 }
 
 TEST(DeterminismTest, TracingDoesNotPerturbTheRun) {

@@ -176,6 +176,9 @@ TEST(R3HashOrderTest, OnlySchedulingDirectoriesAreInScope) {
   EXPECT_TRUE(Lint("src/tensor/a.cc", src).empty());
   EXPECT_FALSE(Lint("src/sim/a.cc", src).empty());
   EXPECT_FALSE(Lint("/abs/prefix/src/core/a.cc", src).empty());
+  // Fault injection schedules DES events: iteration order is on the hot
+  // path for determinism, so src/fault is in scope too.
+  EXPECT_FALSE(Lint("src/fault/injector.cc", src).empty());
 }
 
 TEST(R3HashOrderTest, SuppressionOnLineSilences) {
@@ -403,6 +406,33 @@ TEST(R7LayeringTest, DownwardEdgesAllowedBackEdgesNot) {
   EXPECT_FALSE(LayeringAllows("sim", "tensor"));  // same layer, not excepted
 }
 
+TEST(R7LayeringTest, FaultModuleSitsBetweenBrokerAndTheEngines) {
+  // src/fault drives broker/sim primitives and is consumed by core; it
+  // must never reach up into sps/serving (those are wired via hooks).
+  EXPECT_EQ(ModuleOf("src/fault/injector.cc"), "fault");
+  EXPECT_GT(ModuleRank("fault"), ModuleRank("broker"));
+  EXPECT_LT(ModuleRank("fault"), ModuleRank("sps"));
+  EXPECT_LT(ModuleRank("fault"), ModuleRank("serving"));
+  EXPECT_TRUE(LayeringAllows("fault", "broker"));
+  EXPECT_TRUE(LayeringAllows("fault", "sim"));
+  EXPECT_TRUE(LayeringAllows("core", "fault"));
+  EXPECT_TRUE(LayeringAllows("sps", "fault"));
+  EXPECT_FALSE(LayeringAllows("fault", "sps"));
+  EXPECT_FALSE(LayeringAllows("fault", "serving"));
+  EXPECT_FALSE(LayeringAllows("broker", "fault"));
+}
+
+TEST(R7LayeringTest, FaultReachingIntoAnEngineIsABackEdge) {
+  const auto fs = Lint("src/fault/injector.cc",
+                       "#include \"broker/cluster.h\"\n"
+                       "#include \"serving/server.h\"\n");
+  ASSERT_EQ(CountRule(fs, Rule::kLayering), 1);
+  EXPECT_EQ(fs[0].line, 2);
+  ASSERT_EQ(fs[0].path.size(), 2u);
+  EXPECT_EQ(fs[0].path[0], "fault");
+  EXPECT_EQ(fs[0].path[1], "serving");
+}
+
 TEST(R7LayeringTest, FlagsBackEdgeIncludeWithModulePath) {
   const auto fs = Lint("src/sim/resource.cc",
                        "#include \"obs/trace.h\"\n"
@@ -549,6 +579,32 @@ TEST(R8UseAfterMoveTest, FlagsLoopCarriedMove) {
                        "  }\n"
                        "}\n");
   EXPECT_EQ(CountRule(fs, Rule::kUseAfterMove), 1);
+}
+
+TEST(R8UseAfterMoveTest, RetryBackupPatternInFaultPathIsClean) {
+  // The producer/injector retry idiom: the batch is copied into a
+  // shared_ptr backup before the move, and the re-send moves out of the
+  // backup — each name is moved exactly once per statement.
+  const auto fs = Lint(
+      "src/fault/injector.cc",
+      "void Resend(std::vector<Record> records) {\n"
+      "  auto backup = std::make_shared<std::vector<Record>>(records);\n"
+      "  Send(std::move(records));\n"
+      "  sim_->Schedule(delay, [this, backup]() {\n"
+      "    Send(std::move(*backup));\n"
+      "  });\n"
+      "}\n");
+  EXPECT_FALSE(HasRule(fs, Rule::kUseAfterMove));
+}
+
+TEST(R8UseAfterMoveTest, FaultSpecDoubleMoveFlags) {
+  const auto fs = Lint("src/fault/plan.cc",
+                       "void F(FaultSpec spec) {\n"
+                       "  faults_.push_back(std::move(spec));\n"
+                       "  names_.insert(std::move(spec).name);\n"
+                       "}\n");
+  ASSERT_EQ(CountRule(fs, Rule::kUseAfterMove), 1);
+  EXPECT_EQ(fs[0].line, 3);
 }
 
 TEST(R8UseAfterMoveTest, RangeForLoopVariableRebindsEachIteration) {

@@ -11,8 +11,9 @@ namespace {
 /// other; the single sanctioned same-layer edge is sps → serving.
 const std::map<std::string, int, std::less<>> kModuleRanks = {
     {"common", 0}, {"sim", 1},     {"tensor", 1},
-    {"broker", 2}, {"model", 2},   {"sps", 3},
-    {"serving", 3}, {"core", 4},   {"obs", 5},
+    {"broker", 2}, {"model", 2},   {"fault", 3},
+    {"sps", 4},    {"serving", 4}, {"core", 5},
+    {"obs", 6},
 };
 
 }  // namespace

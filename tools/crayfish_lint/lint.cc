@@ -51,8 +51,8 @@ bool SamePath(std::string_view a, std::string_view b) {
 /// exported results.
 bool InSchedulingDir(std::string_view path) {
   return InDir(path, "src/sim") || InDir(path, "src/broker") ||
-         InDir(path, "src/sps") || InDir(path, "src/serving") ||
-         InDir(path, "src/core");
+         InDir(path, "src/fault") || InDir(path, "src/sps") ||
+         InDir(path, "src/serving") || InDir(path, "src/core");
 }
 
 /// R5 applies to metrics/statistics aggregation code.
@@ -479,7 +479,8 @@ class Linter {
           << ModuleRank(from) << ") may only include strictly lower layers, "
           << "but '" << to << "' is layer " << ModuleRank(to)
           << "; allowed order is common -> {sim, tensor} -> {broker, model} "
-          << "-> {sps, serving} -> core -> obs (plus sps -> serving)";
+          << "-> fault -> {sps, serving} -> core -> obs "
+          << "(plus sps -> serving)";
       Report(Rule::kLayering, inc.line, msg.str(),
              "invert the dependency: move the shared type into a lower "
              "layer, or have the lower layer expose a hook the higher layer "

@@ -87,13 +87,34 @@ core::ExperimentConfig FromConfig(const Config& cfg) {
   out.seed = static_cast<uint64_t>(cfg.GetIntOr("seed", 42));
   out.dataset_path = cfg.GetStringOr("dataset", "");
   out.enable_tracing = cfg.GetBoolOr("trace", out.enable_tracing);
-  // Engine-specific keys pass through verbatim.
+  // Engine-specific keys pass through verbatim; "fault.*" keys are plan
+  // overrides, routed separately by ApplyFaultConfig.
   for (const std::string& key : cfg.Keys()) {
-    if (key.find('.') != std::string::npos) {
+    if (key.find('.') != std::string::npos &&
+        key.rfind("fault.", 0) != 0) {
       out.engine_overrides.Set(key, cfg.GetStringOr(key, ""));
     }
   }
   return out;
+}
+
+// Loads the fault plan (--faults flag wins over the "faults" config key)
+// and applies "fault.<target>.<field>" overrides from the config file.
+Status ApplyFaultConfig(const Config& cfg, const std::string& faults_flag,
+                        core::ExperimentConfig* out) {
+  const std::string path =
+      !faults_flag.empty() ? faults_flag : cfg.GetStringOr("faults", "");
+  if (!path.empty()) {
+    CRAYFISH_ASSIGN_OR_RETURN(out->fault_plan,
+                              fault::FaultPlan::FromFile(path));
+  }
+  for (const std::string& key : cfg.Keys()) {
+    if (key.rfind("fault.", 0) == 0) {
+      CRAYFISH_RETURN_IF_ERROR(out->fault_plan.ApplyOverride(
+          key.substr(6), cfg.GetStringOr(key, "")));
+    }
+  }
+  return Status::Ok();
 }
 
 void PrintUsage(const char* prog) {
@@ -107,6 +128,8 @@ void PrintUsage(const char* prog) {
       "  --trace_csv=PATH    per-span CSV export of the trace\n"
       "  --metrics_out=PATH  metrics-registry snapshot as JSON\n"
       "  --breakdown         print the per-stage latency decomposition\n"
+      "  --faults=PATH       inject the fault plan (JSON; see README) and\n"
+      "                      report recovery metrics\n"
       "  --help              show this text\n"
       "any observability flag enables tracing; observability flags and the\n"
       "measurements CSV require a single config file\n",
@@ -128,6 +151,7 @@ int main(int argc, char** argv) {
   std::string trace_csv;
   std::string metrics_out;
   std::string jobs_str;
+  std::string faults_path;
   bool print_breakdown = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -141,7 +165,8 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(arg, "--jobs", &jobs_str) ||
                ParseFlag(arg, "--trace_out", &trace_out) ||
                ParseFlag(arg, "--trace_csv", &trace_csv) ||
-               ParseFlag(arg, "--metrics_out", &metrics_out)) {
+               ParseFlag(arg, "--metrics_out", &metrics_out) ||
+               ParseFlag(arg, "--faults", &faults_path)) {
       // value captured by ParseFlag
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -196,6 +221,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       batch.push_back(FromConfig(*cfg_or));
+      crayfish::Status fs =
+          ApplyFaultConfig(*cfg_or, faults_path, &batch.back());
+      if (!fs.ok()) {
+        std::fprintf(stderr, "fault plan error (%s): %s\n", path.c_str(),
+                     fs.ToString().c_str());
+        return 2;
+      }
     }
     std::printf("running %zu experiments (jobs=%d) ...\n", batch.size(),
                 std::min(core::ResolveSweepJobs(0),
@@ -219,6 +251,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   core::ExperimentConfig cfg = FromConfig(*cfg_or);
+  {
+    crayfish::Status fs = ApplyFaultConfig(*cfg_or, faults_path, &cfg);
+    if (!fs.ok()) {
+      std::fprintf(stderr, "fault plan error: %s\n", fs.ToString().c_str());
+      return 2;
+    }
+  }
   const bool want_obs = print_breakdown || !trace_out.empty() ||
                         !trace_csv.empty() || !metrics_out.empty();
   if (want_obs) cfg.enable_tracing = true;
@@ -236,6 +275,20 @@ int main(int argc, char** argv) {
   std::printf("events scored:  %llu\n",
               static_cast<unsigned long long>(result->events_scored));
   std::printf("summary:        %s\n", result->summary.ToString().c_str());
+  if (result->has_fault_metrics) {
+    std::printf("faults:         %s\n",
+                result->fault_metrics.ToString().c_str());
+    for (const fault::FaultWindow& w : result->fault_metrics.windows) {
+      char end[32];
+      if (w.closed()) {
+        std::snprintf(end, sizeof(end), "%.2f", w.end_s);
+      } else {
+        std::snprintf(end, sizeof(end), "end");
+      }
+      std::printf("  %-24s t=[%.2f, %s] %s\n", w.name.c_str(), w.start_s,
+                  end, w.outage ? "outage" : "degradation");
+    }
+  }
   if (cfg.bursty) {
     for (size_t i = 0; i < result->recoveries.size(); ++i) {
       const auto& rec = result->recoveries[i];

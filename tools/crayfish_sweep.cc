@@ -67,11 +67,31 @@ core::ExperimentConfig ConfigToExperiment(const Config& cfg) {
   out.seed = static_cast<uint64_t>(cfg.GetIntOr("seed", 42));
   out.dataset_path = cfg.GetStringOr("dataset", "");
   for (const std::string& key : cfg.Keys()) {
-    if (key.find('.') != std::string::npos) {
+    if (key.find('.') != std::string::npos &&
+        key.rfind("fault.", 0) != 0) {
       out.engine_overrides.Set(key, cfg.GetStringOr(key, ""));
     }
   }
   return out;
+}
+
+// Fault-plan parameters are sweepable axes like any other key: the base
+// config names the plan ("faults = plan.json") and a swept
+// "fault.<target>.<field>" key (e.g. "fault.crash0.at_s") is applied as a
+// plan override per point.
+Status ApplyFaultConfig(const Config& cfg, core::ExperimentConfig* out) {
+  const std::string path = cfg.GetStringOr("faults", "");
+  if (!path.empty()) {
+    CRAYFISH_ASSIGN_OR_RETURN(out->fault_plan,
+                              fault::FaultPlan::FromFile(path));
+  }
+  for (const std::string& key : cfg.Keys()) {
+    if (key.rfind("fault.", 0) == 0) {
+      CRAYFISH_RETURN_IF_ERROR(out->fault_plan.ApplyOverride(
+          key.substr(6), cfg.GetStringOr(key, "")));
+    }
+  }
+  return Status::Ok();
 }
 
 int main(int argc, char** argv) {
@@ -125,8 +145,17 @@ int main(int argc, char** argv) {
   for (const std::string& value : values) {
     Config point = *base_or;
     point.Set(sweep_key, value);
-    for (core::ExperimentConfig& cfg :
-         core::MakeRepeatedConfigs(ConfigToExperiment(point), kRepeats)) {
+    core::ExperimentConfig exp = ConfigToExperiment(point);
+    crayfish::Status fs = ApplyFaultConfig(point, &exp);
+    if (!fs.ok()) {
+      std::fprintf(stderr, "fault plan error (%s=%s): %s\n",
+                   sweep_key.c_str(), value.c_str(),
+                   fs.ToString().c_str());
+      return 2;
+    }
+    std::vector<core::ExperimentConfig> repeats =
+        core::MakeRepeatedConfigs(std::move(exp), kRepeats);
+    for (core::ExperimentConfig& cfg : repeats) {
       batch.push_back(std::move(cfg));
     }
   }
