@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/registry.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
+#include "obs/timeline.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 #include "obs/trace.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 
 namespace crayfish::broker {
@@ -181,6 +182,9 @@ void KafkaConsumer::FetchOnce(const TopicPartition& tp) {
       reg->Counter("fault_retries", {{"component", "consumer"}})
           ->Increment(1.0);
     }
+    if (obs::TimelineSampler* tl = cluster_->simulation()->timeline()) {
+      tl->Count("fetch_retries", cluster_->simulation()->Now());
+    }
     cluster_->simulation()->Schedule(
         retry_.BackoffFor(attempt, &*rng_),
         [this, generation, my_generation, tp]() {
@@ -333,6 +337,29 @@ int64_t KafkaConsumer::position(const TopicPartition& tp) const {
 int64_t KafkaConsumer::delivered_position(const TopicPartition& tp) const {
   auto it = delivered_.find(tp.ToString());
   return it == delivered_.end() ? -1 : it->second;
+}
+
+int64_t KafkaConsumer::PartitionLag(const TopicPartition& tp) const {
+  auto it = delivered_.find(tp.ToString());
+  if (it == delivered_.end()) return 0;
+  auto part_or = cluster_->GetPartition(tp);
+  if (!part_or.ok()) return 0;
+  const int64_t lag = (*part_or)->end_offset() - it->second;
+  return lag > 0 ? lag : 0;
+}
+
+int64_t KafkaConsumer::TotalLag() const {
+  int64_t total = 0;
+  for (const TopicPartition& tp : assignment_) total += PartitionLag(tp);
+  return total;
+}
+
+int64_t KafkaConsumer::MaxPartitionLag() const {
+  int64_t worst = 0;
+  for (const TopicPartition& tp : assignment_) {
+    worst = std::max(worst, PartitionLag(tp));
+  }
+  return worst;
 }
 
 }  // namespace crayfish::broker

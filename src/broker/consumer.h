@@ -113,6 +113,17 @@ class KafkaConsumer {
   /// Next offset after the last record handed out by Poll (-1 if the
   /// partition is not assigned).
   int64_t delivered_position(const TopicPartition& tp) const;
+  /// Consumer lag of one assigned partition: records appended to the log
+  /// but not yet delivered by Poll (`end_offset - delivered_position`,
+  /// floored at 0; 0 when unassigned). The partition log is readable even
+  /// while its leader is crashed, so lag keeps growing — and stays
+  /// observable — during a broker outage.
+  int64_t PartitionLag(const TopicPartition& tp) const;
+  /// Sum of PartitionLag over the current assignment (Theodolite-style
+  /// consumer-lag demand signal; sampled by the telemetry timeline).
+  int64_t TotalLag() const;
+  /// Largest single-partition lag in the current assignment.
+  int64_t MaxPartitionLag() const;
   size_t buffered() const { return buffer_.size(); }
   uint64_t records_consumed() const { return records_consumed_; }
   uint64_t retries() const { return retries_; }

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/registry.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
+#include "obs/timeline.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 #include "obs/trace.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 
 namespace crayfish::broker {
@@ -140,6 +141,9 @@ void KafkaProducer::SendBatch(const TopicPartition& tp,
       if (obs::MetricsRegistry* reg = cluster_->simulation()->metrics()) {
         reg->Counter("fault_retries", {{"component", "producer"}})
             ->Increment(1.0);
+      }
+      if (obs::TimelineSampler* tl = cluster_->simulation()->timeline()) {
+        tl->Count("produce_retries", cluster_->simulation()->Now());
       }
       const double delay = retry_.BackoffFor(
           std::min(attempt, retry_.max_retries - 1), &*rng_);

@@ -119,6 +119,14 @@ void Histogram::Add(double x) {
   ++total_;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  CRAYFISH_CHECK_EQ(counts_.size(), other.counts_.size());
+  CRAYFISH_CHECK_EQ(min_value_, other.min_value_);
+  CRAYFISH_CHECK_EQ(log_step_, other.log_step_);
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
 double Histogram::bucket_lower(size_t i) const {
   return std::exp(log_min_ + log_step_ * static_cast<double>(i));
 }

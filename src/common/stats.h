@@ -78,6 +78,11 @@ class Histogram {
   Histogram(double min_value, double max_value, size_t num_buckets);
 
   void Add(double x);
+  /// Merges another histogram with identical bucket geometry (same
+  /// min/max/num_buckets) into this one. Bucket-for-bucket addition, so
+  /// merging per-window histograms reproduces the whole-run histogram
+  /// exactly — CHECK-fails on a geometry mismatch.
+  void Merge(const Histogram& other);
   size_t count() const { return total_; }
   /// Approximate percentile from bucket midpoints, p in [0, 100].
   double Percentile(double p) const;

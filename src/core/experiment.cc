@@ -86,6 +86,22 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
     sim.AttachObservability(nullptr, metrics.get());
   }
 
+  // Continuous telemetry timeline: active SLOs imply one (1 s default
+  // windows). Attached before components like the tracer, and equally
+  // passive — the Run loop closes windows on the DES clock without
+  // scheduling events, so `sim_events_executed` and all results are
+  // byte-identical with the timeline on or off.
+  double timeline_interval = config.timeline_interval_s;
+  if (timeline_interval <= 0.0 && config.slo.active()) {
+    timeline_interval = 1.0;
+  }
+  const bool timed = timeline_interval > 0.0;
+  std::shared_ptr<obs::TimelineSampler> timeline;
+  if (timed) {
+    timeline = std::make_shared<obs::TimelineSampler>(timeline_interval);
+    sim.AttachTimeline(timeline.get());
+  }
+
   sim::Network network(&sim);
 
   // Kafka cluster (4 brokers, 32-partition topics, LogAppendTime).
@@ -211,11 +227,51 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
     CRAYFISH_RETURN_IF_ERROR(injector->Arm());
   }
 
+  // Timeline probes are registered centrally, over objects owned by this
+  // frame (they all outlive sim.Run), and are strictly read-only.
+  if (timed) {
+    sim::Simulation* sim_ptr = &sim;
+    timeline->AddProbe("sim_event_queue", obs::ProbeKind::kGauge,
+                       [sim_ptr]() {
+                         return static_cast<double>(sim_ptr->pending_events());
+                       });
+    sps::StreamEngine* eng = engine.get();
+    timeline->AddProbe("consumer_lag", obs::ProbeKind::kGauge, [eng]() {
+      return static_cast<double>(eng->Telemetry().consumer_lag);
+    });
+    timeline->AddProbe("max_partition_lag", obs::ProbeKind::kGauge, [eng]() {
+      return static_cast<double>(eng->Telemetry().max_partition_lag);
+    });
+    timeline->AddProbe("sps_queue_depth", obs::ProbeKind::kGauge, [eng]() {
+      return static_cast<double>(eng->Telemetry().queue_depth);
+    });
+    timeline->AddProbe("engine_stall_s", obs::ProbeKind::kCumulative,
+                       [eng]() {
+                         return eng->Telemetry().backpressure_stall_s;
+                       });
+    if (server != nullptr) {
+      serving::ExternalServingServer* srv = server.get();
+      timeline->AddProbe("serving_queue_depth", obs::ProbeKind::kGauge,
+                         [srv]() {
+                           return static_cast<double>(srv->queue_depth());
+                         });
+      timeline->AddProbe("serving_workers", obs::ProbeKind::kGauge, [srv]() {
+        return static_cast<double>(srv->workers());
+      });
+      timeline->AddProbe("serving_busy_s", obs::ProbeKind::kCumulative,
+                         [srv]() { return srv->worker_busy_seconds(); });
+    }
+  }
+
   CRAYFISH_RETURN_IF_ERROR(engine->Start());
   output_consumer.Start();
   producer.Start();
 
   sim.Run(config.duration_s + config.drain_s);
+
+  // Close the trailing timeline window while every probed component is
+  // still live; feeds arriving during teardown are ignored.
+  if (timed) timeline->Finalize(sim.Now());
 
   engine->Stop();
   producer.Stop();
@@ -233,6 +289,22 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
   result.real_inferences = engine->real_inferences();
   result.sim_end_s = sim.Now();
   result.sim_events_executed = sim.events_executed();
+  if (timed) {
+    result.timeline = timeline;
+    if (config.slo.active()) {
+      result.slo_report = obs::SloMonitor::Evaluate(config.slo, *timeline);
+      result.has_slo_report = true;
+      // SLO verdicts ride on the registry when one exists (or is created
+      // for them) and on the trace's instant track when tracing.
+      if (metrics == nullptr) {
+        metrics = std::make_shared<obs::MetricsRegistry>();
+      }
+      obs::SloMonitor::PublishMetrics(result.slo_report, metrics.get());
+      obs::SloMonitor::AnnotateTrace(result.slo_report, trace.get());
+      if (!config.enable_tracing && !faulted) result.metrics = metrics;
+    }
+    sim.AttachTimeline(nullptr);
+  }
   if (faulted) {
     for (const Measurement& m : result.measurements) {
       tracker.RecordDelivery(m.batch_id, m.append_time);

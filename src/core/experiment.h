@@ -16,6 +16,8 @@
 #include "fault/plan.h"
 #include "fault/recovery.h"
 #include "obs/registry.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
+#include "obs/slo.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
+#include "obs/timeline.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 #include "obs/trace.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 #include "serving/model_profile.h"
 
@@ -91,6 +93,17 @@ struct ExperimentConfig {
   /// null-pointer branch.
   bool enable_tracing = false;
 
+  /// Tumbling-window width of the continuous telemetry timeline; <= 0
+  /// disables it (unless an SLO config forces the 1 s default). Sampling
+  /// is driven by the DES clock inside Simulation::Run — passive like
+  /// tracing, so the timeline cannot perturb a run either.
+  double timeline_interval_s = 0.0;
+
+  /// Declarative SLOs evaluated per timeline window after the run. Active
+  /// SLOs imply a timeline (default 1 s windows when timeline_interval_s
+  /// is unset).
+  obs::SloConfig slo;
+
   /// Per-sample tensor shape for the generator, by model name.
   std::vector<int64_t> SampleShape() const;
   RateSchedule Schedule() const;
@@ -120,6 +133,13 @@ struct ExperimentResult {
   /// shared_ptr so ExperimentResult stays copyable.
   std::shared_ptr<obs::TraceRecorder> trace;
   std::shared_ptr<obs::MetricsRegistry> metrics;
+
+  // --- populated only when the telemetry timeline is active ---
+  /// Finalized windowed timeline (JSONL / CSV exportable).
+  std::shared_ptr<obs::TimelineSampler> timeline;
+  /// SLO verdicts (populated only when config.slo is also active).
+  bool has_slo_report = false;
+  obs::SloReport slo_report;
 };
 
 /// Builds the full simulated deployment (9-VM-style topology: producer,

@@ -1,6 +1,7 @@
 #include "core/output_consumer.h"
 
 #include "common/logging.h"
+#include "obs/timeline.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 
 namespace crayfish::core {
 
@@ -40,6 +41,11 @@ void OutputConsumer::PollLoop() {
       m.create_time = r.create_time;
       m.append_time = r.log_append_time;
       m.batch_size = r.batch_size;
+      if (obs::TimelineSampler* tl = sim_->timeline()) {
+        // Completion instant = output-topic append time, so windows line up
+        // with the paper's end-to-end latency definition.
+        tl->ObserveLatency(m.append_time, m.latency_s(), m.batch_size);
+      }
       measurements_.push_back(m);
       if (options_.max_measurements > 0 &&
           measurements_.size() >= options_.max_measurements) {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/timeline.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 
 namespace crayfish::fault {
 
@@ -71,6 +72,10 @@ void FaultInjector::Inject(const FaultSpec& spec) {
   CRAYFISH_LOG(Info) << "fault inject " << FaultKindName(spec.kind) << " \""
                      << spec.name << "\" at t=" << sim_->Now();
   tracker_->BeginFault(spec, sim_->Now());
+  if (obs::TimelineSampler* tl = sim_->timeline()) {
+    tl->BeginFault(spec.name, sim_->Now());
+    tl->Annotate(sim_->Now(), "fault-inject:" + spec.name);
+  }
   switch (spec.kind) {
     case FaultKind::kBrokerCrash:
       cluster_->CrashBroker(
@@ -126,6 +131,10 @@ void FaultInjector::Repair(const FaultSpec& spec) {
       break;
   }
   tracker_->EndFault(spec.name, sim_->Now());
+  if (obs::TimelineSampler* tl = sim_->timeline()) {
+    tl->EndFault(spec.name, sim_->Now());
+    tl->Annotate(sim_->Now(), "fault-repair:" + spec.name);
+  }
 }
 
 }  // namespace crayfish::fault

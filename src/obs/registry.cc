@@ -67,25 +67,41 @@ std::string MetricsRegistry::SnapshotJson() const {
   return Snapshot().DumpPretty();
 }
 
+namespace {
+
+// RFC 4180 quoting for the key column: labeled identities contain commas
+// ("m{a=1,b=2}") so the cell is always quoted, and any double quote inside
+// a label value must be doubled.
+std::string QuoteCsvKey(const std::string& key) {
+  std::string out = "\"";
+  for (char c : key) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
 std::string MetricsRegistry::ToCsv() const {
   std::string out = "key,kind,count,value_or_mean,min,max,p50,p95,p99\n";
-  // Keys are quoted: labeled identities contain commas ("m{a=1,b=2}").
   char line[320];
   for (const auto& [key, counter] : counters_) {
-    std::snprintf(line, sizeof(line), "\"%s\",counter,,%.9g,,,,,\n",
-                  key.c_str(), counter->value());
+    std::snprintf(line, sizeof(line), "%s,counter,,%.9g,,,,,\n",
+                  QuoteCsvKey(key).c_str(), counter->value());
     out += line;
   }
   for (const auto& [key, gauge] : gauges_) {
-    std::snprintf(line, sizeof(line), "\"%s\",gauge,,%.9g,,,,,\n",
-                  key.c_str(), gauge->value());
+    std::snprintf(line, sizeof(line), "%s,gauge,,%.9g,,,,,\n",
+                  QuoteCsvKey(key).c_str(), gauge->value());
     out += line;
   }
   for (const auto& [key, hist] : histograms_) {
     std::snprintf(line, sizeof(line),
-                  "\"%s\",histogram,%zu,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g\n",
-                  key.c_str(), hist->count(), hist->mean(), hist->min(),
-                  hist->max(), hist->Percentile(50.0),
+                  "%s,histogram,%zu,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g\n",
+                  QuoteCsvKey(key).c_str(), hist->count(), hist->mean(),
+                  hist->min(), hist->max(), hist->Percentile(50.0),
                   hist->Percentile(95.0), hist->Percentile(99.0));
     out += line;
   }

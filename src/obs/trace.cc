@@ -85,6 +85,11 @@ void TraceRecorder::AddTrackSpan(const std::string& track,
       TrackSpan{track, name, start_s, std::max(end_s, start_s)});
 }
 
+void TraceRecorder::AddInstant(const std::string& track,
+                               const std::string& name, double time_s) {
+  instants_.push_back(InstantEvent{track, name, time_s});
+}
+
 std::string TraceRecorder::ToChromeTraceJson() const {
   // Chrome trace-event (catapult) JSON. pid 1 holds one lane (tid) per
   // pipeline stage so a batch renders as a staircase across lanes; pid 2
@@ -121,12 +126,19 @@ std::string TraceRecorder::ToChromeTraceJson() const {
 
   // Auxiliary resource tracks: assign tids in first-seen order, which is
   // deterministic because spans are recorded in simulated-event order.
+  // Instant-only tracks (e.g. "slo") get tids after all span tracks.
   std::map<std::string, int> track_tid;
   std::vector<std::string> track_order;
   for (const TrackSpan& s : track_spans_) {
     if (track_tid.emplace(s.track, static_cast<int>(track_order.size()))
             .second) {
       track_order.push_back(s.track);
+    }
+  }
+  for (const InstantEvent& ev : instants_) {
+    if (track_tid.emplace(ev.track, static_cast<int>(track_order.size()))
+            .second) {
+      track_order.push_back(ev.track);
     }
   }
   if (!track_order.empty()) {
@@ -144,6 +156,13 @@ std::string TraceRecorder::ToChromeTraceJson() const {
            "\",\"ts\":" + FormatDouble(s.start_s * 1e6, 3) +
            ",\"dur\":" + FormatDouble((s.end_s - s.start_s) * 1e6, 3) +
            "}");
+    }
+    for (const InstantEvent& ev : instants_) {
+      emit("{\"ph\":\"i\",\"pid\":2,\"tid\":" +
+           std::to_string(track_tid[ev.track]) + ",\"name\":\"" +
+           EscapeJson(ev.name) +
+           "\",\"ts\":" + FormatDouble(ev.time_s * 1e6, 3) +
+           ",\"s\":\"t\"}");
     }
   }
 

@@ -54,6 +54,14 @@ class TraceRecorder {
     double end_s;
   };
 
+  /// A point-in-time marker on a named auxiliary track (SLO breach /
+  /// recover transitions, autoscale decisions).
+  struct InstantEvent {
+    std::string track;
+    std::string name;
+    double time_s;
+  };
+
   TraceRecorder() = default;
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
@@ -81,10 +89,16 @@ class TraceRecorder {
   void AddTrackSpan(const std::string& track, const std::string& name,
                     double start_s, double end_s);
 
+  /// Records an instant event on a named auxiliary track, rendered as a
+  /// point marker in the Perfetto UI ("ph":"i").
+  void AddInstant(const std::string& track, const std::string& name,
+                  double time_s);
+
   size_t batch_count() const { return batches_.size(); }
   size_t completed_batches() const { return completed_; }
   const std::map<uint64_t, BatchTrace>& batches() const { return batches_; }
   const std::vector<TrackSpan>& track_spans() const { return track_spans_; }
+  const std::vector<InstantEvent>& instants() const { return instants_; }
 
   /// Chrome trace-event JSON (catapult format, Perfetto-loadable): one
   /// lane per pipeline stage plus one lane per auxiliary track.
@@ -98,6 +112,7 @@ class TraceRecorder {
  private:
   std::map<uint64_t, BatchTrace> batches_;
   std::vector<TrackSpan> track_spans_;
+  std::vector<InstantEvent> instants_;
   size_t completed_ = 0;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "obs/registry.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
+#include "obs/timeline.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 
 namespace crayfish::serving {
 
@@ -304,8 +305,18 @@ void ExternalServingServer::AutoscaleTick() {
   if (depth > options_.scale_up_queue_depth &&
       current < options_.max_workers) {
     workers_->Resize(current + 1);
+    if (obs::TimelineSampler* tl = sim_->timeline()) {
+      tl->Annotate(sim_->Now(), "autoscale-up:" + tool_name_ + ":" +
+                                    std::to_string(current + 1));
+      tl->Count("autoscale_events", sim_->Now());
+    }
   } else if (depth == 0 && current > options_.min_workers) {
     workers_->Resize(current - 1);
+    if (obs::TimelineSampler* tl = sim_->timeline()) {
+      tl->Annotate(sim_->Now(), "autoscale-down:" + tool_name_ + ":" +
+                                    std::to_string(current - 1));
+      tl->Count("autoscale_events", sim_->Now());
+    }
   }
   sim_->Schedule(options_.autoscale_interval_s,
                  [this]() { AutoscaleTick(); });

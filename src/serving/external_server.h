@@ -124,6 +124,11 @@ class ExternalServingServer {
   bool ready() const { return ready_; }
   uint64_t requests_served() const { return requests_served_; }
   size_t queue_depth() const;
+  /// Cumulative worker-pool busy seconds (monotone); the telemetry
+  /// timeline differences this across windows for utilization.
+  double worker_busy_seconds() const {
+    return workers_ != nullptr ? workers_->busy_seconds() : 0.0;
+  }
 
   /// Writes end-of-run serving metrics (requests served, worker-pool
   /// utilization and queue-wait stats) into `registry`, labeled by tool.

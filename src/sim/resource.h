@@ -50,6 +50,10 @@ class ServerPool {
   int busy() const { return busy_; }
   size_t queue_depth() const { return queue_.size(); }
   uint64_t completed() const { return completed_; }
+  /// Cumulative server-busy seconds (monotone; jobs charge their service
+  /// time at completion). The telemetry timeline differences this across
+  /// window boundaries for per-window utilization.
+  double busy_seconds() const { return busy_time_; }
 
   /// Fraction of server-time spent busy since construction.
   double Utilization() const;

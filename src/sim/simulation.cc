@@ -1,6 +1,7 @@
 #include "sim/simulation.h"
 
 #include "common/logging.h"
+#include "obs/timeline.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 
 namespace crayfish::sim {
 
@@ -33,6 +34,11 @@ uint64_t Simulation::Run(SimTime until) {
     Event e = queue_.Pop();
     CRAYFISH_CHECK_GE(e.time, now_);
     now_ = e.time;
+    // Close timeline windows whose boundary this event crosses *before*
+    // executing it: probes observe the state as of the boundary, no
+    // sampler events are scheduled, and the event interleaving is
+    // untouched — enabling the timeline cannot perturb the run.
+    if (timeline_ != nullptr) timeline_->AdvanceTo(e.time);
     if (e.action) e.action();
     ++executed;
     ++events_executed_;

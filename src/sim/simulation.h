@@ -12,6 +12,7 @@
 namespace crayfish::obs {
 class TraceRecorder;
 class MetricsRegistry;
+class TimelineSampler;
 }  // namespace crayfish::obs
 
 namespace crayfish::sim {
@@ -74,6 +75,16 @@ class Simulation {
   obs::TraceRecorder* tracer() const { return tracer_; }
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Attaches the telemetry timeline (may be nullptr). The Run loop drives
+  /// the sampler's window clock passively — AdvanceTo before each event —
+  /// so no sampler events enter the queue and `events_executed()` is
+  /// unchanged; components feed it through the same null-checked pattern
+  /// as tracer()/metrics().
+  void AttachTimeline(obs::TimelineSampler* timeline) {
+    timeline_ = timeline;
+  }
+  obs::TimelineSampler* timeline() const { return timeline_; }
+
  private:
   uint64_t seed_;
   Rng rng_;
@@ -83,6 +94,7 @@ class Simulation {
   uint64_t events_executed_ = 0;
   obs::TraceRecorder* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TimelineSampler* timeline_ = nullptr;
 };
 
 /// Utility: converts milliseconds to the SimTime unit (seconds).

@@ -5,6 +5,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "obs/registry.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
+#include "obs/timeline.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 #include "obs/trace.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 #include "sps/flink_engine.h"
 #include "sps/kafka_streams_engine.h"
@@ -137,6 +138,9 @@ void StreamEngine::InvokeExternalAttempt(
       if (obs::MetricsRegistry* reg = sim_->metrics()) {
         reg->Counter("fault_retries", {{"component", "serving-client"}})
             ->Increment(1.0);
+      }
+      if (obs::TimelineSampler* tl = sim_->timeline()) {
+        tl->Count("serving_retries", sim_->Now());
       }
       sim_->Schedule(scoring_.retry.BackoffFor(attempt, &rng_),
                      [this, batch_size, multiplier, attempt, done]() {

@@ -54,6 +54,23 @@ struct EngineConfig {
   crayfish::Config overrides;
 };
 
+/// Read-only runtime telemetry snapshot of a deployed engine, sampled at
+/// tumbling-window boundaries by the telemetry timeline. Collecting it
+/// must not mutate engine state.
+struct EngineTelemetry {
+  /// Sum over all engine consumers of records appended to their assigned
+  /// partitions but not yet delivered (Theodolite's demand signal).
+  int64_t consumer_lag = 0;
+  /// Largest single-partition lag across all engine consumers.
+  int64_t max_partition_lag = 0;
+  /// Records buffered inside the engine: client-side prefetch buffers plus
+  /// operator task queues.
+  int64_t queue_depth = 0;
+  /// Cumulative backpressure stall seconds across operator tasks
+  /// (monotone; the timeline reports per-window deltas).
+  double backpressure_stall_s = 0.0;
+};
+
 /// A deployed stream processor running the three-operator Crayfish DAG
 /// (inputOp -> scoringOp -> outputOp, §3.2). Engines consume the input
 /// topic, score every CrayfishDataBatch, and produce to the output topic;
@@ -89,6 +106,11 @@ class StreamEngine {
     (void)restart_delay_s;
     return 0;
   }
+
+  /// Snapshot of the engine's current lag/queue/backpressure state. The
+  /// default is empty; engines override to aggregate over their consumers
+  /// and tasks.
+  virtual EngineTelemetry Telemetry() const { return EngineTelemetry{}; }
 
   uint64_t events_scored() const { return events_scored_; }
   uint64_t records_emitted() const { return records_emitted_; }

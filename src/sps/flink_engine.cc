@@ -422,6 +422,28 @@ int FlinkEngine::InjectTaskFailure(int task_index, double restart_delay_s) {
   return 1;
 }
 
+EngineTelemetry FlinkEngine::Telemetry() const {
+  EngineTelemetry t;
+  const auto fold_consumer = [&t](const broker::KafkaConsumer& c) {
+    t.consumer_lag += c.TotalLag();
+    t.max_partition_lag = std::max(t.max_partition_lag, c.MaxPartitionLag());
+    t.queue_depth += static_cast<int64_t>(c.buffered());
+  };
+  for (const SlotState& slot : slots_) {
+    if (slot.consumer) fold_consumer(*slot.consumer);
+  }
+  for (const auto& c : source_consumers_) fold_consumer(*c);
+  for (const auto& task : scoring_tasks_) {
+    t.queue_depth += static_cast<int64_t>(task->queue_depth());
+    t.backpressure_stall_s += task->stall_time_s();
+  }
+  for (const auto& task : sink_tasks_) {
+    t.queue_depth += static_cast<int64_t>(task->queue_depth());
+    t.backpressure_stall_s += task->stall_time_s();
+  }
+  return t;
+}
+
 void FlinkEngine::Stop() {
   if (stopped_) return;
   stopped_ = true;

@@ -71,6 +71,10 @@ class FlinkEngine : public StreamEngine {
   /// group's committed offsets.
   int InjectTaskFailure(int task_index, double restart_delay_s) override;
 
+  /// Aggregates lag over slot consumers (chained) or source consumers
+  /// (unchained), and queue depth / stall time over the stage tasks.
+  EngineTelemetry Telemetry() const override;
+
   const FlinkCosts& costs() const { return costs_; }
 
  private:

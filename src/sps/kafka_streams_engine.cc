@@ -1,5 +1,7 @@
 #include "sps/kafka_streams_engine.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace crayfish::sps {
@@ -138,6 +140,18 @@ void KafkaStreamsEngine::ProcessRecords(
     TraceMark((*records)[index].batch_id, obs::Stage::kScore);
     emit();
   });
+}
+
+EngineTelemetry KafkaStreamsEngine::Telemetry() const {
+  EngineTelemetry t;
+  for (const StreamThread& thread : threads_) {
+    if (!thread.consumer) continue;
+    t.consumer_lag += thread.consumer->TotalLag();
+    t.max_partition_lag =
+        std::max(t.max_partition_lag, thread.consumer->MaxPartitionLag());
+    t.queue_depth += static_cast<int64_t>(thread.consumer->buffered());
+  }
+  return t;
 }
 
 void KafkaStreamsEngine::Stop() {

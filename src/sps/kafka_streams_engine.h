@@ -47,6 +47,10 @@ class KafkaStreamsEngine : public StreamEngine {
   crayfish::Status Start() override;
   void Stop() override;
 
+  /// Aggregates lag and prefetch-buffer depth over the stream threads'
+  /// consumers (pull model: no operator queues, no backpressure stalls).
+  EngineTelemetry Telemetry() const override;
+
   const KafkaStreamsCosts& costs() const { return costs_; }
 
  protected:

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "obs/registry.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
+#include "obs/timeline.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 
 namespace crayfish::sps {
 
@@ -15,6 +16,12 @@ OperatorTask::OperatorTask(sim::Simulation* sim, std::string name,
 bool OperatorTask::Offer(broker::Record record) {
   if (stopped_) return true;  // swallow records after stop
   if (queue_.size() >= max_queue_) {
+    if (!was_full_) {
+      stall_started_at_ = sim_->Now();
+      if (obs::TimelineSampler* tl = sim_->timeline()) {
+        tl->Count("backpressure_events", stall_started_at_);
+      }
+    }
     was_full_ = true;
     return false;
   }
@@ -44,6 +51,11 @@ void OperatorTask::StartNext() {
   queue_.pop_front();
   if (was_full_ && queue_.size() < max_queue_) {
     was_full_ = false;
+    const double stalled = sim_->Now() - stall_started_at_;
+    stall_time_s_ += stalled;
+    if (obs::TimelineSampler* tl = sim_->timeline()) {
+      tl->Count("backpressure_stall_s", sim_->Now(), stalled);
+    }
     if (space_available_) {
       // Defer to the next instant so the upstream resumes outside our
       // call stack.

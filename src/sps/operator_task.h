@@ -45,6 +45,10 @@ class OperatorTask {
   uint64_t processed() const { return processed_; }
   bool busy() const { return busy_; }
   const std::string& name() const { return name_; }
+  /// Cumulative simulated seconds this task's queue spent full (from the
+  /// first rejected Offer until space freed up) — the backpressure stall
+  /// signal sampled by the telemetry timeline.
+  double stall_time_s() const { return stall_time_s_; }
 
   /// Invoked (once per transition to non-full) after space frees up.
   void SetSpaceAvailableCallback(std::function<void()> cb) {
@@ -66,6 +70,9 @@ class OperatorTask {
   bool stopped_ = false;
   bool was_full_ = false;
   uint64_t processed_ = 0;
+  /// Start of the current full-queue episode (valid while was_full_).
+  double stall_started_at_ = 0.0;
+  double stall_time_s_ = 0.0;
   std::function<void()> space_available_;
   /// Lazily resolved queue-depth histogram labeled by operator name.
   obs::HistogramMetric* depth_hist_ = nullptr;

@@ -1,5 +1,7 @@
 #include "sps/ray_engine.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace crayfish::sps {
@@ -180,6 +182,25 @@ void RayEngine::ForwardRecords(
           ForwardRecords(chain, records, index);
         });
   });
+}
+
+EngineTelemetry RayEngine::Telemetry() const {
+  EngineTelemetry t;
+  for (const auto& chain : chains_) {
+    if (chain->consumer) {
+      t.consumer_lag += chain->consumer->TotalLag();
+      t.max_partition_lag =
+          std::max(t.max_partition_lag, chain->consumer->MaxPartitionLag());
+      t.queue_depth += static_cast<int64_t>(chain->consumer->buffered());
+    }
+    for (const OperatorTask* actor :
+         {chain->scoring_actor.get(), chain->output_actor.get()}) {
+      if (actor == nullptr) continue;
+      t.queue_depth += static_cast<int64_t>(actor->queue_depth());
+      t.backpressure_stall_s += actor->stall_time_s();
+    }
+  }
+  return t;
 }
 
 void RayEngine::Stop() {

@@ -60,6 +60,10 @@ class RayEngine : public StreamEngine {
   crayfish::Status Start() override;
   void Stop() override;
 
+  /// Aggregates lag over chain consumers plus actor mailbox depths and
+  /// stall time (actor queues are the Ray backpressure boundary).
+  EngineTelemetry Telemetry() const override;
+
   const RayCosts& costs() const { return costs_; }
 
  private:

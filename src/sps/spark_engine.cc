@@ -164,6 +164,16 @@ void SparkEngine::RunChunk(
   });
 }
 
+EngineTelemetry SparkEngine::Telemetry() const {
+  EngineTelemetry t;
+  if (consumer_) {
+    t.consumer_lag = consumer_->TotalLag();
+    t.max_partition_lag = consumer_->MaxPartitionLag();
+    t.queue_depth = static_cast<int64_t>(consumer_->buffered());
+  }
+  return t;
+}
+
 void SparkEngine::Stop() {
   if (stopped_) return;
   stopped_ = true;

@@ -66,6 +66,10 @@ class SparkEngine : public StreamEngine {
   crayfish::Status Start() override;
   void Stop() override;
 
+  /// Lag and buffered records of the driver's consumer (micro-batch model:
+  /// in-flight batches live in the driver, not operator queues).
+  EngineTelemetry Telemetry() const override;
+
   const SparkCosts& costs() const { return costs_; }
   uint64_t micro_batches() const { return micro_batches_; }
 

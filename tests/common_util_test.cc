@@ -222,6 +222,48 @@ TEST(HistogramTest, OutOfRangeClampsToEdges) {
   EXPECT_EQ(h.bucket_count(h.num_buckets() - 1), 1u);
 }
 
+TEST(HistogramTest, MergeIsEquivalentToAddingEverySample) {
+  // Partitioning a stream across shards and merging the shard histograms
+  // must reproduce the single-histogram result bucket for bucket — the
+  // property the telemetry timeline's per-window roll-up relies on.
+  Histogram whole(0.1, 1000.0, 64);
+  Histogram shard_a(0.1, 1000.0, 64);
+  Histogram shard_b(0.1, 1000.0, 64);
+  for (int i = 1; i <= 1000; ++i) {
+    const double x = static_cast<double>(i);
+    whole.Add(x);
+    (i % 3 == 0 ? shard_a : shard_b).Add(x);
+  }
+  shard_a.Merge(shard_b);
+  ASSERT_EQ(shard_a.count(), whole.count());
+  for (size_t i = 0; i < whole.num_buckets(); ++i) {
+    EXPECT_EQ(shard_a.bucket_count(i), whole.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_DOUBLE_EQ(shard_a.Percentile(50), whole.Percentile(50));
+  EXPECT_DOUBLE_EQ(shard_a.Percentile(99), whole.Percentile(99));
+}
+
+TEST(HistogramTest, MergeIntoEmptyAndOfEmptyAreIdentities) {
+  Histogram a(0.1, 1000.0, 64);
+  Histogram b(0.1, 1000.0, 64);
+  a.Add(5.0);
+  const double p50 = a.Percentile(50);
+  a.Merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.Percentile(50), p50);
+  b.Merge(a);  // empty lhs: copies the distribution
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.Percentile(50), p50);
+}
+
+TEST(HistogramDeathTest, MergeChecksBucketGeometry) {
+  Histogram coarse(0.1, 1000.0, 32);
+  Histogram fine(0.1, 1000.0, 64);
+  Histogram shifted(0.2, 1000.0, 32);
+  EXPECT_DEATH(coarse.Merge(fine), "");
+  EXPECT_DEATH(coarse.Merge(shifted), "");
+}
+
 TEST(WindowedThroughputTest, RatesPerWindow) {
   WindowedThroughput wt(1.0);
   for (int i = 0; i < 10; ++i) wt.Record(0.5);      // 10 in window 0

@@ -155,6 +155,51 @@ TEST(DeterminismTest, FaultedRunsDivergeAcrossSeeds) {
          "reaching the seeded RNG";
 }
 
+TEST(DeterminismTest, TimelineDoesNotPerturbTheRun) {
+  // The telemetry sampler is driven by the DES clock inside Run() without
+  // scheduling events or touching the RNG, so switching it on must leave
+  // every core field — including sim_events_executed — byte-identical.
+  ExperimentConfig timed = SmallConfig(777);
+  timed.enable_tracing = false;
+  ExperimentConfig plain = timed;
+  timed.timeline_interval_s = 0.5;
+  auto with = RunExperiment(timed);
+  auto without = RunExperiment(plain);
+  ASSERT_TRUE(with.ok() && without.ok());
+  ASSERT_NE(with->timeline, nullptr);
+  EXPECT_EQ(without->timeline, nullptr);
+  EXPECT_EQ(with->sim_events_executed, without->sim_events_executed)
+      << "the sampler scheduled simulation events";
+  EXPECT_EQ(Fingerprint(*with), Fingerprint(*without));
+}
+
+TEST(DeterminismTest, FaultedTimelineDoesNotPerturbTheRun) {
+  // Same neutrality through the fault path: lag probes, fetch-retry
+  // counters, and fault tagging all read state without feeding it back.
+  ExperimentConfig timed = FaultedConfig(1234);
+  ExperimentConfig plain = FaultedConfig(1234);
+  timed.timeline_interval_s = 1.0;
+  auto with = RunExperiment(timed);
+  auto without = RunExperiment(plain);
+  ASSERT_TRUE(with.ok() && without.ok());
+  EXPECT_EQ(with->sim_events_executed, without->sim_events_executed);
+  EXPECT_EQ(Fingerprint(*with), Fingerprint(*without));
+}
+
+TEST(DeterminismTest, TimelineExportsReproduceByteForByte) {
+  ExperimentConfig cfg = FaultedConfig(1234);
+  cfg.timeline_interval_s = 1.0;
+  auto first = RunExperiment(cfg);
+  auto second = RunExperiment(cfg);
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_NE(first->timeline, nullptr);
+  ASSERT_NE(second->timeline, nullptr);
+  const std::string jsonl = first->timeline->ToJsonl();
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl, second->timeline->ToJsonl());
+  EXPECT_EQ(first->timeline->ToCsv(), second->timeline->ToCsv());
+}
+
 TEST(DeterminismTest, TracingDoesNotPerturbTheRun) {
   ExperimentConfig traced = SmallConfig(777);
   ExperimentConfig untraced = SmallConfig(777);

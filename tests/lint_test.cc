@@ -298,6 +298,16 @@ TEST(R5FloatAccumTest, OnlyMetricsFilesAreInScope) {
   EXPECT_FALSE(Lint("src/obs/registry.cc", src).empty());
 }
 
+TEST(R5FloatAccumTest, TimelineAndSloAggregationIsInScope) {
+  // The telemetry timeline and SLO monitor accumulate per-window sums and
+  // budget fractions; float accumulators there would drift exactly like in
+  // the metrics registry, so the whole obs module stays under R5.
+  const std::string src = "float total_stall = 0;\ntotal_stall += dt;\n";
+  EXPECT_FALSE(Lint("src/obs/timeline.cc", src).empty());
+  EXPECT_FALSE(Lint("src/obs/slo.cc", src).empty());
+  EXPECT_TRUE(Lint("src/obs/timeline.cc", "double total = 0.0;\n").empty());
+}
+
 // ---------------------------------------------------------------------------
 // R6: host-threading primitives
 // ---------------------------------------------------------------------------
@@ -465,6 +475,40 @@ TEST(R7LayeringTest, SuppressionOnIncludeLineSilences) {
       "src/sim/resource.cc",
       "#include \"obs/trace.h\"  // lint: layering-ok instrumentation hook\n");
   EXPECT_TRUE(fs.empty());
+}
+
+TEST(R7LayeringTest, TimelineHooksAreBackEdgesUnlessJustified) {
+  // The timeline sampler is fed by hooks in broker, sps, serving, and
+  // fault — all upward includes into obs. Each real hook carries a
+  // layering-ok justification; without one the linter must flag it.
+  for (const char* file :
+       {"src/broker/consumer.cc", "src/sps/operator_task.cc",
+        "src/serving/external_server.cc", "src/fault/injector.cc"}) {
+    const auto flagged = Lint(file, "#include \"obs/timeline.h\"\n");
+    EXPECT_EQ(CountRule(flagged, Rule::kLayering), 1) << file;
+    const auto ok = Lint(
+        file,
+        "#include \"obs/timeline.h\"  // lint: layering-ok instrumentation "
+        "hook; obs reads state, never feeds it back\n");
+    EXPECT_TRUE(ok.empty()) << file;
+  }
+}
+
+TEST(R7LayeringTest, SloSitsAtTheObsLayer) {
+  // slo.cc consumes the timeline plus common primitives — clean intra-
+  // module and downward includes, nothing for the linter to flag.
+  EXPECT_TRUE(Lint("src/obs/slo.cc",
+                   "#include \"obs/slo.h\"\n"
+                   "#include \"obs/timeline.h\"\n"
+                   "#include \"common/json.h\"\n")
+                  .empty());
+  EXPECT_EQ(ModuleOf("src/obs/slo.cc"), "obs");
+  EXPECT_EQ(ModuleOf("src/obs/timeline.cc"), "obs");
+  // obs observes the stack from the top: every producing layer reaches it
+  // only via justified hook includes, never the registry the other way.
+  EXPECT_FALSE(LayeringAllows("sps", "obs"));
+  EXPECT_FALSE(LayeringAllows("serving", "obs"));
+  EXPECT_FALSE(LayeringAllows("fault", "obs"));
 }
 
 TEST(R7LayeringTest, AdHocIncludeFromModuleIsFlagged) {

@@ -80,6 +80,18 @@ TEST(RegistryTest, CsvQuotesLabeledKeys) {
   EXPECT_NE(csv.find("\"c{a=1,b=2}\""), std::string::npos);
 }
 
+TEST(RegistryTest, CsvDoublesEmbeddedQuotesRfc4180) {
+  // Regression: a label value containing `"` (and a comma) must export
+  // with the quote doubled, or the row stops parsing as one key column.
+  MetricsRegistry reg;
+  reg.Gauge("g", {{"path", "a\"b,c"}})->Set(1.0);
+  const std::string csv = reg.ToCsv();
+  EXPECT_NE(csv.find("\"g{path=a\"\"b,c}\""), std::string::npos)
+      << csv;
+  // The undoubled form must be gone.
+  EXPECT_EQ(csv.find("\"g{path=a\"b,c}\""), std::string::npos);
+}
+
 // ------------------------------------------------------------------ trace --
 
 TEST(TraceTest, MarksTileTheBatchLifetime) {

@@ -17,8 +17,15 @@
 //   --trace_csv=PATH    write per-span CSV (batch_id,stage,start,end,dur)
 //   --metrics_out=PATH  write the metrics-registry snapshot as JSON
 //   --breakdown         print the per-stage latency decomposition
+//   --timeline_out=PATH     write the telemetry timeline as JSONL
+//   --timeline_csv=PATH     write the telemetry timeline as CSV
+//   --timeline_interval=S   tumbling-window width in seconds (default 1)
+//   --slo=PATH          evaluate SLOs from a JSON spec against the timeline
+//   --slo_out=PATH      write the SLO report as JSON
 //   --help              this text
-// (any observability flag implicitly enables tracing for the run)
+// (any trace/metrics flag implicitly enables tracing for the run; any
+// timeline/SLO flag enables the telemetry timeline, which never perturbs
+// the simulation)
 //
 // Example config:
 //   engine        = flink            # flink|kafka-streams|spark|ray
@@ -35,6 +42,8 @@
 //   burst_rate    = 1500
 //   dataset       =                  # optional JSON-lines file to replay
 //   trace         = false            # same as passing --breakdown
+//   timeline_interval_s = 0          # > 0 enables the telemetry timeline
+//   slo           =                  # SLO spec JSON (implies the timeline)
 //   seed          = 42
 //   # engine-specific overrides pass through verbatim, e.g.:
 //   # spark.max_offsets_per_trigger = 768
@@ -87,6 +96,8 @@ core::ExperimentConfig FromConfig(const Config& cfg) {
   out.seed = static_cast<uint64_t>(cfg.GetIntOr("seed", 42));
   out.dataset_path = cfg.GetStringOr("dataset", "");
   out.enable_tracing = cfg.GetBoolOr("trace", out.enable_tracing);
+  out.timeline_interval_s =
+      cfg.GetDoubleOr("timeline_interval_s", out.timeline_interval_s);
   // Engine-specific keys pass through verbatim; "fault.*" keys are plan
   // overrides, routed separately by ApplyFaultConfig.
   for (const std::string& key : cfg.Keys()) {
@@ -96,6 +107,26 @@ core::ExperimentConfig FromConfig(const Config& cfg) {
     }
   }
   return out;
+}
+
+// Loads the SLO spec (--slo flag wins over the "slo" config key) and the
+// timeline-interval flag override.
+Status ApplySloConfig(const Config& cfg, const std::string& slo_flag,
+                      const std::string& interval_flag,
+                      core::ExperimentConfig* out) {
+  const std::string path =
+      !slo_flag.empty() ? slo_flag : cfg.GetStringOr("slo", "");
+  if (!path.empty()) {
+    CRAYFISH_ASSIGN_OR_RETURN(out->slo, obs::SloConfig::FromFile(path));
+  }
+  if (!interval_flag.empty()) {
+    const double interval = std::atof(interval_flag.c_str());
+    if (interval <= 0.0) {
+      return Status::InvalidArgument("--timeline_interval must be > 0");
+    }
+    out->timeline_interval_s = interval;
+  }
+  return Status::Ok();
 }
 
 // Loads the fault plan (--faults flag wins over the "faults" config key)
@@ -130,6 +161,11 @@ void PrintUsage(const char* prog) {
       "  --breakdown         print the per-stage latency decomposition\n"
       "  --faults=PATH       inject the fault plan (JSON; see README) and\n"
       "                      report recovery metrics\n"
+      "  --timeline_out=PATH     telemetry timeline as JSONL\n"
+      "  --timeline_csv=PATH     telemetry timeline as CSV\n"
+      "  --timeline_interval=S   timeline window width, seconds (default 1)\n"
+      "  --slo=PATH          evaluate SLOs (JSON spec) against the timeline\n"
+      "  --slo_out=PATH      SLO report as JSON\n"
       "  --help              show this text\n"
       "any observability flag enables tracing; observability flags and the\n"
       "measurements CSV require a single config file\n",
@@ -152,6 +188,11 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string jobs_str;
   std::string faults_path;
+  std::string timeline_out;
+  std::string timeline_csv;
+  std::string timeline_interval;
+  std::string slo_path;
+  std::string slo_out;
   bool print_breakdown = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -166,7 +207,12 @@ int main(int argc, char** argv) {
                ParseFlag(arg, "--trace_out", &trace_out) ||
                ParseFlag(arg, "--trace_csv", &trace_csv) ||
                ParseFlag(arg, "--metrics_out", &metrics_out) ||
-               ParseFlag(arg, "--faults", &faults_path)) {
+               ParseFlag(arg, "--faults", &faults_path) ||
+               ParseFlag(arg, "--timeline_out", &timeline_out) ||
+               ParseFlag(arg, "--timeline_csv", &timeline_csv) ||
+               ParseFlag(arg, "--timeline_interval", &timeline_interval) ||
+               ParseFlag(arg, "--slo", &slo_path) ||
+               ParseFlag(arg, "--slo_out", &slo_out)) {
       // value captured by ParseFlag
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -201,7 +247,10 @@ int main(int argc, char** argv) {
   }
   const bool want_obs_flags = print_breakdown || !trace_out.empty() ||
                               !trace_csv.empty() || !metrics_out.empty();
-  if (positional.size() > 1 && (want_obs_flags ||
+  const bool want_timeline_flags =
+      !timeline_out.empty() || !timeline_csv.empty() ||
+      !timeline_interval.empty() || !slo_path.empty() || !slo_out.empty();
+  if (positional.size() > 1 && (want_obs_flags || want_timeline_flags ||
                                 !measurements_csv.empty())) {
     std::fprintf(stderr,
                  "observability flags and the measurements CSV require a "
@@ -257,10 +306,22 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "fault plan error: %s\n", fs.ToString().c_str());
       return 2;
     }
+    crayfish::Status ss =
+        ApplySloConfig(*cfg_or, slo_path, timeline_interval, &cfg);
+    if (!ss.ok()) {
+      std::fprintf(stderr, "slo config error: %s\n", ss.ToString().c_str());
+      return 2;
+    }
   }
   const bool want_obs = print_breakdown || !trace_out.empty() ||
                         !trace_csv.empty() || !metrics_out.empty();
   if (want_obs) cfg.enable_tracing = true;
+  // A timeline export with no interval/SLO given still means "sample":
+  // fall back to the 1 s default window.
+  if ((!timeline_out.empty() || !timeline_csv.empty()) &&
+      cfg.timeline_interval_s <= 0.0 && !cfg.slo.active()) {
+    cfg.timeline_interval_s = 1.0;
+  }
   std::printf("running %s ...\n", cfg.Label().c_str());
 
   auto result = core::RunExperiment(cfg);
@@ -301,8 +362,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (result->has_slo_report) {
+    std::printf("%s", result->slo_report.Summary().c_str());
+  }
   if (cfg.enable_tracing) {
     std::printf("%s", result->breakdown.ToString().c_str());
+  }
+  if (!timeline_out.empty() && result->timeline != nullptr) {
+    crayfish::Status s = result->timeline->WriteJsonl(timeline_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "timeline error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote timeline of %zu windows to %s\n",
+                result->timeline->windows().size(), timeline_out.c_str());
+  }
+  if (!timeline_csv.empty() && result->timeline != nullptr) {
+    crayfish::Status s = result->timeline->WriteCsv(timeline_csv);
+    if (!s.ok()) {
+      std::fprintf(stderr, "timeline csv error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote timeline CSV to %s\n", timeline_csv.c_str());
+  }
+  if (!slo_out.empty() && result->has_slo_report) {
+    crayfish::Status s = result->slo_report.WriteJson(slo_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "slo report error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote SLO report to %s\n", slo_out.c_str());
   }
   if (!trace_out.empty() && result->trace != nullptr) {
     crayfish::Status s = result->trace->WriteChromeTrace(trace_out);

@@ -66,6 +66,8 @@ core::ExperimentConfig ConfigToExperiment(const Config& cfg) {
   out.drain_s = cfg.GetDoubleOr("drain_s", out.drain_s);
   out.seed = static_cast<uint64_t>(cfg.GetIntOr("seed", 42));
   out.dataset_path = cfg.GetStringOr("dataset", "");
+  out.timeline_interval_s =
+      cfg.GetDoubleOr("timeline_interval_s", out.timeline_interval_s);
   for (const std::string& key : cfg.Keys()) {
     if (key.find('.') != std::string::npos &&
         key.rfind("fault.", 0) != 0) {
@@ -90,6 +92,16 @@ Status ApplyFaultConfig(const Config& cfg, core::ExperimentConfig* out) {
       CRAYFISH_RETURN_IF_ERROR(out->fault_plan.ApplyOverride(
           key.substr(6), cfg.GetStringOr(key, "")));
     }
+  }
+  return Status::Ok();
+}
+
+// An "slo = spec.json" key makes every sweep point evaluate the SLOs per
+// timeline window and adds a pass/fail column to the report.
+Status ApplySloConfig(const Config& cfg, core::ExperimentConfig* out) {
+  const std::string path = cfg.GetStringOr("slo", "");
+  if (!path.empty()) {
+    CRAYFISH_ASSIGN_OR_RETURN(out->slo, obs::SloConfig::FromFile(path));
   }
   return Status::Ok();
 }
@@ -153,6 +165,13 @@ int main(int argc, char** argv) {
                    fs.ToString().c_str());
       return 2;
     }
+    crayfish::Status ss = ApplySloConfig(point, &exp);
+    if (!ss.ok()) {
+      std::fprintf(stderr, "slo config error (%s=%s): %s\n",
+                   sweep_key.c_str(), value.c_str(),
+                   ss.ToString().c_str());
+      return 2;
+    }
     std::vector<core::ExperimentConfig> repeats =
         core::MakeRepeatedConfigs(std::move(exp), kRepeats);
     for (core::ExperimentConfig& cfg : repeats) {
@@ -166,22 +185,34 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  crayfish::core::ReportTable table(
-      "sweep over " + sweep_key,
-      {sweep_key, "throughput ev/s", "thr stddev", "latency mean ms",
-       "lat stddev ms", "p99 ms"});
+  const bool slo_active =
+      !batch.empty() && batch.front().slo.active();
+  std::vector<std::string> headers = {
+      sweep_key, "throughput ev/s", "thr stddev", "latency mean ms",
+      "lat stddev ms", "p99 ms"};
+  if (slo_active) headers.push_back("slo");
+  crayfish::core::ReportTable table("sweep over " + sweep_key, headers);
   for (size_t i = 0; i < values.size(); ++i) {
     const std::vector<core::ExperimentResult> results(
         all->begin() + static_cast<long>(i) * kRepeats,
         all->begin() + static_cast<long>(i + 1) * kRepeats);
     const core::Aggregate thr = core::AggregateThroughput(results);
     const core::Aggregate lat = core::AggregateLatencyMean(results);
-    table.AddRow({values[i], core::ReportTable::Num(thr.mean),
-                  core::ReportTable::Num(thr.stddev),
-                  core::ReportTable::Num(lat.mean),
-                  core::ReportTable::Num(lat.stddev),
-                  core::ReportTable::Num(
-                      results[0].summary.latency_p99_ms)});
+    std::vector<std::string> row = {
+        values[i], core::ReportTable::Num(thr.mean),
+        core::ReportTable::Num(thr.stddev),
+        core::ReportTable::Num(lat.mean),
+        core::ReportTable::Num(lat.stddev),
+        core::ReportTable::Num(results[0].summary.latency_p99_ms)};
+    if (slo_active) {
+      // A point passes only when every repeat meets every objective.
+      bool pass = true;
+      for (const core::ExperimentResult& r : results) {
+        pass = pass && r.has_slo_report && r.slo_report.passed;
+      }
+      row.push_back(pass ? "pass" : "FAIL");
+    }
+    table.AddRow(std::move(row));
     std::printf("%s=%s done (thr %.1f ev/s, lat %.2f ms)\n",
                 sweep_key.c_str(), values[i].c_str(), thr.mean, lat.mean);
   }
