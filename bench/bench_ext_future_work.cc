@@ -10,6 +10,7 @@
 //      "decoupled scalability" in action under bursts).
 
 #include "bench/bench_common.h"
+#include "common/thread_annotations.h"
 
 namespace crayfish::bench {
 namespace {
@@ -50,7 +51,7 @@ void AsyncIoStudy() {
       "penalty the paper's external numbers carry largely disappears.\n\n");
 }
 
-void AdaptiveBatchingStudy() {
+void AdaptiveBatchingStudy() CRAYFISH_REQUIRES("setup") {
   // Direct server-level study: 1000 single-sample requests arriving at a
   // fixed rate, with and without server-side batching.
   core::ReportTable table(
@@ -76,6 +77,7 @@ void AdaptiveBatchingStudy() {
     for (int i = 0; i < 1000; ++i) {
       sim.Schedule(3.0 + i * 0.002, [&, i]() {
         (*server)->Invoke("client", 1, [&]() {
+          // lint: cross-host-ok bench harness: one simulation pumped to completion on the measuring thread, so the captured counters have a single writer
           if (++completed == 1000) done_at = sim.Now();
         });
       });
@@ -150,7 +152,7 @@ void AutoscaleStudy() {
 }  // namespace
 }  // namespace crayfish::bench
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) CRAYFISH_REQUIRES("setup") {
   crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
   crayfish::bench::Init(argc, argv);
   crayfish::bench::AsyncIoStudy();

@@ -1,0 +1,49 @@
+# Gate: the whole-program dumps over src/sim must match the checked-in
+# goldens byte for byte. The goldens double as reviewable documentation of
+# the call graph and effect summaries the parallel-DES migration leans on —
+# a diff here means the interprocedural model changed and a human should
+# look at how.
+#
+# Run as: cmake -DLINT_BIN=... -DREPO_DIR=... -P check_lint_golden.cmake
+#
+# Regenerate (from the repo root, so paths in the dumps stay repo-relative):
+#   ./build/tools/crayfish_lint --dump-callgraph src/sim \
+#       > tools/crayfish_lint/golden/callgraph_sim.json
+#   ./build/tools/crayfish_lint --dump-effects src/sim \
+#       > tools/crayfish_lint/golden/effects_sim.json
+
+if(NOT LINT_BIN OR NOT REPO_DIR)
+  message(FATAL_ERROR "usage: cmake -DLINT_BIN=... -DREPO_DIR=... -P check_lint_golden.cmake")
+endif()
+
+set(golden_dir "${REPO_DIR}/tools/crayfish_lint/golden")
+
+function(check_dump flag golden)
+  execute_process(
+    COMMAND ${LINT_BIN} ${flag} src/sim
+    WORKING_DIRECTORY ${REPO_DIR}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE live
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${flag} exited ${rc}: ${err}")
+  endif()
+  if(NOT EXISTS "${golden_dir}/${golden}")
+    message(FATAL_ERROR "missing golden ${golden_dir}/${golden}; see the regen command at the top of check_lint_golden.cmake")
+  endif()
+  file(READ "${golden_dir}/${golden}" want)
+  if(NOT live STREQUAL want)
+    file(WRITE "${CMAKE_CURRENT_BINARY_DIR}/lint_golden_${golden}.live" "${live}")
+    message(FATAL_ERROR
+      "${flag} output differs from tools/crayfish_lint/golden/${golden} "
+      "(live copy written next to this script's working dir as "
+      "lint_golden_${golden}.live). If the change is intentional, regenerate "
+      "with the command at the top of cmake/check_lint_golden.cmake and "
+      "commit the new golden.")
+  endif()
+endfunction()
+
+check_dump(--dump-callgraph callgraph_sim.json)
+check_dump(--dump-effects effects_sim.json)
+
+message(STATUS "crayfish_lint whole-program dumps match the goldens")

@@ -12,6 +12,7 @@
 #include "broker/record.h"
 #include "common/retry.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
 
@@ -92,7 +93,8 @@ class KafkaCluster {
   /// without per-component plumbing). `auto_commit_interval_s > 0` makes
   /// consumers periodically commit delivered offsets.
   void SetClientDefaults(crayfish::RetryPolicy retry,
-                         double auto_commit_interval_s);
+                         double auto_commit_interval_s)
+      CRAYFISH_REQUIRES("setup");
   const crayfish::RetryPolicy& default_client_retry() const {
     return client_retry_;
   }
@@ -222,8 +224,10 @@ class KafkaCluster {
   ClusterConfig config_;
   std::vector<std::string> broker_hosts_;
   std::vector<bool> broker_up_;
-  crayfish::RetryPolicy client_retry_;
-  double auto_commit_interval_s_ = 0.0;
+  /// Guarded (lint R11): set once during single-threaded setup, before any
+  /// client exists; clients read them at construction only.
+  crayfish::RetryPolicy client_retry_ CRAYFISH_GUARDED_BY("setup");
+  double auto_commit_interval_s_ CRAYFISH_GUARDED_BY("setup") = 0.0;
   /// Ordered maps on purpose (lint R3): rebalance and fetch scheduling
   /// iterate these, so the container must enumerate in a stable order for
   /// runs to be reproducible. Do not switch to unordered_map.

@@ -1,0 +1,48 @@
+#ifndef CRAYFISH_COMMON_THREAD_ANNOTATIONS_H_
+#define CRAYFISH_COMMON_THREAD_ANNOTATIONS_H_
+
+// Capability annotations for the parallel-DES migration (ROADMAP item 1),
+// checked statically by tools/crayfish_lint (rules R10/R11 — see DESIGN.md
+// §4.5). They follow the shape of Clang's thread-safety annotations but are
+// deliberately compiler-inert: the *linter* is the analysis engine, built on
+// its whole-program call graph and effect summaries, so the macros expand to
+// nothing for every compiler.
+//
+// Model. A "channel" is a named synchronization story — not necessarily a
+// mutex; under the host-partitioned event queue it may be a serialized
+// mailbox, a commutative merge, or a phase of the run during which only one
+// thread exists. The linter checks, whole-program:
+//
+//   CRAYFISH_SHARED("ch")      on a class: instances are a cross-host
+//                              substrate whose mutation is safe under
+//                              channel "ch". Writes into such types from
+//                              event callbacks are exempt from R10.
+//   CRAYFISH_GUARDED_BY("ch")  on a data member: every write must come from
+//                              a function that provably holds "ch" (R11).
+//   CRAYFISH_REQUIRES("ch")    on a function: callable only while "ch" is
+//                              held; the obligation propagates to callers.
+//                              On an entry-point (a function with no
+//                              callers in the linted program) it is an
+//                              assertion that the channel is held whenever
+//                              that entry point runs.
+//
+// "Holds" is path-based: a function holds a channel when it REQUIRES it
+// itself, or when every call path from an entry point passes through a
+// holder. Constructors hold every channel (they initialize an object no
+// other partition can see yet).
+//
+// Usage:
+//
+//   class CRAYFISH_SHARED("obs-metrics") HistogramMetric { ... };
+//
+//   class Network {
+//     crayfish::Status AddHost(Host host) CRAYFISH_REQUIRES("setup");
+//    private:
+//     std::map<std::string, Host> hosts_ CRAYFISH_GUARDED_BY("setup");
+//   };
+
+#define CRAYFISH_SHARED(channel)
+#define CRAYFISH_GUARDED_BY(channel)
+#define CRAYFISH_REQUIRES(channel)
+
+#endif  // CRAYFISH_COMMON_THREAD_ANNOTATIONS_H_

@@ -111,6 +111,7 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
     // Before any client exists: producers, consumers, and the serving
     // client all inherit the plan's robustness policy at construction.
     CRAYFISH_RETURN_IF_ERROR(config.fault_plan.Validate());
+    // lint: capability-ok setup phase: runs single-threaded before any client or event exists, which is exactly what the "setup" channel asserts
     cluster.SetClientDefaults(config.fault_plan.retry,
                               config.fault_plan.auto_commit_interval_s);
   }

@@ -71,6 +71,7 @@ Status FaultInjector::Arm() {
 void FaultInjector::Inject(const FaultSpec& spec) {
   CRAYFISH_LOG(Info) << "fault inject " << FaultKindName(spec.kind) << " \""
                      << spec.name << "\" at t=" << sim_->Now();
+  // lint: cross-host-ok recovery bookkeeping: per-fault windows are keyed by fault name, so concurrent Begin/End from different faults never touch the same entry
   tracker_->BeginFault(spec, sim_->Now());
   if (obs::TimelineSampler* tl = sim_->timeline()) {
     tl->BeginFault(spec.name, sim_->Now());
@@ -78,6 +79,7 @@ void FaultInjector::Inject(const FaultSpec& spec) {
   }
   switch (spec.kind) {
     case FaultKind::kBrokerCrash:
+      // lint: cross-host-ok fault-plan control plane: the injector deliberately reaches into broker availability; crash events are serialized through the sim queue
       cluster_->CrashBroker(
           spec.broker %
           static_cast<int>(cluster_->broker_hosts().size()));
@@ -110,6 +112,7 @@ void FaultInjector::Repair(const FaultSpec& spec) {
                      << spec.name << "\" at t=" << sim_->Now();
   switch (spec.kind) {
     case FaultKind::kBrokerCrash:
+      // lint: cross-host-ok fault-plan control plane: restart times come from the deterministic plan, and the restart event is serialized through the sim queue
       cluster_->RestartBroker(
           spec.broker %
           static_cast<int>(cluster_->broker_hosts().size()));

@@ -11,6 +11,7 @@
 #include "common/json.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace crayfish::obs {
 
@@ -20,7 +21,7 @@ namespace crayfish::obs {
 using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
 /// Monotone event count (records produced, bytes moved, applies run).
-class CounterMetric {
+class CRAYFISH_SHARED("obs-metrics") CounterMetric {
  public:
   void Increment(double delta = 1.0) { value_ += delta; }
   double value() const { return value_; }
@@ -30,7 +31,7 @@ class CounterMetric {
 };
 
 /// Last-written value (current queue depth, configured parallelism).
-class GaugeMetric {
+class CRAYFISH_SHARED("obs-metrics") GaugeMetric {
  public:
   void Set(double v) { value_ = v; }
   double value() const { return value_; }
@@ -43,7 +44,7 @@ class GaugeMetric {
 /// approximate percentiles via a geometric-bucket histogram. The default
 /// bucket range [1e-6, 1e6] covers everything Crayfish records (seconds,
 /// depths, bytes) at ~3% relative resolution.
-class HistogramMetric {
+class CRAYFISH_SHARED("obs-metrics") HistogramMetric {
  public:
   HistogramMetric() : histogram_(1e-6, 1e6, 512) {}
 
@@ -73,7 +74,7 @@ class HistogramMetric {
 ///
 /// Like the trace recorder, the registry is passive: updates never touch
 /// the event queue or RNG, so metrics collection cannot perturb a run.
-class MetricsRegistry {
+class CRAYFISH_SHARED("obs-metrics") MetricsRegistry {
  public:
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;

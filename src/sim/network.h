@@ -11,6 +11,7 @@
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "sim/simulation.h"
 
 namespace crayfish::sim {
@@ -95,12 +96,19 @@ struct Host {
 /// The simulated cluster network: a set of hosts plus directed links
 /// between them. Links are created lazily with the default spec; tests and
 /// experiments can override per-pair specs (e.g. to model a degraded path).
-class Network {
+///
+/// CRAYFISH_SHARED: the network is the inter-host edge by definition; every
+/// partition sends through it. Under the parallel DES, Send() is the
+/// synchronization point between partitions (delivery events carry the
+/// lookahead bound), so cross-host use is the intended protocol.
+class CRAYFISH_SHARED("sim-network") Network {
  public:
   explicit Network(Simulation* sim);
 
   /// Registers a host. Returns AlreadyExists if the name is taken.
-  crayfish::Status AddHost(Host host);
+  /// Topology is frozen after setup: callers are component constructors
+  /// (which hold every channel) or setup code annotated for "setup".
+  crayfish::Status AddHost(Host host) CRAYFISH_REQUIRES("setup");
   bool HasHost(const std::string& name) const;
   crayfish::StatusOr<Host> GetHost(const std::string& name) const;
 
@@ -145,7 +153,8 @@ class Network {
   LinkSpec default_spec_;
   /// Ordered (lint R3): topology walks schedule simulated transfers, so
   /// host/link enumeration order is part of the reproducible event order.
-  std::map<std::string, Host> hosts_;
+  /// Guarded (lint R11): written only during single-threaded setup.
+  std::map<std::string, Host> hosts_ CRAYFISH_GUARDED_BY("setup");
   std::map<std::pair<std::string, std::string>, LinkSpec> spec_overrides_;
   std::map<std::pair<std::string, std::string>, LinkDegradation> degradations_;
   std::map<std::pair<std::string, std::string>, std::unique_ptr<Link>> links_;

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "sim/event_queue.h"
 
 namespace crayfish::obs {
@@ -24,7 +25,13 @@ namespace crayfish::sim {
 /// is simulated; the data structures the components maintain (logs, queues,
 /// offsets, payloads) are real. Determinism: with a fixed seed, two runs
 /// produce identical event interleavings.
-class Simulation {
+///
+/// CRAYFISH_SHARED: the event queue is the one substrate every host
+/// partition touches (scheduling into another partition). Under the
+/// parallel DES (ROADMAP item 1) Schedule/ScheduleAt on a remote partition
+/// becomes a synchronized mailbox push with conservative lookahead, so
+/// cross-host use is part of the design, not a confinement leak.
+class CRAYFISH_SHARED("sim-event-queue") Simulation {
  public:
   explicit Simulation(uint64_t seed = 42);
 

@@ -1,0 +1,623 @@
+// Whole-program tests for crayfish_lint v3: the cross-TU call graph and
+// effect-summary fixpoint (callgraph.h), the include-graph edge cases the
+// module-DAG rule walks, and multi-file fixtures for the partition-safety
+// rules R10 (partition confinement), R11 (capability checking), and R12
+// (global mutable state). See DESIGN.md §4.5.
+
+#include "crayfish_lint/callgraph.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crayfish_lint/include_graph.h"
+#include "crayfish_lint/ir.h"
+#include "crayfish_lint/lint.h"
+#include "crayfish_lint/parser.h"
+
+namespace crayfish::lint {
+namespace {
+
+std::vector<Finding> LintProg(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  LintOptions options;
+  options.fix_suggestions = true;
+  return LintProgram(sources, options);
+}
+
+int CountRule(const std::vector<Finding>& fs, Rule r) {
+  int n = 0;
+  for (const Finding& f : fs) n += f.rule == r ? 1 : 0;
+  return n;
+}
+
+const Finding* FirstOf(const std::vector<Finding>& fs, Rule r) {
+  for (const Finding& f : fs) {
+    if (f.rule == r) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<FileIR> Parse(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  std::vector<FileIR> irs;
+  irs.reserve(sources.size());
+  for (const auto& [path, src] : sources) {
+    irs.push_back(ParseSource(path, src));
+  }
+  return irs;
+}
+
+// ---------------------------------------------------------------------------
+// Include graph: diamond and self-include edge cases
+// ---------------------------------------------------------------------------
+
+TEST(IncludeGraphTest, DiamondIncludeIsNotACycle) {
+  // core -> {sps, serving} -> common: two paths reconverge on the same base
+  // module. A naive visited-set walk can misreport the reconvergence as a
+  // back-edge; the DAG check must not.
+  const auto irs = Parse({
+      {"src/core/top.h",
+       "#include \"sps/a.h\"\n#include \"serving/b.h\"\n"},
+      {"src/sps/a.h", "#include \"common/base.h\"\n"},
+      {"src/serving/b.h", "#include \"common/base.h\"\n"},
+      {"src/common/base.h", "int Base();\n"},
+  });
+  IncludeGraph g;
+  for (const FileIR& ir : irs) g.Add(ir);
+  EXPECT_TRUE(g.FindCycles().empty());
+  const auto& edges = g.edges();
+  ASSERT_TRUE(edges.count("core"));
+  EXPECT_TRUE(edges.at("core").count("sps"));
+  EXPECT_TRUE(edges.at("core").count("serving"));
+  ASSERT_TRUE(edges.count("sps"));
+  EXPECT_TRUE(edges.at("sps").count("common"));
+  // The shared base edge dedupes and keeps its first observed site.
+  EXPECT_EQ(g.EdgeSite("sps", "common"), "src/sps/a.h:1");
+}
+
+TEST(IncludeGraphTest, SelfIncludeProducesNoEdgeAndNoCycle) {
+  // A header including its own module (x.cc -> x.h is the normal case, a
+  // literal self-include the pathological one) is not a module edge.
+  const auto irs = Parse({
+      {"src/sim/event.h", "#include \"sim/event.h\"\n#include \"sim/clock.h\"\n"},
+      {"src/sim/clock.h", "int Now();\n"},
+  });
+  IncludeGraph g;
+  for (const FileIR& ir : irs) g.Add(ir);
+  EXPECT_TRUE(g.FindCycles().empty());
+  const auto it = g.edges().find("sim");
+  if (it != g.edges().end()) {
+    EXPECT_EQ(it->second.count("sim"), 0u);
+  }
+}
+
+TEST(IncludeGraphTest, RealCycleIsStillReportedOnce) {
+  const auto irs = Parse({
+      {"src/sim/a.h", "#include \"broker/b.h\"\n"},
+      {"src/broker/b.h", "#include \"sim/a.h\"\n"},
+  });
+  IncludeGraph g;
+  for (const FileIR& ir : irs) g.Add(ir);
+  const auto cycles = g.FindCycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].front(), cycles[0].back());
+}
+
+// ---------------------------------------------------------------------------
+// Call graph: cross-TU linking, effect fixpoint, annotation merging
+// ---------------------------------------------------------------------------
+
+TEST(CallGraphTest, LinksHeaderDeclToImplDefinitionAcrossFiles) {
+  const auto irs = Parse({
+      {"src/model/codec.h",
+       "class Codec {\n"
+       " public:\n"
+       "  void Encode();\n"
+       " private:\n"
+       "  int bytes_ = 0;\n"
+       "};\n"},
+      {"src/model/codec.cc",
+       "#include \"model/codec.h\"\n"
+       "void Codec::Encode() { bytes_ = bytes_ + 1; }\n"},
+      {"src/model/user.cc",
+       "#include \"model/codec.h\"\n"
+       "void RunCodec(Codec* c) { c->Encode(); }\n"},
+  });
+  const WholeProgram wp = BuildWholeProgram(irs);
+  const FunctionNode* encode = wp.Find("Codec::Encode");
+  ASSERT_NE(encode, nullptr);
+  EXPECT_EQ(encode->file, "src/model/codec.cc");
+  EXPECT_EQ(encode->class_name, "Codec");
+  const FunctionNode* caller = wp.Find("RunCodec");
+  ASSERT_NE(caller, nullptr);
+  EXPECT_EQ(caller->calls.count("Codec::Encode"), 1u);
+  // The effect summary of the definition is visible under the merged key.
+  const auto it = wp.effects.find("Codec::Encode");
+  ASSERT_NE(it, wp.effects.end());
+  EXPECT_EQ(it->second.self_writes.count("bytes_"), 1u);
+}
+
+TEST(CallGraphTest, RequiresOnHeaderPrototypeMergesIntoDefinitionNode) {
+  const auto irs = Parse({
+      {"src/sim/net.h",
+       "class Net {\n"
+       " public:\n"
+       "  void Freeze() CRAYFISH_REQUIRES(\"setup\");\n"
+       "};\n"},
+      {"src/sim/net.cc",
+       "void Net::Freeze() { frozen_ = 1; }\n"},
+  });
+  const WholeProgram wp = BuildWholeProgram(irs);
+  const FunctionNode* freeze = wp.Find("Net::Freeze");
+  ASSERT_NE(freeze, nullptr);
+  ASSERT_EQ(freeze->requires_channels.size(), 1u);
+  EXPECT_EQ(freeze->requires_channels[0], "setup");
+  EXPECT_EQ(wp.channels.count("setup"), 1u);
+}
+
+TEST(CallGraphTest, EffectFixpointPropagatesThroughCallChain) {
+  const auto irs = Parse({
+      {"src/sim/chain.cc",
+       "class Chain {\n"
+       " public:\n"
+       "  void Outer() { Inner(); }\n"
+       "  void Inner() { Leaf(); }\n"
+       "  void Leaf() { depth_ = depth_ + 1; }\n"
+       " private:\n"
+       "  int depth_ = 0;\n"
+       "};\n"},
+  });
+  const WholeProgram wp = BuildWholeProgram(irs);
+  const auto it = wp.effects.find("Chain::Outer");
+  ASSERT_NE(it, wp.effects.end());
+  EXPECT_EQ(it->second.self_writes.count("depth_"), 1u);
+}
+
+TEST(CallGraphTest, EffectFixpointTerminatesOnMutualRecursion) {
+  const auto irs = Parse({
+      {"src/sim/rec.cc",
+       "class Rec {\n"
+       " public:\n"
+       "  void Ping() { count_ = count_ + 1; Pong(); }\n"
+       "  void Pong() { Ping(); }\n"
+       " private:\n"
+       "  int count_ = 0;\n"
+       "};\n"},
+  });
+  const WholeProgram wp = BuildWholeProgram(irs);  // must not loop forever
+  const auto pong = wp.effects.find("Rec::Pong");
+  ASSERT_NE(pong, wp.effects.end());
+  EXPECT_EQ(pong->second.self_writes.count("count_"), 1u);
+}
+
+TEST(CallGraphTest, SharedAnnotationPopulatesTypeChannelMap) {
+  const auto irs = Parse({
+      {"src/obs/hist.h",
+       "class CRAYFISH_SHARED(\"obs-metrics\") Hist {\n"
+       " public:\n"
+       "  void Observe(double v);\n"
+       "};\n"},
+  });
+  const WholeProgram wp = BuildWholeProgram(irs);
+  EXPECT_EQ(wp.SharedChannelOfType("Hist"), "obs-metrics");
+  EXPECT_EQ(wp.channels.count("obs-metrics"), 1u);
+}
+
+TEST(CallGraphTest, SchedulesPeelIntoCallbackNodes) {
+  const auto irs = Parse({
+      {"src/sim/host.cc",
+       "struct Sim { void Schedule(double d, int t); };\n"
+       "class Worker {\n"
+       " public:\n"
+       "  void Start() {\n"
+       "    sim_->Schedule(1.0, [this]() { ticks_ = ticks_ + 1; });\n"
+       "  }\n"
+       " private:\n"
+       "  Sim* sim_;\n"
+       "  int ticks_ = 0;\n"
+       "};\n"},
+  });
+  const WholeProgram wp = BuildWholeProgram(irs);
+  const FunctionNode* cb = wp.Find("Worker::Start::cb1");
+  ASSERT_NE(cb, nullptr);
+  EXPECT_TRUE(cb->is_callback);
+  EXPECT_EQ(cb->register_line, 5);
+  // Writing its own host's member through the this-capture is confined.
+  const auto it = wp.effects.find("Worker::Start::cb1");
+  ASSERT_NE(it, wp.effects.end());
+  EXPECT_EQ(it->second.self_writes.count("ticks_"), 1u);
+  EXPECT_TRUE(it->second.crossings.empty());
+}
+
+TEST(CallGraphTest, DumpsAreDeterministicAndWellFormed) {
+  const std::vector<std::pair<std::string, std::string>> sources = {
+      {"src/sim/b.cc", "class B { public: void N() { y_ = 1; } int y_; };\n"},
+      {"src/sim/a.cc", "class A { public: void M() { x_ = 1; } int x_; };\n"},
+  };
+  const auto irs1 = Parse(sources);
+  const auto irs2 = Parse(sources);
+  const WholeProgram wp1 = BuildWholeProgram(irs1);
+  const WholeProgram wp2 = BuildWholeProgram(irs2);
+  EXPECT_EQ(DumpCallGraph(wp1), DumpCallGraph(wp2));
+  EXPECT_EQ(DumpEffects(wp1), DumpEffects(wp2));
+  const std::string cg = DumpCallGraph(wp1);
+  EXPECT_NE(cg.find("\"functions\""), std::string::npos);
+  EXPECT_NE(cg.find("\"A::M\""), std::string::npos);
+  const std::string fx = DumpEffects(wp1);
+  EXPECT_NE(fx.find("\"self_writes\""), std::string::npos);
+  // Key order is sorted, so A::M precedes B::N whatever the input order.
+  EXPECT_LT(fx.find("\"A::M\""), fx.find("\"B::N\""));
+}
+
+// ---------------------------------------------------------------------------
+// R10: partition confinement
+// ---------------------------------------------------------------------------
+
+// Common preamble: a Sim type whose Schedule the parser peels callbacks from.
+constexpr char kSimDecl[] = "struct Sim { void Schedule(double d, int t); };\n";
+
+TEST(R10PartitionTest, FlagsWriteThroughRefCapture) {
+  const auto fs = LintProg({{"src/sim/fix.cc",
+                             std::string(kSimDecl) +
+                                 "class Worker {\n"
+                                 " public:\n"
+                                 "  void Start() {\n"
+                                 "    int total = 0;\n"
+                                 "    sim_->Schedule(1.0, [&total]() { total += 1; });\n"
+                                 "  }\n"
+                                 " private:\n"
+                                 "  Sim* sim_;\n"
+                                 "};\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kPartitionConfinement), 1);
+  const Finding* f = FirstOf(fs, Rule::kPartitionConfinement);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 6);
+  ASSERT_EQ(f->path.size(), 5u);
+  EXPECT_EQ(f->path[0], "ref-capture");
+  EXPECT_EQ(f->path[1], "total");
+}
+
+TEST(R10PartitionTest, FlagsWriteThroughMemberPointer) {
+  const auto fs = LintProg({{"src/sim/fix.cc",
+                             std::string(kSimDecl) +
+                                 "struct Buf { int count; };\n"
+                                 "class Worker {\n"
+                                 " public:\n"
+                                 "  void Start() {\n"
+                                 "    sim_->Schedule(1.0, [this]() { other_->count = 1; });\n"
+                                 "  }\n"
+                                 " private:\n"
+                                 "  Sim* sim_;\n"
+                                 "  Buf* other_;\n"
+                                 "};\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kPartitionConfinement), 1);
+  const Finding* f = FirstOf(fs, Rule::kPartitionConfinement);
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(f->path.size(), 5u);
+  EXPECT_EQ(f->path[0], "member-pointer");
+  EXPECT_EQ(f->path[1], "other_");
+}
+
+TEST(R10PartitionTest, SeededCrossHostCallReportsMachineReadablePath) {
+  // The acceptance fixture: a deliberate cross-host write routed through a
+  // method call into another translation unit. The finding must carry the
+  // full access path {kind, via, type, field, origin}.
+  const auto fs = LintProg({
+      {"src/sim/peer.cc",
+       "class Peer {\n"
+       " public:\n"
+       "  void Bump();\n"
+       " private:\n"
+       "  int hits_ = 0;\n"
+       "};\n"
+       "void Peer::Bump() { hits_ += 1; }\n"},
+      {"src/sim/driver.cc",
+       std::string(kSimDecl) +
+           "class Peer;\n"
+           "class Driver {\n"
+           " public:\n"
+           "  void Go() {\n"
+           "    sim_->Schedule(2.0, [this]() { peer_->Bump(); });\n"
+           "  }\n"
+           " private:\n"
+           "  Sim* sim_;\n"
+           "  Peer* peer_;\n"
+           "};\n"},
+  });
+  ASSERT_EQ(CountRule(fs, Rule::kPartitionConfinement), 1);
+  const Finding* f = FirstOf(fs, Rule::kPartitionConfinement);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->file, "src/sim/driver.cc");
+  EXPECT_EQ(f->line, 6);
+  ASSERT_EQ(f->path.size(), 5u);
+  EXPECT_EQ(f->path[0], "remote-call");
+  EXPECT_EQ(f->path[1], "peer_");
+  EXPECT_EQ(f->path[2], "Peer");
+  EXPECT_EQ(f->path[3], "Bump");
+  EXPECT_EQ(f->path[4], "src/sim/driver.cc:6");
+}
+
+TEST(R10PartitionTest, FlagsGlobalWriteFromCallback) {
+  const auto fs = LintProg({{"tools/fix.cc",  // out of R12 scope on purpose
+                             std::string(kSimDecl) +
+                                 "int g_events = 0;\n"
+                                 "class Worker {\n"
+                                 " public:\n"
+                                 "  void Start() {\n"
+                                 "    sim_->Schedule(1.0, []() { g_events += 1; });\n"
+                                 "  }\n"
+                                 " private:\n"
+                                 "  Sim* sim_;\n"
+                                 "};\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kPartitionConfinement), 1);
+  const Finding* f = FirstOf(fs, Rule::kPartitionConfinement);
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(f->path.size(), 5u);
+  EXPECT_EQ(f->path[0], "global");
+  EXPECT_EQ(f->path[1], "g_events");
+}
+
+TEST(R10PartitionTest, HostMemberWriteThroughThisIsConfined) {
+  const auto fs = LintProg({{"src/sim/fix.cc",
+                             std::string(kSimDecl) +
+                                 "class Worker {\n"
+                                 " public:\n"
+                                 "  void Start() {\n"
+                                 "    sim_->Schedule(1.0, [this]() { ticks_ = ticks_ + 1; });\n"
+                                 "  }\n"
+                                 " private:\n"
+                                 "  Sim* sim_;\n"
+                                 "  int ticks_ = 0;\n"
+                                 "};\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kPartitionConfinement), 0);
+}
+
+TEST(R10PartitionTest, ValueCaptureWriteIsConfined) {
+  const auto fs = LintProg({{"src/sim/fix.cc",
+                             std::string(kSimDecl) +
+                                 "class Worker {\n"
+                                 " public:\n"
+                                 "  void Start() {\n"
+                                 "    int budget = 3;\n"
+                                 "    sim_->Schedule(1.0, [budget]() mutable { budget -= 1; });\n"
+                                 "  }\n"
+                                 " private:\n"
+                                 "  Sim* sim_;\n"
+                                 "};\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kPartitionConfinement), 0);
+}
+
+TEST(R10PartitionTest, SharedTypeTargetIsExempt) {
+  const auto fs = LintProg({
+      {"src/obs/hist.h",
+       "class CRAYFISH_SHARED(\"obs-metrics\") Hist {\n"
+       " public:\n"
+       "  void Observe(double v) { n_ = n_ + 1; }\n"
+       " private:\n"
+       "  int n_ = 0;\n"
+       "};\n"},
+      {"src/sim/fix.cc",
+       std::string(kSimDecl) +
+           "class Worker {\n"
+           " public:\n"
+           "  void Start() {\n"
+           "    sim_->Schedule(1.0, [this]() { hist_->Observe(2.0); });\n"
+           "  }\n"
+           " private:\n"
+           "  Sim* sim_;\n"
+           "  Hist* hist_;\n"
+           "};\n"},
+  });
+  EXPECT_EQ(CountRule(fs, Rule::kPartitionConfinement), 0);
+}
+
+TEST(R10PartitionTest, SuppressionSilencesTheFinding) {
+  const auto fs = LintProg({{"src/sim/fix.cc",
+                             std::string(kSimDecl) +
+                                 "class Worker {\n"
+                                 " public:\n"
+                                 "  void Start() {\n"
+                                 "    int total = 0;\n"
+                                 "    // lint: cross-host-ok single-threaded test driver\n"
+                                 "    sim_->Schedule(1.0, [&total]() { total += 1; });\n"
+                                 "  }\n"
+                                 " private:\n"
+                                 "  Sim* sim_;\n"
+                                 "};\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kPartitionConfinement), 0);
+  EXPECT_EQ(CountRule(fs, Rule::kSuppression), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R11: capability checking
+// ---------------------------------------------------------------------------
+
+TEST(R11CapabilityTest, FlagsGuardedWriteFromExposedEntryPoint) {
+  const auto fs = LintProg({{"src/sim/cfg.cc",
+                             "class Config {\n"
+                             " public:\n"
+                             "  void SetLimit(int v) { limit_ = v; }\n"
+                             " private:\n"
+                             "  int limit_ CRAYFISH_GUARDED_BY(\"setup\");\n"
+                             "};\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kCapability), 1);
+  const Finding* f = FirstOf(fs, Rule::kCapability);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 3);
+  EXPECT_NE(f->message.find("limit_"), std::string::npos);
+  EXPECT_NE(f->message.find("setup"), std::string::npos);
+}
+
+TEST(R11CapabilityTest, FlagsRequiresCalleeFromExposedCaller) {
+  const auto fs = LintProg({{"src/sim/cfg.cc",
+                             "void Freeze() CRAYFISH_REQUIRES(\"setup\") {}\n"
+                             "void Tick() { Freeze(); }\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kCapability), 1);
+  const Finding* f = FirstOf(fs, Rule::kCapability);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 2);
+  EXPECT_NE(f->message.find("Freeze"), std::string::npos);
+}
+
+TEST(R11CapabilityTest, FlagsGuardedWriteThroughTypedReceiverCrossTU) {
+  const auto fs = LintProg({
+      {"src/sim/cfg.h",
+       "class Config {\n"
+       " public:\n"
+       "  int limit_ CRAYFISH_GUARDED_BY(\"setup\");\n"
+       "};\n"},
+      {"src/sim/user.cc",
+       "void Tweak(Config* cfg) { cfg->limit_ = 5; }\n"},
+  });
+  EXPECT_EQ(CountRule(fs, Rule::kCapability), 1);
+  const Finding* f = FirstOf(fs, Rule::kCapability);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->file, "src/sim/user.cc");
+}
+
+TEST(R11CapabilityTest, WriterWithRequiresIsClean) {
+  const auto fs = LintProg({{"src/sim/cfg.cc",
+                             "class Config {\n"
+                             " public:\n"
+                             "  void SetLimit(int v) CRAYFISH_REQUIRES(\"setup\") { limit_ = v; }\n"
+                             " private:\n"
+                             "  int limit_ CRAYFISH_GUARDED_BY(\"setup\");\n"
+                             "};\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kCapability), 0);
+}
+
+TEST(R11CapabilityTest, ConstructorHoldsEveryChannel) {
+  const auto fs = LintProg({{"src/sim/cfg.cc",
+                             "class Config {\n"
+                             " public:\n"
+                             "  Config() { limit_ = 8; }\n"
+                             " private:\n"
+                             "  int limit_ CRAYFISH_GUARDED_BY(\"setup\");\n"
+                             "};\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kCapability), 0);
+}
+
+TEST(R11CapabilityTest, WriterReachedOnlyThroughHoldingRootIsClean) {
+  // The only entry point to Apply() REQUIRES the channel, so every path to
+  // the guarded write passes through a holder.
+  const auto fs = LintProg({{"src/sim/cfg.cc",
+                             "class Tuner {\n"
+                             " public:\n"
+                             "  void Configure() CRAYFISH_REQUIRES(\"setup\") { Apply(); }\n"
+                             "  void Apply() { limit_ = 1; }\n"
+                             " private:\n"
+                             "  int limit_ CRAYFISH_GUARDED_BY(\"setup\");\n"
+                             "};\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kCapability), 0);
+}
+
+TEST(R11CapabilityTest, ExposedRootLeaksThroughCallChainToWriter) {
+  // Same shape as above, minus the REQUIRES on the root: the exposure now
+  // propagates down the chain and the write is flagged.
+  const auto fs = LintProg({{"src/sim/cfg.cc",
+                             "class Tuner {\n"
+                             " public:\n"
+                             "  void Configure() { Apply(); }\n"
+                             "  void Apply() { limit_ = 1; }\n"
+                             " private:\n"
+                             "  int limit_ CRAYFISH_GUARDED_BY(\"setup\");\n"
+                             "};\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kCapability), 1);
+  const Finding* f = FirstOf(fs, Rule::kCapability);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 4);
+}
+
+TEST(R11CapabilityTest, SuppressionSilencesTheFinding) {
+  const auto fs = LintProg({{"src/sim/cfg.cc",
+                             "class Config {\n"
+                             " public:\n"
+                             "  // lint: capability-ok exercised single-threaded in this fixture\n"
+                             "  void SetLimit(int v) { limit_ = v; }\n"
+                             " private:\n"
+                             "  int limit_ CRAYFISH_GUARDED_BY(\"setup\");\n"
+                             "};\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kCapability), 0);
+  EXPECT_EQ(CountRule(fs, Rule::kSuppression), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R12: global mutable state in sim-reachable code
+// ---------------------------------------------------------------------------
+
+TEST(R12GlobalStateTest, FlagsMutableNamespaceScopeVariable) {
+  const auto fs = LintProg({{"src/sim/g.cc", "int g_counter = 0;\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kGlobalState), 1);
+}
+
+TEST(R12GlobalStateTest, FlagsInternalLinkageGlobalToo) {
+  const auto fs = LintProg({{"src/model/g.cc", "static double g_scale = 1.5;\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kGlobalState), 1);
+}
+
+TEST(R12GlobalStateTest, FlagsFunctionLocalStatic) {
+  const auto fs = LintProg({{"src/sim/g.cc",
+                             "int NextId() {\n"
+                             "  static int id = 0;\n"
+                             "  id = id + 1;\n"
+                             "  return id;\n"
+                             "}\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kGlobalState), 1);
+  const Finding* f = FirstOf(fs, Rule::kGlobalState);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 2);
+}
+
+TEST(R12GlobalStateTest, ConstAndConstexprGlobalsAreClean) {
+  const auto fs = LintProg({{"src/sim/g.cc",
+                             "constexpr int kMaxHosts = 64;\n"
+                             "const char* const kName = \"crayfish\";\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kGlobalState), 0);
+}
+
+TEST(R12GlobalStateTest, ExternDeclarationIsClean) {
+  const auto fs = LintProg({{"src/sim/g.cc", "extern int g_counter;\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kGlobalState), 0);
+}
+
+TEST(R12GlobalStateTest, OutsideSimReachableDirsIsOutOfScope) {
+  const auto fs = LintProg({{"src/common/g.cc", "int g_counter = 0;\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kGlobalState), 0);
+}
+
+TEST(R12GlobalStateTest, StaticConstLocalIsClean) {
+  const auto fs = LintProg({{"src/sim/g.cc",
+                             "int Limit() {\n"
+                             "  static const int kCap = 32;\n"
+                             "  return kCap;\n"
+                             "}\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kGlobalState), 0);
+}
+
+TEST(R12GlobalStateTest, SharedTypeGlobalResolvedThroughWholeProgram) {
+  // The global's type is CRAYFISH_SHARED in *another* file, so only the
+  // whole-program shared-type map can clear it.
+  const auto fs = LintProg({
+      {"src/obs/hist.h",
+       "class CRAYFISH_SHARED(\"obs-metrics\") Hist {\n"
+       " public:\n"
+       "  void Observe(double v);\n"
+       "};\n"},
+      {"src/sim/g.cc", "Hist g_latency;\n"},
+  });
+  EXPECT_EQ(CountRule(fs, Rule::kGlobalState), 0);
+}
+
+TEST(R12GlobalStateTest, SuppressionSilencesTheFinding) {
+  const auto fs = LintProg({{"src/sim/g.cc",
+                             "// lint: global-state-ok set once before the sim starts\n"
+                             "int g_counter = 0;\n"}});
+  EXPECT_EQ(CountRule(fs, Rule::kGlobalState), 0);
+  EXPECT_EQ(CountRule(fs, Rule::kSuppression), 0);
+}
+
+}  // namespace
+}  // namespace crayfish::lint

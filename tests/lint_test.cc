@@ -374,6 +374,38 @@ TEST(R0SuppressionTest, MissingJustificationIsAFindingAndDoesNotSuppress) {
   EXPECT_EQ(CountRule(fs, Rule::kHashOrder), 1);  // still reported
 }
 
+TEST(R0SuppressionTest, UrlInsideDefineIsNotATrailingComment) {
+  // `//` inside a quoted URL in a #define body must not be read as the start
+  // of a trailing comment — before the raw-string fix, `lint:` text after it
+  // was parsed as a (bogus) suppression attempt and tripped R0.
+  const auto fs = Lint(
+      "src/sim/a.cc",
+      "#define DOCS \"http://example.com/lint: see-this guide\"\n"
+      "int x = 0;\n");
+  EXPECT_EQ(CountRule(fs, Rule::kSuppression), 0);
+}
+
+TEST(R0SuppressionTest, RawStringInDefineIsOpaqueToSuppressions) {
+  // A raw string in a directive can hold `//` and even a fake marker; only a
+  // real trailing comment after the literal counts.
+  const auto fs = Lint(
+      "src/sim/a.cc",
+      "#define FIXTURE R\"(// lint: bogus-keyword not a real marker)\"\n"
+      "int x = 0;\n");
+  EXPECT_EQ(CountRule(fs, Rule::kSuppression), 0);
+}
+
+TEST(R0SuppressionTest, RealTrailingSuppressionAfterStringStillWorks) {
+  // The fix must not eat legitimate trailing comments: an #include carrying
+  // its own layering suppression keeps working even though the directive
+  // text contains a quoted string before the `//`.
+  const auto fs = Lint(
+      "src/sim/a.cc",
+      "#include \"obs/trace.h\"  // lint: layering-ok transitional shim\n");
+  EXPECT_EQ(CountRule(fs, Rule::kLayering), 0);
+  EXPECT_EQ(CountRule(fs, Rule::kSuppression), 0);
+}
+
 TEST(FindingTest, MachineReadableFormat) {
   const auto fs = Lint("src/sim/a.cc", "auto t = time(nullptr);\n");
   ASSERT_EQ(fs.size(), 1u);
@@ -813,7 +845,7 @@ TEST(JsonOutputTest, RoundTripsThroughProjectJsonParser) {
   ASSERT_TRUE(parsed.ok()) << json;
   const crayfish::JsonValue& doc = *parsed;
   EXPECT_EQ(doc.GetStringOr("tool", ""), "crayfish_lint");
-  EXPECT_EQ(doc.GetIntOr("schema_version", 0), 2);
+  EXPECT_EQ(doc.GetIntOr("schema_version", 0), 3);
   EXPECT_EQ(doc.GetIntOr("files_scanned", 0), 1);
   ASSERT_NE(doc.Find("errors"), nullptr);
   EXPECT_EQ(doc.Find("errors")->size(), 1u);

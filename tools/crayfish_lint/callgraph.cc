@@ -1,0 +1,601 @@
+#include "crayfish_lint/callgraph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace crayfish::lint {
+namespace {
+
+/// Container-mutation method names used when a callee cannot be resolved in
+/// the project (std:: containers, mostly): calling one on a remote receiver
+/// is a write for summary purposes.
+const std::set<std::string> kMutatorNames = {
+    "push_back", "emplace_back", "emplace",  "insert",     "erase",
+    "clear",     "reset",        "assign",   "swap",       "push",
+    "pop",       "pop_back",     "pop_front", "push_front", "store",
+    "resize",    "reserve",      "append",
+};
+
+/// Where a name used inside a function body lives, which decides whether a
+/// write through it stays confined or crosses partitions.
+enum class Loc {
+  kThis,
+  kLocal,       ///< local / param object — confined
+  kLocalPtr,    ///< local / param pointer — pointee unknown, kept quiet
+  kCaptureVal,  ///< by-value non-pointer capture — confined copy
+  kCaptureRef,  ///< by-reference capture — aliases the host frame
+  kCapturePtr,  ///< by-value capture of a raw pointer — aliases remote state
+  kMember,      ///< own member object (incl. smart-pointer members)
+  kMemberPtr,   ///< raw-pointer member — aliases another object
+  kGlobal,      ///< namespace-scope variable
+  kUnknown,
+};
+
+struct NameInfo {
+  Loc loc = Loc::kUnknown;
+  std::string type;
+};
+
+NameInfo ClassifyName(const WholeProgram& wp, const FunctionNode& node,
+                      const Function& fn, const std::string& name) {
+  if (name == "this") return {Loc::kThis, node.class_name};
+  for (const VarDecl& d : fn.locals) {
+    if (d.name == name) {
+      return {d.is_pointer ? Loc::kLocalPtr : Loc::kLocal, d.type};
+    }
+  }
+  for (const Capture& c : fn.captures) {
+    if (c.name != name) continue;
+    if (c.is_this) return {Loc::kThis, node.class_name};
+    if (c.by_ref) return {Loc::kCaptureRef, c.type};
+    if (c.is_pointer) return {Loc::kCapturePtr, c.type};
+    return {Loc::kCaptureVal, c.type};
+  }
+  if (const ClassDecl* cd = wp.FindClass(node.class_name)) {
+    for (const MemberDecl& m : cd->members) {
+      if (m.name == name) {
+        return {m.is_pointer ? Loc::kMemberPtr : Loc::kMember, m.type};
+      }
+    }
+  }
+  if (wp.globals.count(name) > 0) {
+    return {Loc::kGlobal, wp.globals.at(name).type};
+  }
+  // Google-style member convention: trailing underscore. Pointer-ness is
+  // unknown, so arrow writes through such a name stay quiet.
+  if (!name.empty() && name.back() == '_') return {Loc::kMember, ""};
+  return {Loc::kUnknown, ""};
+}
+
+bool IsSharedType(const WholeProgram& wp, const std::string& type) {
+  return !type.empty() && !wp.SharedChannelOfType(type).empty();
+}
+
+std::string Origin(const std::string& file, int line) {
+  return file + ":" + std::to_string(line);
+}
+
+/// Effects a single definition contributes before any call propagation.
+void DirectWriteEffects(const WholeProgram& wp, const FunctionNode& node,
+                        const std::string& file, const Function& fn,
+                        EffectSummary* out) {
+  for (const WriteSite& w : fn.writes) {
+    if (w.base == "<expr>") continue;
+    const bool unqualified = w.base.empty() || w.base == "this";
+    const std::string& name = unqualified ? w.field : w.base;
+    const NameInfo ni = ClassifyName(wp, node, fn, name);
+    switch (ni.loc) {
+      case Loc::kThis:
+      case Loc::kLocal:
+      case Loc::kLocalPtr:   // out-params / derived pointers: documented quiet
+      case Loc::kCaptureVal: // confined copy
+      case Loc::kUnknown:
+        break;
+      case Loc::kCaptureRef:
+        if (!IsSharedType(wp, ni.type)) {
+          out->crossings.insert(
+              {"ref-capture", name, ni.type, w.field, Origin(file, w.line)});
+        }
+        break;
+      case Loc::kCapturePtr:
+        // Rebinding the captured pointer copy (`p = ...`) is confined; a
+        // write through it (`p->x = ...`) is remote.
+        if (!unqualified && w.arrow && !ni.type.empty() &&
+            !IsSharedType(wp, ni.type)) {
+          out->crossings.insert({"pointer-capture", name, ni.type, w.field,
+                                 Origin(file, w.line)});
+        }
+        break;
+      case Loc::kMember:
+        out->self_writes.insert(name);
+        break;
+      case Loc::kMemberPtr:
+        if (unqualified || !w.arrow) {
+          // Assigning or dot-accessing the pointer member itself: self.
+          out->self_writes.insert(name);
+        } else if (!ni.type.empty() && !IsSharedType(wp, ni.type)) {
+          out->crossings.insert({"member-pointer", name, ni.type, w.field,
+                                 Origin(file, w.line)});
+        }
+        break;
+      case Loc::kGlobal: {
+        const GlobalDecl& g = wp.globals.at(name);
+        if (!g.is_const && !IsSharedType(wp, g.type)) {
+          out->global_writes.insert(name);
+          out->crossings.insert(
+              {"global", name, g.type, w.field, Origin(file, w.line)});
+        }
+        break;
+      }
+    }
+  }
+}
+
+/// One call site with its cross-TU resolution and receiver classification,
+/// precomputed once so the fixpoint iterations only do set unions.
+struct CallInfo {
+  const CallSite* cs = nullptr;
+  std::string file;
+  std::string callee_key;  ///< "" when unresolved in the project
+  Loc recv_loc = Loc::kUnknown;
+  std::string recv_type;
+  std::string recv_name;
+  bool own_receiver = false;  ///< this / own-class free call
+};
+
+std::string ResolveCallee(
+    const WholeProgram& wp,
+    const std::map<std::string, std::set<std::string>>& method_classes,
+    const NameInfo& recv_info, const FunctionNode& node, const CallSite& cs) {
+  const auto exists = [&](const std::string& key) {
+    return wp.functions.count(key) > 0;
+  };
+  const auto unique_method = [&]() -> std::string {
+    const auto it = method_classes.find(cs.callee);
+    if (it != method_classes.end() && it->second.size() == 1) {
+      return *it->second.begin() + "::" + cs.callee;
+    }
+    return "";
+  };
+  switch (cs.recv) {
+    case CallSite::Recv::kThis:
+      if (!node.class_name.empty() &&
+          exists(node.class_name + "::" + cs.callee)) {
+        return node.class_name + "::" + cs.callee;
+      }
+      return "";
+    case CallSite::Recv::kFree:
+      if (!node.class_name.empty() &&
+          exists(node.class_name + "::" + cs.callee)) {
+        return node.class_name + "::" + cs.callee;
+      }
+      if (exists(cs.callee)) return cs.callee;
+      return "";
+    case CallSite::Recv::kQualified:
+      if (cs.receiver == "std") return "";
+      if (exists(cs.receiver + "::" + cs.callee)) {
+        return cs.receiver + "::" + cs.callee;
+      }
+      if (exists(cs.callee)) return cs.callee;  // namespace-qualified free fn
+      return unique_method();
+    case CallSite::Recv::kIdent:
+      if (!recv_info.type.empty() &&
+          exists(recv_info.type + "::" + cs.callee)) {
+        return recv_info.type + "::" + cs.callee;
+      }
+      return unique_method();
+    case CallSite::Recv::kExpr:
+      return unique_method();
+  }
+  return "";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void AppendStringArray(std::ostringstream* os,
+                       const std::vector<std::string>& items) {
+  *os << "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) *os << ", ";
+    *os << "\"" << JsonEscape(items[i]) << "\"";
+  }
+  *os << "]";
+}
+
+}  // namespace
+
+bool EffectSummary::Union(const EffectSummary& o) {
+  const size_t before =
+      self_writes.size() + global_writes.size() + crossings.size();
+  self_writes.insert(o.self_writes.begin(), o.self_writes.end());
+  global_writes.insert(o.global_writes.begin(), o.global_writes.end());
+  crossings.insert(o.crossings.begin(), o.crossings.end());
+  return self_writes.size() + global_writes.size() + crossings.size() !=
+         before;
+}
+
+bool WholeProgram::Holds(const FunctionNode& node,
+                         const std::string& channel) const {
+  for (const std::string& ch : node.requires_channels) {
+    if (ch == channel) return true;
+  }
+  // Constructors initialize a not-yet-published object.
+  if (!node.class_name.empty() &&
+      node.key == node.class_name + "::" + node.class_name) {
+    return true;
+  }
+  const auto it = exposed.find(channel);
+  if (it == exposed.end()) return true;
+  return it->second.count(node.key) == 0;
+}
+
+WholeProgram BuildWholeProgram(const std::vector<FileIR>& irs) {
+  WholeProgram wp;
+
+  // --- classes, shared types, globals ---------------------------------------
+  for (const FileIR& ir : irs) {
+    for (const ClassDecl& cd : ir.classes) {
+      ClassDecl& merged = wp.classes[cd.name];
+      if (merged.name.empty()) {
+        merged = cd;
+      } else {
+        if (merged.shared_channel.empty()) {
+          merged.shared_channel = cd.shared_channel;
+        }
+        for (const MemberDecl& m : cd.members) {
+          const bool known =
+              std::any_of(merged.members.begin(), merged.members.end(),
+                          [&](const MemberDecl& e) { return e.name == m.name; });
+          if (!known) merged.members.push_back(m);
+        }
+        for (const auto& [method, chans] : cd.method_requires) {
+          auto& dst = merged.method_requires[method];
+          for (const std::string& ch : chans) {
+            if (std::find(dst.begin(), dst.end(), ch) == dst.end()) {
+              dst.push_back(ch);
+            }
+          }
+        }
+      }
+      if (!cd.shared_channel.empty()) {
+        wp.shared_types.emplace(cd.name, cd.shared_channel);
+        wp.channels.insert(cd.shared_channel);
+      }
+    }
+    for (const GlobalDecl& g : ir.globals) {
+      const auto it = wp.globals.find(g.name);
+      // A definition wins over `extern` declarations of the same name.
+      if (it == wp.globals.end() || (it->second.is_extern_decl &&
+                                     !g.is_extern_decl)) {
+        wp.globals[g.name] = g;
+        wp.global_home[g.name] = ir.path;
+      }
+    }
+  }
+
+  // --- function nodes -------------------------------------------------------
+  for (const FileIR& ir : irs) {
+    for (const Function& fn : ir.functions) {
+      const std::string key =
+          fn.class_name.empty() ? fn.name : fn.class_name + "::" + fn.name;
+      FunctionNode& node = wp.functions[key];
+      if (node.key.empty()) {
+        node.key = key;
+        node.file = ir.path;
+        node.line = fn.line;
+        node.class_name = fn.class_name;
+        node.is_callback = fn.is_callback;
+        node.register_line = fn.register_line;
+      }
+      node.defs.emplace_back(ir.path, &fn);
+      for (const std::string& ch : fn.requires_channels) {
+        node.requires_channels.push_back(ch);
+      }
+    }
+  }
+  // Requires channels declared on the prototype (class body) also apply to
+  // the out-of-line definition.
+  for (auto& [key, node] : wp.functions) {
+    if (const ClassDecl* cd = wp.FindClass(node.class_name)) {
+      const size_t sep = key.rfind("::");
+      const std::string method =
+          sep == std::string::npos ? key : key.substr(sep + 2);
+      const auto it = cd->method_requires.find(method);
+      if (it != cd->method_requires.end()) {
+        for (const std::string& ch : it->second) {
+          node.requires_channels.push_back(ch);
+        }
+      }
+    }
+    std::sort(node.requires_channels.begin(), node.requires_channels.end());
+    node.requires_channels.erase(
+        std::unique(node.requires_channels.begin(),
+                    node.requires_channels.end()),
+        node.requires_channels.end());
+    for (const std::string& ch : node.requires_channels) {
+      wp.channels.insert(ch);
+    }
+  }
+  for (const auto& [name, cd] : wp.classes) {
+    for (const MemberDecl& m : cd.members) {
+      if (!m.guarded_by.empty()) wp.channels.insert(m.guarded_by);
+    }
+  }
+
+  // --- call resolution ------------------------------------------------------
+  std::map<std::string, std::set<std::string>> method_classes;
+  for (const auto& [key, node] : wp.functions) {
+    if (node.is_callback) continue;  // not callable by name
+    const size_t sep = key.rfind("::");
+    if (sep != std::string::npos) {
+      method_classes[key.substr(sep + 2)].insert(key.substr(0, sep));
+    }
+  }
+  std::map<std::string, std::vector<CallInfo>> call_infos;
+  for (auto& [key, node] : wp.functions) {
+    std::vector<CallInfo>& infos = call_infos[key];
+    for (const auto& [file, fn] : node.defs) {
+      for (const CallSite& cs : fn->calls) {
+        CallInfo info;
+        info.cs = &cs;
+        info.file = file;
+        NameInfo recv;
+        if (cs.recv == CallSite::Recv::kIdent) {
+          recv = ClassifyName(wp, node, *fn, cs.receiver);
+          info.recv_loc = recv.loc;
+          info.recv_type = recv.type;
+          info.recv_name = cs.receiver;
+        }
+        info.own_receiver = cs.recv == CallSite::Recv::kThis ||
+                            (cs.recv == CallSite::Recv::kFree &&
+                             !node.class_name.empty());
+        info.callee_key =
+            ResolveCallee(wp, method_classes, recv, node, cs);
+        if (!info.callee_key.empty() && info.callee_key != key) {
+          node.calls.insert(info.callee_key);
+        }
+        infos.push_back(std::move(info));
+      }
+    }
+  }
+
+  // --- effect summaries: direct pass then bottom-up fixpoint ---------------
+  std::map<std::string, EffectSummary> direct;
+  for (const auto& [key, node] : wp.functions) {
+    EffectSummary& s = direct[key];
+    for (const auto& [file, fn] : node.defs) {
+      DirectWriteEffects(wp, node, file, *fn, &s);
+    }
+    wp.effects[key] = s;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [key, node] : wp.functions) {
+      EffectSummary next = direct[key];
+      for (const CallInfo& info : call_infos[key]) {
+        const CallSite& cs = *info.cs;
+        const std::string site = Origin(info.file, cs.line);
+        if (!info.callee_key.empty()) {
+          const EffectSummary& callee = wp.effects[info.callee_key];
+          // Globals and canonical crossings propagate regardless of the
+          // receiver; what the callee does to *itself* depends on whose
+          // object it ran on.
+          next.global_writes.insert(callee.global_writes.begin(),
+                                    callee.global_writes.end());
+          next.crossings.insert(callee.crossings.begin(),
+                                callee.crossings.end());
+          if (callee.self_writes.empty()) continue;
+          if (info.own_receiver &&
+              wp.functions.at(info.callee_key).class_name ==
+                  node.class_name) {
+            next.self_writes.insert(callee.self_writes.begin(),
+                                    callee.self_writes.end());
+            continue;
+          }
+          switch (info.recv_loc) {
+            case Loc::kMember:
+              next.self_writes.insert(info.recv_name);
+              break;
+            case Loc::kMemberPtr:
+            case Loc::kCaptureRef:
+              if (!IsSharedType(wp, info.recv_type)) {
+                next.crossings.insert({"remote-call", info.recv_name,
+                                       info.recv_type, cs.callee, site});
+              }
+              break;
+            case Loc::kCapturePtr:
+              if (cs.arrow && !info.recv_type.empty() &&
+                  !IsSharedType(wp, info.recv_type)) {
+                next.crossings.insert({"remote-call", info.recv_name,
+                                       info.recv_type, cs.callee, site});
+              }
+              break;
+            case Loc::kGlobal: {
+              const GlobalDecl& g = wp.globals.at(info.recv_name);
+              if (!g.is_const && !IsSharedType(wp, g.type)) {
+                next.global_writes.insert(info.recv_name);
+                next.crossings.insert(
+                    {"global", info.recv_name, g.type, cs.callee, site});
+              }
+              break;
+            }
+            default:
+              break;  // locals, value captures, unknown: confined or quiet
+          }
+          continue;
+        }
+        // Unresolved callee: container-mutator heuristic.
+        if (kMutatorNames.count(cs.callee) == 0) continue;
+        switch (info.recv_loc) {
+          case Loc::kMember:
+            next.self_writes.insert(info.recv_name);
+            break;
+          case Loc::kMemberPtr:
+          case Loc::kCaptureRef:
+            if (!info.recv_type.empty() &&
+                !IsSharedType(wp, info.recv_type)) {
+              next.crossings.insert({"remote-call", info.recv_name,
+                                     info.recv_type, cs.callee, site});
+            }
+            break;
+          case Loc::kCapturePtr:
+            if (cs.arrow && !info.recv_type.empty() &&
+                !IsSharedType(wp, info.recv_type)) {
+              next.crossings.insert({"remote-call", info.recv_name,
+                                     info.recv_type, cs.callee, site});
+            }
+            break;
+          case Loc::kGlobal: {
+            const GlobalDecl& g = wp.globals.at(info.recv_name);
+            if (!g.is_const && !IsSharedType(wp, g.type)) {
+              next.global_writes.insert(info.recv_name);
+              next.crossings.insert(
+                  {"global", info.recv_name, g.type, cs.callee, site});
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      }
+      if (!(next == wp.effects[key])) {
+        wp.effects[key] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+
+  // --- R11 exposure: which functions may run without holding a channel -----
+  std::map<std::string, std::set<std::string>> callers;
+  for (const auto& [key, node] : wp.functions) {
+    for (const std::string& callee : node.calls) callers[callee].insert(key);
+  }
+  const auto is_ctor = [](const FunctionNode& n) {
+    return !n.class_name.empty() &&
+           n.key == n.class_name + "::" + n.class_name;
+  };
+  for (const std::string& ch : wp.channels) {
+    std::set<std::string>& ex = wp.exposed[ch];
+    std::vector<std::string> work;
+    for (const auto& [key, node] : wp.functions) {
+      const bool requires_ch =
+          std::find(node.requires_channels.begin(),
+                    node.requires_channels.end(),
+                    ch) != node.requires_channels.end();
+      if (requires_ch || is_ctor(node)) continue;
+      if (callers[key].empty()) {
+        ex.insert(key);
+        work.push_back(key);
+      }
+    }
+    while (!work.empty()) {
+      const std::string f = work.back();
+      work.pop_back();
+      for (const std::string& callee : wp.functions.at(f).calls) {
+        const FunctionNode& cn = wp.functions.at(callee);
+        const bool requires_ch =
+            std::find(cn.requires_channels.begin(),
+                      cn.requires_channels.end(),
+                      ch) != cn.requires_channels.end();
+        if (requires_ch || is_ctor(cn)) continue;
+        if (ex.insert(callee).second) work.push_back(callee);
+      }
+    }
+  }
+  return wp;
+}
+
+std::string DumpCallGraph(const WholeProgram& wp) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"tool\": \"crayfish_lint\",\n";
+  os << "  \"schema_version\": 3,\n";
+  os << "  \"channels\": ";
+  AppendStringArray(&os, {wp.channels.begin(), wp.channels.end()});
+  os << ",\n";
+  os << "  \"shared_types\": {";
+  bool first = true;
+  for (const auto& [type, ch] : wp.shared_types) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << JsonEscape(type) << "\": \"" << JsonEscape(ch) << "\"";
+  }
+  os << "},\n";
+  os << "  \"functions\": {";
+  first = true;
+  for (const auto& [key, node] : wp.functions) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    \"" << JsonEscape(key) << "\": {";
+    os << "\"file\": \"" << JsonEscape(node.file) << "\", ";
+    os << "\"line\": " << node.line << ", ";
+    if (!node.class_name.empty()) {
+      os << "\"class\": \"" << JsonEscape(node.class_name) << "\", ";
+    }
+    if (node.is_callback) {
+      os << "\"callback\": true, \"registered_at\": " << node.register_line
+         << ", ";
+    }
+    if (!node.requires_channels.empty()) {
+      os << "\"requires\": ";
+      AppendStringArray(&os, node.requires_channels);
+      os << ", ";
+    }
+    os << "\"calls\": ";
+    AppendStringArray(&os, {node.calls.begin(), node.calls.end()});
+    os << "}";
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+std::string DumpEffects(const WholeProgram& wp) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"tool\": \"crayfish_lint\",\n";
+  os << "  \"schema_version\": 3,\n";
+  os << "  \"effects\": {";
+  bool first = true;
+  for (const auto& [key, summary] : wp.effects) {
+    if (summary.Empty()) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\n    \"" << JsonEscape(key) << "\": {";
+    os << "\"self_writes\": ";
+    AppendStringArray(&os,
+                      {summary.self_writes.begin(), summary.self_writes.end()});
+    os << ", \"global_writes\": ";
+    AppendStringArray(
+        &os, {summary.global_writes.begin(), summary.global_writes.end()});
+    os << ", \"crossings\": [";
+    bool cfirst = true;
+    for (const Crossing& c : summary.crossings) {
+      if (!cfirst) os << ", ";
+      cfirst = false;
+      os << "{\"kind\": \"" << JsonEscape(c.kind) << "\", \"via\": \""
+         << JsonEscape(c.via) << "\", \"type\": \"" << JsonEscape(c.type)
+         << "\", \"field\": \"" << JsonEscape(c.field) << "\", \"origin\": \""
+         << JsonEscape(c.origin) << "\"}";
+    }
+    os << "]}";
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+}  // namespace crayfish::lint

@@ -1,0 +1,120 @@
+#ifndef CRAYFISH_TOOLS_LINT_CALLGRAPH_H_
+#define CRAYFISH_TOOLS_LINT_CALLGRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "crayfish_lint/ir.h"
+
+namespace crayfish::lint {
+
+/// One write that escapes the owning object — the machine-readable access
+/// path R10 reports. Elements are canonical (the origin is the *direct*
+/// write/call site, never a call-path prefix), which bounds the effect
+/// fixpoint: the crossing set of any function is a subset of the finite set
+/// of direct crossings in the project.
+struct Crossing {
+  std::string kind;    ///< "member-pointer" | "ref-capture" |
+                       ///< "pointer-capture" | "remote-call" | "global"
+  std::string via;     ///< member / capture / global name written through
+  std::string type;    ///< pointee or object type ("" when unknown)
+  std::string field;   ///< field or mutating method on the remote object
+  std::string origin;  ///< "file:line" of the direct write or call
+
+  bool operator<(const Crossing& o) const {
+    return std::tie(kind, via, type, field, origin) <
+           std::tie(o.kind, o.via, o.type, o.field, o.origin);
+  }
+  bool operator==(const Crossing& o) const {
+    return kind == o.kind && via == o.via && type == o.type &&
+           field == o.field && origin == o.origin;
+  }
+};
+
+/// Bottom-up side-effect summary of one function: which of its own member
+/// fields it writes, which namespace-scope variables, and which writes
+/// escape to other partitions' state (directly or through callees).
+struct EffectSummary {
+  std::set<std::string> self_writes;
+  std::set<std::string> global_writes;
+  std::set<Crossing> crossings;
+
+  /// Set union; returns true when this summary grew.
+  bool Union(const EffectSummary& o);
+  bool Empty() const {
+    return self_writes.empty() && global_writes.empty() && crossings.empty();
+  }
+  bool operator==(const EffectSummary& o) const {
+    return self_writes == o.self_writes && global_writes == o.global_writes &&
+           crossings == o.crossings;
+  }
+};
+
+/// A function in the whole-program graph. Declarations and definitions that
+/// share a qualified name merge into one node (the conservative union that
+/// overload merging implies is the right direction for a linter).
+struct FunctionNode {
+  std::string key;         ///< "Class::name", "name", or "...::cbN"
+  std::string file;        ///< file of the first definition (path order)
+  int line = 0;
+  std::string class_name;  ///< "" for free functions
+  bool is_callback = false;
+  int register_line = 0;   ///< callbacks: the Schedule/ScheduleAt site
+  std::vector<std::pair<std::string, const Function*>> defs;  ///< (file, fn)
+  std::vector<std::string> requires_channels;  ///< sorted, deduplicated
+  std::set<std::string> calls;                 ///< resolved callee keys
+};
+
+/// The interprocedural model R10–R12 consult: built once in the serial pass,
+/// read-only afterwards (so `--jobs=N` stays deterministic for free). The
+/// `Function` pointers borrow from the FileIR vector passed to
+/// BuildWholeProgram, which must outlive this object.
+struct WholeProgram {
+  std::map<std::string, FunctionNode> functions;
+  std::map<std::string, ClassDecl> classes;        ///< merged by class name
+  std::map<std::string, std::string> shared_types; ///< class -> channel
+  std::map<std::string, GlobalDecl> globals;       ///< name -> decl
+  std::map<std::string, std::string> global_home;  ///< name -> declaring file
+  std::map<std::string, EffectSummary> effects;    ///< key -> fixpoint summary
+  std::set<std::string> channels;                  ///< every channel mentioned
+  /// R11: channel -> function keys that may execute *without* holding it
+  /// (reachable from an entry point along a path with no CRAYFISH_REQUIRES).
+  std::map<std::string, std::set<std::string>> exposed;
+
+  const FunctionNode* Find(const std::string& key) const {
+    const auto it = functions.find(key);
+    return it == functions.end() ? nullptr : &it->second;
+  }
+  const ClassDecl* FindClass(const std::string& name) const {
+    const auto it = classes.find(name);
+    return it == classes.end() ? nullptr : &it->second;
+  }
+  /// Channel a type is annotated CRAYFISH_SHARED with, or "".
+  std::string SharedChannelOfType(const std::string& type) const {
+    const auto it = shared_types.find(type);
+    return it == shared_types.end() ? std::string() : it->second;
+  }
+  /// True when `fn` (node key) holds `channel` at every call: it requires
+  /// the channel itself, or every path from an entry point passes through a
+  /// holder. Constructors hold everything (single-owner initialization).
+  bool Holds(const FunctionNode& node, const std::string& channel) const;
+};
+
+/// Links every parsed file into one program: merges class declarations,
+/// resolves call sites across translation units (same-class first, then
+/// unique global name), runs the effect-summary fixpoint, and computes
+/// per-channel exposure for R11.
+WholeProgram BuildWholeProgram(const std::vector<FileIR>& irs);
+
+/// Deterministic JSON renderings (stable key order, sorted arrays) for
+/// --dump-callgraph / --dump-effects and the golden-file CI gate.
+std::string DumpCallGraph(const WholeProgram& wp);
+std::string DumpEffects(const WholeProgram& wp);
+
+}  // namespace crayfish::lint
+
+#endif  // CRAYFISH_TOOLS_LINT_CALLGRAPH_H_

@@ -4,7 +4,8 @@
 //
 // Usage:
 //   crayfish_lint [--fix-suggestions] [--format=text|json] [--jobs=N]
-//                 [--dump-dag] <file-or-dir>...
+//                 [--dump-dag] [--dump-callgraph] [--dump-effects]
+//                 <file-or-dir>...
 //
 // Text output is machine readable, one finding per line:
 //   <file>:<line>: <rule>: <message>
@@ -25,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "crayfish_lint/callgraph.h"
 #include "crayfish_lint/include_graph.h"
 #include "crayfish_lint/lexer.h"
 #include "crayfish_lint/lint.h"
@@ -79,7 +81,8 @@ bool ReadFile(const std::string& path, std::string* out) {
 int Usage() {
   std::cerr
       << "usage: crayfish_lint [--fix-suggestions] [--format=text|json]\n"
-         "                     [--jobs=N] [--dump-dag] <file-or-dir>...\n"
+         "                     [--jobs=N] [--dump-dag] [--dump-callgraph]\n"
+         "                     [--dump-effects] <file-or-dir>...\n"
          "\n"
          "Determinism & correctness rules enforced over the Crayfish "
          "sources:\n"
@@ -99,6 +102,14 @@ int Usage() {
          "  R8  no use of a moved-from local/parameter on any path\n"
          "  R9  no mutation or const-stripping of shared_ptr<const T>\n"
          "      payloads outside their construction site\n"
+         "  R10 partition confinement: Schedule/ScheduleAt callbacks may\n"
+         "      only write state reachable from their host object or from\n"
+         "      CRAYFISH_SHARED types (whole-program effect summaries)\n"
+         "  R11 capability checking: CRAYFISH_GUARDED_BY members written\n"
+         "      and CRAYFISH_REQUIRES methods called only while the channel\n"
+         "      is provably held on every entry-point path\n"
+         "  R12 no mutable namespace-scope variables or function-local\n"
+         "      statics in sim-reachable code\n"
          "\n"
          "Flags:\n"
          "  --fix-suggestions  append a remediation hint to each finding\n"
@@ -107,12 +118,18 @@ int Usage() {
          "                     order stays deterministic)\n"
          "  --dump-dag         print the observed module edges (the block\n"
          "                     DESIGN.md §4.3 embeds) and exit\n"
+         "  --dump-callgraph   print the cross-TU call graph as JSON\n"
+         "                     (deterministic: stable key order) and exit\n"
+         "  --dump-effects     print per-function effect summaries (self\n"
+         "                     writes, global writes, partition crossings)\n"
+         "                     as JSON and exit\n"
          "\n"
          "Suppress a finding on its line (or the line below a standalone\n"
          "comment) with `// lint: <keyword> <justification>`, keywords:\n"
          "  wall-clock-ok unseeded-ok order-independent status-ignored "
          "float-ok\n"
-         "  host-threading-ok layering-ok move-ok aliasing-ok\n";
+         "  host-threading-ok layering-ok move-ok aliasing-ok cross-host-ok\n"
+         "  capability-ok global-state-ok\n";
   return 2;
 }
 
@@ -123,6 +140,8 @@ int main(int argc, char** argv) {
   std::string format = "text";
   int jobs = 1;
   bool dump_dag = false;
+  bool dump_callgraph = false;
+  bool dump_effects = false;
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -142,6 +161,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--dump-dag") {
       dump_dag = true;
+    } else if (arg == "--dump-callgraph") {
+      dump_callgraph = true;
+    } else if (arg == "--dump-effects") {
+      dump_effects = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -189,8 +212,22 @@ int main(int argc, char** argv) {
     graph.Add(irs.back());
   }
 
-  if (dump_dag) {
-    std::cout << graph.Dump();
+  // The whole-program model (cross-TU call graph + effect fixpoint +
+  // capability exposure) is built once here in the serial pass and consumed
+  // read-only by R10/R11 and the dump flags — which is why --jobs never
+  // changes a byte of any output.
+  const crayfish::lint::WholeProgram whole_program =
+      crayfish::lint::BuildWholeProgram(irs);
+  ctx.whole_program = &whole_program;
+
+  if (dump_dag || dump_callgraph || dump_effects) {
+    if (dump_dag) std::cout << graph.Dump();
+    if (dump_callgraph) {
+      std::cout << crayfish::lint::DumpCallGraph(whole_program);
+    }
+    if (dump_effects) {
+      std::cout << crayfish::lint::DumpEffects(whole_program);
+    }
     for (const std::string& e : errors) {
       std::cerr << "crayfish_lint: " << e << "\n";
     }
@@ -229,11 +266,21 @@ int main(int argc, char** argv) {
                std::make_move_iterator(per_file.end()));
   }
   // Project-level R7: module cycles are emergent facts of the whole include
-  // graph, reported after the per-file findings.
+  // graph.
   std::vector<crayfish::lint::Finding> cycles =
       crayfish::lint::LintIncludeCycles(graph);
   all.insert(all.end(), std::make_move_iterator(cycles.begin()),
              std::make_move_iterator(cycles.end()));
+  // Strict (file, line) order for the whole run: per-file slots already come
+  // out in path order, and this folds the project-level findings into the
+  // same order instead of tacking them onto the end, so text output is
+  // byte-identical for every --jobs value *and* sorted like the JSON.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const crayfish::lint::Finding& a,
+                      const crayfish::lint::Finding& b) {
+                     return a.file != b.file ? a.file < b.file
+                                             : a.line < b.line;
+                   });
 
   if (format == "json") {
     std::cout << crayfish::lint::FindingsToJson(all, irs.size(), errors);
