@@ -64,8 +64,15 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
     return crayfish::Status::InvalidArgument("unknown serving tool: " +
                                              config.serving);
   }
+  if (config.sim_threads < 1 || config.sim_threads > 64) {
+    return crayfish::Status::InvalidArgument(
+        "sim_threads must be in [1, 64]");
+  }
 
   sim::Simulation sim(config.seed);
+  // Before any host registration: partition count fixes the host ->
+  // partition packing for the whole run.
+  sim.SetThreads(config.sim_threads);
 
   // Observability is attached before any component is built, so even
   // construction-time activity (topic creation, model loading) is visible
@@ -263,6 +270,15 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
                          [srv]() { return srv->worker_busy_seconds(); });
     }
   }
+
+  // Parallel DES: freeze the link table so confined senders read it
+  // without locks, and derive the conservative lookahead from the minimum
+  // link propagation latency — the floor under every cross-host delivery.
+  // Done at every thread count: threads=1 runs the same protocol, which
+  // is what makes the byte-for-byte equality claim testable.
+  // lint: capability-ok setup phase: last setup step before the first simulated event, single-threaded by construction
+  network.FreezeTopology();
+  sim.SetLookahead(network.MinLinkLatency());
 
   CRAYFISH_RETURN_IF_ERROR(engine->Start());
   output_consumer.Start();

@@ -56,16 +56,43 @@ Status FaultInjector::Arm() {
   }
   armed_ = true;
   for (const FaultSpec& spec : plan_->faults) {
-    sim_->ScheduleAt(spec.at_s, [this, &spec]() { Inject(spec); });
+    // Exclusive events: executed at a global synchronization point (fault
+    // actions touch cross-partition substrates), attributed to the
+    // partition owning the fault's target host.
+    const std::string owner = OwnerHost(spec);
+    sim_->ScheduleExclusiveAt(owner, spec.at_s,
+                              [this, &spec]() { Inject(spec); });
     // kTaskRestart windows end when the task is back, not at until_s.
     if (spec.kind == FaultKind::kTaskRestart) {
-      sim_->ScheduleAt(spec.at_s + spec.restart_delay_s,
-                       [this, &spec]() { Repair(spec); });
+      sim_->ScheduleExclusiveAt(owner, spec.at_s + spec.restart_delay_s,
+                                [this, &spec]() { Repair(spec); });
     } else if (spec.until_s >= 0.0) {
-      sim_->ScheduleAt(spec.until_s, [this, &spec]() { Repair(spec); });
+      sim_->ScheduleExclusiveAt(owner, spec.until_s,
+                                [this, &spec]() { Repair(spec); });
     }
   }
   return Status::Ok();
+}
+
+std::string FaultInjector::OwnerHost(const FaultSpec& spec) const {
+  switch (spec.kind) {
+    case FaultKind::kBrokerCrash: {
+      const auto& hosts = cluster_->broker_hosts();
+      if (hosts.empty()) return "";
+      return hosts[static_cast<size_t>(spec.broker) % hosts.size()];
+    }
+    case FaultKind::kLinkDegrade:
+      // A directed link belongs to its source host; wildcard rules ("")
+      // have no single owner and fall through to partition 0.
+      return spec.from;
+    case FaultKind::kServingSlowdown:
+    case FaultKind::kServingDown:
+    case FaultKind::kWorkerResize:
+    case FaultKind::kTaskRestart:
+      // Hook-based faults act on components, not hosts.
+      return "";
+  }
+  return "";
 }
 
 void FaultInjector::Inject(const FaultSpec& spec) {

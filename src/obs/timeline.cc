@@ -133,6 +133,16 @@ void TimelineSampler::AdvanceTo(double t) {
   }
 }
 
+double TimelineSampler::NextBoundaryAfter(double t) const {
+  // Derived from the close-loop's predicate rather than floor(t/interval):
+  // the next boundary is the first (next_to_close_+k+1)*interval strictly
+  // greater than t, computed with the same multiplication so the two can
+  // never disagree by a rounding ulp.
+  size_t idx = next_to_close_;
+  while (static_cast<double>(idx + 1) * interval_s_ <= t) ++idx;
+  return static_cast<double>(idx + 1) * interval_s_;
+}
+
 void TimelineSampler::Finalize(double end_s) {
   if (finalized_) return;
   AdvanceTo(end_s);

@@ -109,6 +109,13 @@ class TimelineSampler {
   /// window.
   void AdvanceTo(double t);
 
+  /// First window boundary strictly after `t`. The partitioned simulation
+  /// caps each parallel window's horizon here so a boundary is only ever
+  /// crossed at a global synchronization point: probes sample fully merged
+  /// barrier state, and gauge readings are identical at every thread
+  /// count.
+  double NextBoundaryAfter(double t) const;
+
   /// Closes the trailing partial window at the end of the run. After this
   /// the timeline is immutable.
   void Finalize(double end_s);

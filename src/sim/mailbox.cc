@@ -1,0 +1,22 @@
+#include "sim/mailbox.h"
+
+#include <algorithm>
+
+namespace crayfish::sim {
+
+std::vector<RemoteEvent> Mailbox::DrainSorted() {
+  std::vector<RemoteEvent> out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out = std::move(pending_);
+    pending_.clear();
+  }
+  // Arrival order in `pending_` reflects worker interleaving; the sort
+  // restores the partition-count-independent key so the merge into the
+  // owner's event queue is deterministic. std::sort suffices (no equal
+  // keys: src_seq is unique per src_host).
+  std::sort(out.begin(), out.end(), RemoteBefore);
+  return out;
+}
+
+}  // namespace crayfish::sim

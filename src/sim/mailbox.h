@@ -1,0 +1,80 @@
+#ifndef CRAYFISH_SIM_MAILBOX_H_
+#define CRAYFISH_SIM_MAILBOX_H_
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "sim/event_queue.h"
+
+namespace crayfish::sim {
+
+/// An event in flight between hosts under the partitioned engine. The key
+/// (time, src_host, src_seq) is the deterministic merge order: `src_host`
+/// is the sender's registration index and `src_seq` the sender's private
+/// monotone send counter, so the key does not depend on how hosts are
+/// packed into partitions — a 1-partition run and an 8-partition run merge
+/// cross-host deliveries identically, which is what makes partitioned runs
+/// byte-for-byte equal to serial ones.
+struct RemoteEvent {
+  SimTime time = 0.0;
+  int32_t dst_host = -1;
+  int32_t src_host = -1;
+  uint64_t src_seq = 0;
+  InlineAction action;
+};
+
+/// Deterministic order for draining a mailbox at a window barrier.
+inline bool RemoteBefore(const RemoteEvent& a, const RemoteEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.src_host != b.src_host) return a.src_host < b.src_host;
+  return a.src_seq < b.src_seq;
+}
+
+/// Per-partition inbox for cross-partition event deliveries.
+///
+/// This is the *only* synchronized data structure in the partitioned DES
+/// hot path: during a time window, any worker may Push into any other
+/// partition's mailbox (a cross-host send carrying the conservative
+/// lookahead bound), and at the window barrier the coordinator drains each
+/// mailbox — single-threaded — sorting by RemoteBefore before feeding the
+/// owning partition's event queue.
+///
+/// CRAYFISH_SHARED: the mailbox exists to be written from foreign
+/// partitions; its mutex is the synchronization story, and the barrier
+/// drain restores a deterministic order, so cross-host use is the design.
+class CRAYFISH_SHARED("sim-mailbox") Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues a cross-partition delivery. Callable from any worker thread
+  /// during a window; the conservative-lookahead check happens at the call
+  /// site (Simulation), where the sender's local clock is known.
+  void Push(RemoteEvent e) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(std::move(e));
+  }
+
+  /// Moves out everything accumulated so far, sorted by RemoteBefore.
+  /// Called by the coordinator at a window barrier, when no worker is
+  /// running; the lock is still taken so the handoff is a proper
+  /// synchronization point.
+  std::vector<RemoteEvent> DrainSorted();
+
+  size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RemoteEvent> pending_;
+};
+
+}  // namespace crayfish::sim
+
+#endif  // CRAYFISH_SIM_MAILBOX_H_

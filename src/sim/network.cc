@@ -36,20 +36,24 @@ double Link::IdleTransferTime(uint64_t bytes) const {
          TransmitSeconds(spec_, degradation_, bytes);
 }
 
-void Link::Transfer(uint64_t bytes, InlineAction on_delivered) {
+SimTime Link::ReserveTransfer(uint64_t bytes) {
   if (degradation_.drop) {
     // Partitioned: the transfer vanishes. Senders find out via timeouts.
     ++dropped_transfers_;
-    return;
+    return kNeverSimTime;
   }
   const SimTime now = sim_->Now();
   const double tx_time = TransmitSeconds(spec_, degradation_, bytes);
   const SimTime tx_start = std::max(now, tx_free_at_);
   tx_free_at_ = tx_start + tx_time;
-  const SimTime deliver_at =
-      tx_free_at_ + PropagationSeconds(spec_, degradation_);
   bytes_sent_ += bytes;
   ++transfers_;
+  return tx_free_at_ + PropagationSeconds(spec_, degradation_);
+}
+
+void Link::Transfer(uint64_t bytes, InlineAction on_delivered) {
+  const SimTime deliver_at = ReserveTransfer(bytes);
+  if (deliver_at == kNeverSimTime) return;
   sim_->ScheduleAt(deliver_at, std::move(on_delivered));
 }
 
@@ -59,6 +63,10 @@ crayfish::Status Network::AddHost(Host host) {
   if (hosts_.count(host.name) > 0) {
     return crayfish::Status::AlreadyExists("host: " + host.name);
   }
+  // Registration order is the std::map insertion order observed by the
+  // caller's setup code, which is deterministic per config — so partition
+  // assignment (round-robin over registration order) is too.
+  sim_->RegisterHost(host.name);
   hosts_[host.name] = std::move(host);
   return crayfish::Status::Ok();
 }
@@ -117,16 +125,60 @@ void Network::SetDegradation(const std::string& from, const std::string& to,
   }
 }
 
+void Network::FreezeTopology() {
+  for (const auto& [from, from_host] : hosts_) {
+    for (const auto& [to, to_host] : hosts_) {
+      if (from != to) GetOrCreateLink(from, to);
+    }
+  }
+}
+
+double Network::MinLinkLatency() const {
+  double floor = default_spec_.latency_s;
+  for (const auto& [key, spec] : spec_overrides_) {
+    floor = std::min(floor, spec.latency_s);
+  }
+  return floor;
+}
+
 void Network::Send(const std::string& from, const std::string& to,
                    uint64_t bytes, InlineAction on_delivered) {
-  CRAYFISH_CHECK(HasHost(from)) << "unknown host " << from;
-  CRAYFISH_CHECK(HasHost(to)) << "unknown host " << to;
+  Partition* p = CurrentPartition();
+  if (p == nullptr) {
+    // Global context: the serial engine's path, byte-for-byte unchanged.
+    CRAYFISH_CHECK(HasHost(from)) << "unknown host " << from;
+    CRAYFISH_CHECK(HasHost(to)) << "unknown host " << to;
+    if (from == to) {
+      // Loopback: delivered within the same event-loop instant.
+      sim_->Schedule(0.0, std::move(on_delivered));
+      return;
+    }
+    GetOrCreateLink(from, to)->Transfer(bytes, std::move(on_delivered));
+    return;
+  }
+  // Confined context: Send is the only legal cross-partition edge. The
+  // sender must be the executing host — a confined callback sending on
+  // another host's behalf would race on that host's link state — and the
+  // link must pre-exist (FreezeTopology) so the link table is read-only
+  // during windows. A directed link is touched only by its source host's
+  // thread, so ReserveTransfer needs no locking.
+  const int from_id = sim_->HostId(from);
+  const int to_id = sim_->HostId(to);
+  CRAYFISH_CHECK_GE(from_id, 0) << "unknown host " << from;
+  CRAYFISH_CHECK_GE(to_id, 0) << "unknown host " << to;
+  CRAYFISH_CHECK_EQ(from_id, p->current_host)
+      << "confined Send must originate from the executing host";
   if (from == to) {
-    // Loopback: delivered within the same event-loop instant.
     sim_->Schedule(0.0, std::move(on_delivered));
     return;
   }
-  GetOrCreateLink(from, to)->Transfer(bytes, std::move(on_delivered));
+  auto it = links_.find(std::make_pair(from, to));
+  CRAYFISH_CHECK(it != links_.end())
+      << "no link " << from << " -> " << to
+      << "; call Network::FreezeTopology() after setup for confined sends";
+  const SimTime deliver_at = it->second->ReserveTransfer(bytes);
+  if (deliver_at == kNeverSimTime) return;
+  sim_->ScheduleAtOnHost(to_id, deliver_at, std::move(on_delivered));
 }
 
 double Network::IdleTransferTime(const std::string& from,

@@ -59,6 +59,13 @@ class Link {
   /// counted as dropped and `on_delivered` never fires.
   void Transfer(uint64_t bytes, InlineAction on_delivered);
 
+  /// Occupies the transmit path for `bytes` and returns the simulated
+  /// arrival instant without scheduling anything — the caller owns routing
+  /// the delivery (Network::Send routes it to the destination host's
+  /// partition under the parallel DES). Returns kNeverSimTime when the
+  /// link is dropping (the transfer is counted as dropped).
+  SimTime ReserveTransfer(uint64_t bytes);
+
   /// Time a transfer of `bytes` would take on an idle link.
   double IdleTransferTime(uint64_t bytes) const;
 
@@ -108,6 +115,8 @@ class CRAYFISH_SHARED("sim-network") Network {
   /// Registers a host. Returns AlreadyExists if the name is taken.
   /// Topology is frozen after setup: callers are component constructors
   /// (which hold every channel) or setup code annotated for "setup".
+  /// Also registers the host with the Simulation, assigning it to a
+  /// partition under the parallel DES.
   crayfish::Status AddHost(Host host) CRAYFISH_REQUIRES("setup");
   bool HasHost(const std::string& name) const;
   crayfish::StatusOr<Host> GetHost(const std::string& name) const;
@@ -136,8 +145,28 @@ class CRAYFISH_SHARED("sim-network") Network {
   /// Sends `bytes` from `from` to `to`; `on_delivered` fires at arrival.
   /// Transfers between a host and itself are instantaneous (loopback).
   /// CHECK-fails on unknown hosts (topology errors are programmer errors).
+  ///
+  /// From a confined callback (parallel DES), Send is the *only* legal
+  /// cross-partition edge: `from` must be the executing host, the link
+  /// must already exist (call FreezeTopology after setup), and the
+  /// delivery is routed to the destination host's partition carrying the
+  /// propagation latency as the conservative lookahead bound. From global
+  /// context the behavior is the serial engine's, unchanged.
   void Send(const std::string& from, const std::string& to, uint64_t bytes,
             InlineAction on_delivered);
+
+  /// Pre-creates every directed link between distinct registered hosts so
+  /// confined senders never mutate the link table concurrently. Call once
+  /// after all hosts are added; required before any confined Send.
+  void FreezeTopology() CRAYFISH_REQUIRES("setup");
+
+  /// Smallest propagation latency across the default spec and every
+  /// per-pair override: the conservative lookahead bound the experiment
+  /// driver feeds to Simulation::SetLookahead. Degradations are assumed
+  /// not to shrink latency below this floor (multipliers < 1 on a
+  /// minimum-latency link would violate the conservative protocol, and
+  /// the kernel CHECKs that at the mailbox push).
+  double MinLinkLatency() const;
 
   /// Idle-link transfer estimate between two hosts.
   double IdleTransferTime(const std::string& from, const std::string& to,

@@ -1,0 +1,151 @@
+#include "sim/partition.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace crayfish::sim {
+
+namespace {
+/// Set for the duration of Partition::ExecuteWindow on whichever thread
+/// runs it (a worker, or the coordinator for singleton windows).
+// lint: global-state-ok thread_local, so each window thread sees only its own partition; this is the confinement mechanism itself, not shared state
+thread_local Partition* tls_partition = nullptr;
+}  // namespace
+
+Partition* CurrentPartition() { return tls_partition; }
+
+uint64_t Partition::ExecuteWindow(SimTime horizon, SimTime until) {
+  tls_partition = this;
+  uint64_t n = 0;
+  while (!queue.empty()) {
+    const SimTime t = queue.next_time();
+    if (t >= horizon || t > until) break;
+    Event e = queue.Pop();
+    CRAYFISH_CHECK_GE(e.time, now);
+    now = e.time;
+    current_host = e.host;
+    if (e.action) e.action();
+    ++n;
+  }
+  current_host = -1;
+  tls_partition = nullptr;
+  executed += n;
+  return n;
+}
+
+PartitionRuntime::PartitionRuntime(int partitions) {
+  CRAYFISH_CHECK_GE(partitions, 1);
+  parts_.reserve(static_cast<size_t>(partitions));
+  for (int i = 0; i < partitions; ++i) {
+    auto p = std::make_unique<Partition>();
+    p->id = i;
+    parts_.push_back(std::move(p));
+  }
+  // Workers park on the phase gate until a multi-partition window needs
+  // them; worker i owns partition i + 1 for the runtime's lifetime, so a
+  // partition's queue is only ever touched by one thread per window.
+  workers_.reserve(static_cast<size_t>(partitions - 1));
+  for (int i = 1; i < partitions; ++i) {
+    workers_.emplace_back([this, i](const std::stop_token& stop) {
+      WorkerLoop(i, stop);
+    });
+  }
+}
+
+PartitionRuntime::~PartitionRuntime() {
+  {
+    // Holding the gate mutex while requesting stop pairs with the wait
+    // predicate: a worker is either before the wait (sees the request) or
+    // inside it (gets the notify); no lost wakeup either way.
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (std::jthread& w : workers_) w.request_stop();
+  }
+  work_cv_.notify_all();
+  workers_.clear();  // joins
+}
+
+void PartitionRuntime::WorkerLoop(int partition_index,
+                                  const std::stop_token& stop) {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return generation_ != seen_generation || stop.stop_requested();
+    });
+    if (stop.stop_requested()) return;
+    seen_generation = generation_;
+    const SimTime horizon = window_horizon_;
+    const SimTime until = window_until_;
+    lock.unlock();
+    const uint64_t n = parts_[static_cast<size_t>(partition_index)]
+                           ->ExecuteWindow(horizon, until);
+    lock.lock();
+    window_executed_ += n;
+    if (--remaining_ == 0) done_cv_.notify_one();
+  }
+}
+
+SimTime PartitionRuntime::NextConfinedTime() const {
+  SimTime next = kNeverSimTime;
+  for (const auto& p : parts_) {
+    if (!p->queue.empty()) next = std::min(next, p->queue.next_time());
+  }
+  return next;
+}
+
+uint64_t PartitionRuntime::RunWindow(SimTime horizon, SimTime until) {
+  int active = 0;
+  int sole = -1;
+  for (const auto& p : parts_) {
+    if (!p->queue.empty() && p->queue.next_time() < horizon &&
+        p->queue.next_time() <= until) {
+      ++active;
+      sole = p->id;
+    }
+  }
+  if (active == 0) return 0;
+  if (active == 1) {
+    // Singleton window: run it on the coordinator. Handoff from whichever
+    // worker last ran this partition happened through the gate mutex at
+    // that window's barrier.
+    return parts_[static_cast<size_t>(sole)]->ExecuteWindow(horizon, until);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    window_horizon_ = horizon;
+    window_until_ = until;
+    window_executed_ = 0;
+    remaining_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  const uint64_t mine = parts_[0]->ExecuteWindow(horizon, until);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  return mine + window_executed_;
+}
+
+void PartitionRuntime::DrainMailboxes() {
+  for (const auto& p : parts_) {
+    std::vector<RemoteEvent> batch = p->inbox.DrainSorted();
+    for (RemoteEvent& e : batch) {
+      p->queue.Push(e.time, e.dst_host, std::move(e.action));
+    }
+  }
+}
+
+SimTime PartitionRuntime::MaxLocalNow() const {
+  SimTime latest = 0.0;
+  for (const auto& p : parts_) latest = std::max(latest, p->now);
+  return latest;
+}
+
+size_t PartitionRuntime::PendingEvents() const {
+  size_t n = 0;
+  for (const auto& p : parts_) n += p->queue.size() + p->inbox.size();
+  return n;
+}
+
+}  // namespace crayfish::sim

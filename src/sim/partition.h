@@ -1,0 +1,128 @@
+#ifndef CRAYFISH_SIM_PARTITION_H_
+#define CRAYFISH_SIM_PARTITION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <stop_token>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "sim/event_queue.h"
+#include "sim/mailbox.h"
+
+namespace crayfish::sim {
+
+/// One shard of the partitioned DES: the hosts assigned to it, their
+/// confined events, and the inbox other partitions deliver into. During a
+/// time window exactly one thread executes a partition; between windows
+/// only the coordinator touches it (the window barrier is the handoff).
+struct Partition {
+  int id = 0;
+  /// Confined events of this partition's hosts, ordered by (time, seq).
+  /// The backing store doubles as the partition's event arena: capacity is
+  /// reused across the whole run, so steady-state windows allocate nothing.
+  EventQueue queue;
+  /// Cross-partition deliveries land here; drained at window barriers.
+  Mailbox inbox;
+  /// Local virtual time: the timestamp of the last event this partition
+  /// executed. Never ahead of the current window horizon.
+  SimTime now = 0.0;
+  /// The host whose event is currently executing (-1 between events);
+  /// routes same-host re-scheduling from inside a callback.
+  int32_t current_host = -1;
+  /// Confined events executed, all windows; folded into the simulation
+  /// total at each barrier.
+  uint64_t executed = 0;
+  /// Exclusive (globally synchronized) events attributed to this
+  /// partition, e.g. fault injections targeting one of its hosts.
+  uint64_t exclusive_scheduled = 0;
+
+  /// Runs confined events with time < horizon and time <= until, in
+  /// (time, seq) order, and returns how many ran. Sets itself as the
+  /// executing partition for the duration so Simulation::Now()/Schedule()
+  /// observed from inside callbacks resolve to this partition.
+  uint64_t ExecuteWindow(SimTime horizon, SimTime until);
+};
+
+/// The executing partition of the current thread (null on the coordinator
+/// outside windows, and always null in non-partitioned simulations).
+/// Simulation reads it to route Now()/Schedule() from confined callbacks.
+Partition* CurrentPartition();
+
+/// Host-partitioned execution engine: N partitions, N-1 worker threads
+/// plus the coordinating (caller) thread, advancing in conservative time
+/// windows. The coordinator computes each window's horizon (Simulation
+/// owns that policy: min of next global event, next confined event plus
+/// lookahead, and the next telemetry boundary), dispatches the partitions
+/// that have work, waits at the barrier, then drains mailboxes in the
+/// deterministic RemoteBefore order.
+///
+/// Windows whose work lives in a single partition execute inline on the
+/// coordinator — a fully serial (threads=1) run never wakes a worker, and
+/// a faulted experiment whose only confined work is one host's burst pays
+/// no synchronization at all.
+class PartitionRuntime {
+ public:
+  /// Creates `partitions` partitions and `partitions - 1` parked workers
+  /// (worker i owns partition i + 1; the coordinator runs partition 0 and
+  /// any singleton window).
+  explicit PartitionRuntime(int partitions);
+  ~PartitionRuntime();
+
+  PartitionRuntime(const PartitionRuntime&) = delete;
+  PartitionRuntime& operator=(const PartitionRuntime&) = delete;
+
+  int partition_count() const { return static_cast<int>(parts_.size()); }
+  Partition& partition(int i) { return *parts_[i]; }
+  const Partition& partition(int i) const { return *parts_[i]; }
+
+  /// Earliest pending confined event across all partitions (infinity when
+  /// idle). Mailboxes are empty whenever this is called (barrier drained).
+  SimTime NextConfinedTime() const;
+
+  /// Executes one conservative window: every partition runs its events
+  /// with time < horizon (and <= until) concurrently, then the caller
+  /// blocks at the barrier. Returns the number of events executed.
+  uint64_t RunWindow(SimTime horizon, SimTime until);
+
+  /// Barrier-side merge: feeds each partition's drained inbox into its
+  /// event queue in RemoteBefore order. Coordinator only.
+  void DrainMailboxes();
+
+  /// Largest local clock across partitions — the timestamp of the latest
+  /// event any partition has executed. Deterministic at barriers.
+  SimTime MaxLocalNow() const;
+
+  /// Pending confined events (queues plus undrained inbox items).
+  size_t PendingEvents() const;
+
+ private:
+  void WorkerLoop(int partition_index, const std::stop_token& stop);
+
+  std::vector<std::unique_ptr<Partition>> parts_;
+
+  // Window phase gate. The coordinator publishes (horizon, until) under
+  // mu_, bumps the generation, and wakes the workers; each worker runs its
+  // partition's window and the last one to finish wakes the coordinator.
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  int remaining_ = 0;
+  SimTime window_horizon_ = 0.0;
+  SimTime window_until_ = 0.0;
+  uint64_t window_executed_ = 0;
+
+  // Last member: joins on destruction before the state above dies.
+  std::vector<std::jthread> workers_;
+};
+
+constexpr SimTime kNeverSimTime = std::numeric_limits<SimTime>::infinity();
+
+}  // namespace crayfish::sim
+
+#endif  // CRAYFISH_SIM_PARTITION_H_

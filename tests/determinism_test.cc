@@ -10,7 +10,10 @@
 #include <sstream>
 #include <string>
 
+#include "common/logging.h"
 #include "core/experiment.h"
+#include "obs/slo.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace crayfish::core {
@@ -198,6 +201,73 @@ TEST(DeterminismTest, TimelineExportsReproduceByteForByte) {
   ASSERT_FALSE(jsonl.empty());
   EXPECT_EQ(jsonl, second->timeline->ToJsonl());
   EXPECT_EQ(first->timeline->ToCsv(), second->timeline->ToCsv());
+}
+
+// --- Parallel DES (DESIGN.md §4.6): sim_threads is a wall-clock knob, ---
+// --- never a semantics knob.                                          ---
+
+/// The faulted workload with timeline + SLO evaluation enabled — the
+/// widest export surface a run has. Every byte of it must be independent
+/// of the partition count.
+ExperimentConfig PartitionedProbeConfig(uint64_t seed, int threads) {
+  ExperimentConfig cfg = FaultedConfig(seed);
+  cfg.timeline_interval_s = 1.0;
+  auto slo = obs::SloConfig::FromJsonText(
+      R"({"slos": [{"name": "p95", "metric": "p95_latency_s", "max": 5.0,
+                    "error_budget": 0.2},
+                   {"metric": "throughput_eps", "min": 1.0}]})");
+  CRAYFISH_CHECK(slo.ok());
+  cfg.slo = *slo;
+  cfg.sim_threads = threads;
+  return cfg;
+}
+
+/// Fingerprint plus every timeline/SLO export: the full byte surface.
+std::string WideFingerprint(const ExperimentResult& r) {
+  std::string out = Fingerprint(r);
+  if (r.timeline != nullptr) {
+    out += r.timeline->ToJsonl();
+    out += r.timeline->ToCsv();
+  }
+  if (r.has_slo_report) out += r.slo_report.ToJson().Dump();
+  return out;
+}
+
+TEST(DeterminismTest, PartitionedFaultedRunMatchesSerialByteForByte) {
+  auto serial = RunExperiment(PartitionedProbeConfig(1234, 1));
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(serial->has_fault_metrics);
+  ASSERT_TRUE(serial->has_slo_report);
+  ASSERT_NE(serial->timeline, nullptr);
+  const std::string want = WideFingerprint(*serial);
+  for (const int threads : {2, 4}) {
+    auto parallel = RunExperiment(PartitionedProbeConfig(1234, threads));
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    const std::string got = WideFingerprint(*parallel);
+    if (got != want) {
+      size_t at = 0;
+      while (at < want.size() && at < got.size() && want[at] == got[at]) {
+        ++at;
+      }
+      FAIL() << "sim_threads=" << threads
+             << " diverged from serial at byte " << at << " (sizes "
+             << want.size() << " vs " << got.size() << "); context: \""
+             << want.substr(at > 40 ? at - 40 : 0, 80) << "\" vs \""
+             << got.substr(at > 40 ? at - 40 : 0, 80) << "\"";
+    }
+  }
+}
+
+TEST(DeterminismTest, PartitionedRunsStillDivergeAcrossSeeds) {
+  // Partitioning must not collapse seed sensitivity either — a bug that
+  // froze RNG-dependent paths would pass the equality test above while
+  // making every seed identical.
+  auto first = RunExperiment(PartitionedProbeConfig(1234, 2));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = RunExperiment(PartitionedProbeConfig(99991, 2));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_NE(WideFingerprint(*first), WideFingerprint(*second))
+      << "two seeds produced identical partitioned runs";
 }
 
 TEST(DeterminismTest, TracingDoesNotPerturbTheRun) {

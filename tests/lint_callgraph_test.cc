@@ -414,6 +414,68 @@ TEST(R10PartitionTest, SharedTypeTargetIsExempt) {
   EXPECT_EQ(CountRule(fs, Rule::kPartitionConfinement), 0);
 }
 
+TEST(R10PartitionTest, MailboxPushWithoutSharedAnnotationIsFlagged) {
+  // The parallel engine's cross-partition edge: a confined callback pushing
+  // into another partition's inbox. Without the CRAYFISH_SHARED contract the
+  // write is an unsynchronized cross-host mutation and R10 must flag it.
+  const auto fs = LintProg({
+      {"src/sim/box.h",
+       "class Inbox {\n"
+       " public:\n"
+       "  void Push(double t) { pending_ = pending_ + 1; }\n"
+       " private:\n"
+       "  int pending_ = 0;\n"
+       "};\n"},
+      {"src/sim/fix.cc",
+       std::string(kSimDecl) +
+           "class Worker {\n"
+           " public:\n"
+           "  void Start() {\n"
+           "    sim_->Schedule(1.0, [this]() { inbox_->Push(2.0); });\n"
+           "  }\n"
+           " private:\n"
+           "  Sim* sim_;\n"
+           "  Inbox* inbox_;\n"
+           "};\n"},
+  });
+  ASSERT_EQ(CountRule(fs, Rule::kPartitionConfinement), 1);
+  const Finding* f = FirstOf(fs, Rule::kPartitionConfinement);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->file, "src/sim/fix.cc");
+  ASSERT_EQ(f->path.size(), 5u);
+  EXPECT_EQ(f->path[0], "remote-call");
+  EXPECT_EQ(f->path[1], "inbox_");
+  EXPECT_EQ(f->path[2], "Inbox");
+  EXPECT_EQ(f->path[3], "Push");
+}
+
+TEST(R10PartitionTest, MailboxPushUnderSharedChannelIsExempt) {
+  // Same shape as the real src/sim/mailbox.h: the type carries
+  // CRAYFISH_SHARED("sim-mailbox"), declaring that its internal mutex makes
+  // the cross-partition push safe, so R10 stays silent.
+  const auto fs = LintProg({
+      {"src/sim/box.h",
+       "class CRAYFISH_SHARED(\"sim-mailbox\") Inbox {\n"
+       " public:\n"
+       "  void Push(double t) { pending_ = pending_ + 1; }\n"
+       " private:\n"
+       "  int pending_ = 0;\n"
+       "};\n"},
+      {"src/sim/fix.cc",
+       std::string(kSimDecl) +
+           "class Worker {\n"
+           " public:\n"
+           "  void Start() {\n"
+           "    sim_->Schedule(1.0, [this]() { inbox_->Push(2.0); });\n"
+           "  }\n"
+           " private:\n"
+           "  Sim* sim_;\n"
+           "  Inbox* inbox_;\n"
+           "};\n"},
+  });
+  EXPECT_EQ(CountRule(fs, Rule::kPartitionConfinement), 0);
+}
+
 TEST(R10PartitionTest, SuppressionSilencesTheFinding) {
   const auto fs = LintProg({{"src/sim/fix.cc",
                              std::string(kSimDecl) +

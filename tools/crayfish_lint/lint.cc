@@ -77,6 +77,29 @@ bool IsHostThreadingAllowlisted(std::string_view path) {
          InDir(path, "tools/crayfish_lint");
 }
 
+/// R6 carve-out for the parallel DES runtime: the partition engine and the
+/// cross-partition mailbox are the two sim-layer files that own host
+/// threads *by design* (DESIGN.md §4.6), so each gets an explicit list of
+/// the primitives its protocol needs — workers + phase gate for the
+/// runtime, one mutex for the mailbox. Anything outside the list (atomics,
+/// futures, semaphores, plain std::thread, ...) still fires R6: the
+/// carve-out names a protocol, it does not open the file to concurrency.
+const std::set<std::string>* HostThreadingCarveOut(std::string_view path) {
+  static const std::set<std::string> kPartitionRuntime = {
+      "jthread",     "stop_token",         "stop_source", "mutex",
+      "lock_guard",  "condition_variable", "unique_lock"};
+  static const std::set<std::string> kMailbox = {"mutex", "lock_guard"};
+  if (PathEndsWith(path, "src/sim/partition.h") ||
+      PathEndsWith(path, "src/sim/partition.cc")) {
+    return &kPartitionRuntime;
+  }
+  if (PathEndsWith(path, "src/sim/mailbox.h") ||
+      PathEndsWith(path, "src/sim/mailbox.cc")) {
+    return &kMailbox;
+  }
+  return nullptr;
+}
+
 /// R1 allowlist: the logging real-time sink is the single src/ place allowed
 /// to read the host clock (it never feeds back into simulation state), and
 /// bench/ harness code exists to measure wall time.
@@ -451,11 +474,13 @@ class Linter {
         "latch",         "barrier",
         "call_once",     "once_flag",
         "stop_source",   "stop_token"};
+    const std::set<std::string>* carve_out = HostThreadingCarveOut(path_);
     for (int i = 0; i < static_cast<int>(toks_.size()); ++i) {
       const Token& t = toks_[i];
       if (t.kind != TokenKind::kIdentifier || banned.count(t.text) == 0) {
         continue;
       }
+      if (carve_out != nullptr && carve_out->count(t.text) > 0) continue;
       // Only std-qualified uses: `std::thread`, `std::atomic<...>`. A bare
       // `thread` identifier (a variable, a field) is not a primitive.
       const int colons = PrevCode(toks_, i);

@@ -45,6 +45,8 @@
 //   timeline_interval_s = 0          # > 0 enables the telemetry timeline
 //   slo           =                  # SLO spec JSON (implies the timeline)
 //   seed          = 42
+//   sim_threads   = 1                # parallel DES partitions (results are
+//                                    # byte-identical at any value)
 //   # engine-specific overrides pass through verbatim, e.g.:
 //   # spark.max_offsets_per_trigger = 768
 
@@ -94,6 +96,8 @@ core::ExperimentConfig FromConfig(const Config& cfg) {
   out.max_measurements =
       static_cast<uint64_t>(cfg.GetIntOr("max_measurements", 0));
   out.seed = static_cast<uint64_t>(cfg.GetIntOr("seed", 42));
+  out.sim_threads =
+      static_cast<int>(cfg.GetIntOr("sim_threads", out.sim_threads));
   out.dataset_path = cfg.GetStringOr("dataset", "");
   out.enable_tracing = cfg.GetBoolOr("trace", out.enable_tracing);
   out.timeline_interval_s =
@@ -155,6 +159,9 @@ void PrintUsage(const char* prog) {
       "flags:\n"
       "  --jobs=N            max concurrent experiments (default: hardware\n"
       "                      concurrency; --jobs=1 runs serially)\n"
+      "  --sim_threads=N     host partitions for the parallel DES engine\n"
+      "                      (default 1; results are byte-identical at any\n"
+      "                      value — overrides the sim_threads config key)\n"
       "  --trace_out=PATH    Chrome trace-event JSON (Perfetto-loadable)\n"
       "  --trace_csv=PATH    per-span CSV export of the trace\n"
       "  --metrics_out=PATH  metrics-registry snapshot as JSON\n"
@@ -187,6 +194,7 @@ int main(int argc, char** argv) {
   std::string trace_csv;
   std::string metrics_out;
   std::string jobs_str;
+  std::string sim_threads_str;
   std::string faults_path;
   std::string timeline_out;
   std::string timeline_csv;
@@ -204,6 +212,7 @@ int main(int argc, char** argv) {
     if (arg == "--breakdown") {
       print_breakdown = true;
     } else if (ParseFlag(arg, "--jobs", &jobs_str) ||
+               ParseFlag(arg, "--sim_threads", &sim_threads_str) ||
                ParseFlag(arg, "--trace_out", &trace_out) ||
                ParseFlag(arg, "--trace_csv", &trace_csv) ||
                ParseFlag(arg, "--metrics_out", &metrics_out) ||
@@ -229,6 +238,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     core::SetDefaultSweepJobs(jobs);
+  }
+  // 0 = not given; the config key (or its default of 1) applies.
+  int sim_threads_flag = 0;
+  if (!sim_threads_str.empty()) {
+    sim_threads_flag = std::atoi(sim_threads_str.c_str());
+    if (sim_threads_flag < 1 || sim_threads_flag > 64) {
+      std::fprintf(stderr, "--sim_threads must be in [1, 64]\n");
+      return 2;
+    }
   }
   // The trailing positional is the measurements CSV when it ends in
   // ".csv"; everything else is a config file.
@@ -270,6 +288,7 @@ int main(int argc, char** argv) {
         return 2;
       }
       batch.push_back(FromConfig(*cfg_or));
+      if (sim_threads_flag > 0) batch.back().sim_threads = sim_threads_flag;
       crayfish::Status fs =
           ApplyFaultConfig(*cfg_or, faults_path, &batch.back());
       if (!fs.ok()) {
@@ -300,6 +319,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   core::ExperimentConfig cfg = FromConfig(*cfg_or);
+  if (sim_threads_flag > 0) cfg.sim_threads = sim_threads_flag;
   {
     crayfish::Status fs = ApplyFaultConfig(*cfg_or, faults_path, &cfg);
     if (!fs.ok()) {
