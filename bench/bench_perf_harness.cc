@@ -17,7 +17,13 @@
 //     sim_threads 1/2/4/8. Checksums must match across thread counts (the
 //     engine's byte-for-byte determinism contract); wall-clock scaling is
 //     recorded together with hardware_concurrency so a 1-core runner's
-//     numbers are read as protocol overhead, not regression.
+//     numbers are read as protocol overhead, not scaling.
+//  5. Confined pipeline — the full RQ1-style experiment (producer → Kafka
+//     → Flink → external serving) after the confinement-planner migration,
+//     run at sim_threads 1/2/4/8. A fingerprint over the result (counts,
+//     clock bits, metric summary) must be identical at every thread count;
+//     wall-clock per point shows what host-confined scheduling buys the
+//     real pipeline, subject to the same hardware_concurrency caveat.
 //
 // Emits BENCH_perf.json (in --out, default the working directory) so the
 // numbers are tracked per commit. Wall-clock reads are fine here: this
@@ -37,6 +43,7 @@
 
 #include "bench/bench_common.h"
 #include "broker/record.h"
+#include "core/experiment.h"
 #include "core/sweep.h"
 #include "sim/event_queue.h"
 #include "sim/simulation.h"
@@ -358,6 +365,73 @@ std::vector<PartitionedPoint> PartitionedScaling(uint64_t* checksum,
 }
 
 // ---------------------------------------------------------------------------
+// 5. Confined pipeline
+// ---------------------------------------------------------------------------
+
+core::ExperimentConfig PipelineConfig(int threads) {
+  core::ExperimentConfig cfg;
+  cfg.engine = "flink";
+  cfg.serving = "tf-serving";
+  cfg.model = "ffnn";
+  cfg.batch_size = 4;
+  cfg.input_rate = 500.0;
+  cfg.duration_s = 12.0;
+  cfg.drain_s = 4.0;
+  cfg.seed = 42;
+  cfg.sim_threads = threads;
+  return cfg;
+}
+
+/// FNV-1a over the run's observable surface: event counts, the end-of-run
+/// clock bits, and the metric summary JSON. Any cross-thread-count
+/// divergence in scheduling order lands in at least one of these.
+uint64_t PipelineFingerprint(const core::ExperimentResult& r) {
+  std::string surface = r.summary.ToJson();
+  surface += std::to_string(r.events_sent);
+  surface += std::to_string(r.events_scored);
+  surface += std::to_string(r.sim_events_executed);
+  uint64_t clock_bits = 0;
+  std::memcpy(&clock_bits, &r.sim_end_s, sizeof(clock_bits));
+  surface += std::to_string(clock_bits);
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : surface) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<PartitionedPoint> PipelineScaling(uint64_t* checksum,
+                                              uint64_t* events) {
+  std::vector<PartitionedPoint> out;
+  uint64_t ref_sum = 0;
+  uint64_t ref_events = 0;
+  for (int n : {1, 2, 4, 8}) {
+    const auto start = Clock::now();
+    const auto r = core::RunExperiment(PipelineConfig(n));
+    const double elapsed = SecondsSince(start);
+    CRAYFISH_CHECK(r.ok()) << r.status().ToString();
+    const uint64_t sum = PipelineFingerprint(*r);
+    if (out.empty()) {
+      ref_sum = sum;
+      ref_events = r->sim_events_executed;
+    }
+    CRAYFISH_CHECK(sum == ref_sum)
+        << "confined pipeline at sim_threads=" << n
+        << " diverged from the serial fingerprint";
+    CRAYFISH_CHECK(r->sim_events_executed == ref_events)
+        << "confined pipeline at sim_threads=" << n << " executed "
+        << r->sim_events_executed << " events, serial executed "
+        << ref_events;
+    out.push_back(
+        {n, elapsed, static_cast<double>(ref_events) / elapsed});
+  }
+  *checksum = ref_sum;
+  *events = ref_events;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 
 void RunHarness() {
   std::printf("bench_perf_harness: DES micro (%llu events, width %d)...\n",
@@ -432,13 +506,26 @@ void RunHarness() {
     std::printf("  note: %s\n", part_note);
   }
 
+  std::printf("bench_perf_harness: confined pipeline (flink + tf-serving, "
+              "sim_threads 1/2/4/8)...\n");
+  uint64_t pipe_checksum = 0;
+  uint64_t pipe_events = 0;
+  const std::vector<PartitionedPoint> pipe =
+      PipelineScaling(&pipe_checksum, &pipe_events);
+  for (const PartitionedPoint& p : pipe) {
+    std::printf("  threads=%-2d %8.3f s  %12.0f events/s   (%.2fx)\n",
+                p.threads, p.wall_s, p.events_per_s,
+                pipe[0].wall_s / p.wall_s);
+  }
+  const double pipe_speedup_4 = pipe[0].wall_s / pipe[2].wall_s;
+
   // The JSON lands in the working directory, not out_dir: unlike the
   // generated CSVs it is committed, so the perf trajectory is diffable
   // per PR.
   const std::string path = "BENCH_perf.json";
   std::ofstream out(path, std::ios::trunc);
   CRAYFISH_CHECK(static_cast<bool>(out)) << "cannot open " << path;
-  char buf[3072];
+  char buf[4096];
   std::snprintf(
       buf, sizeof(buf),
       "{\n"
@@ -473,6 +560,17 @@ void RunHarness() {
       "    \"events_per_s\": [%.0f, %.0f, %.0f, %.0f],\n"
       "    \"speedup_at_4_threads\": %.3f,\n"
       "    \"note\": \"%s\"\n"
+      "  },\n"
+      "  \"pipeline_confined\": {\n"
+      "    \"engine\": \"flink\",\n"
+      "    \"serving\": \"tf-serving\",\n"
+      "    \"events\": %llu,\n"
+      "    \"checksum\": %llu,\n"
+      "    \"threads\": [%d, %d, %d, %d],\n"
+      "    \"wall_s\": [%.3f, %.3f, %.3f, %.3f],\n"
+      "    \"events_per_s\": [%.0f, %.0f, %.0f, %.0f],\n"
+      "    \"speedup_at_4_threads\": %.3f,\n"
+      "    \"note\": \"%s\"\n"
       "  }\n"
       "}\n",
       hw, static_cast<unsigned long long>(kMicroEvents), legacy_eps,
@@ -484,7 +582,13 @@ void RunHarness() {
       part[1].threads, part[2].threads, part[3].threads, part[0].wall_s,
       part[1].wall_s, part[2].wall_s, part[3].wall_s, part[0].events_per_s,
       part[1].events_per_s, part[2].events_per_s, part[3].events_per_s,
-      part_speedup_4, part_note);
+      part_speedup_4, part_note,
+      static_cast<unsigned long long>(pipe_events),
+      static_cast<unsigned long long>(pipe_checksum), pipe[0].threads,
+      pipe[1].threads, pipe[2].threads, pipe[3].threads, pipe[0].wall_s,
+      pipe[1].wall_s, pipe[2].wall_s, pipe[3].wall_s, pipe[0].events_per_s,
+      pipe[1].events_per_s, pipe[2].events_per_s, pipe[3].events_per_s,
+      pipe_speedup_4, part_note);
   out << buf;
   std::printf("wrote %s\n", path.c_str());
 }

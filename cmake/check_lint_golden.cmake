@@ -11,6 +11,8 @@
 #       > tools/crayfish_lint/golden/callgraph_sim.json
 #   ./build/tools/crayfish_lint --dump-effects src/sim \
 #       > tools/crayfish_lint/golden/effects_sim.json
+#   ./build/tools/crayfish_lint --dump-confinement src \
+#       > tools/crayfish_lint/golden/confinement_src.json
 
 if(NOT LINT_BIN OR NOT REPO_DIR)
   message(FATAL_ERROR "usage: cmake -DLINT_BIN=... -DREPO_DIR=... -P check_lint_golden.cmake")
@@ -18,9 +20,9 @@ endif()
 
 set(golden_dir "${REPO_DIR}/tools/crayfish_lint/golden")
 
-function(check_dump flag golden)
+function(check_dump flag scan_dir golden)
   execute_process(
-    COMMAND ${LINT_BIN} ${flag} src/sim
+    COMMAND ${LINT_BIN} ${flag} ${scan_dir}
     WORKING_DIRECTORY ${REPO_DIR}
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE live
@@ -43,7 +45,11 @@ function(check_dump flag golden)
   endif()
 endfunction()
 
-check_dump(--dump-callgraph callgraph_sim.json)
-check_dump(--dump-effects effects_sim.json)
+check_dump(--dump-callgraph src/sim callgraph_sim.json)
+check_dump(--dump-effects src/sim effects_sim.json)
+# The confinement plan spans the whole pipeline (broker, engines, serving):
+# a diff here means a scheduling site changed planes and the partitioned
+# engine's parallelism — or determinism — story changed with it.
+check_dump(--dump-confinement src confinement_src.json)
 
 message(STATUS "crayfish_lint whole-program dumps match the goldens")

@@ -130,6 +130,13 @@ class KafkaCluster {
   /// name, so it is stable across runs and platforms).
   int CoordinatorBroker(const std::string& group) const;
   /// Stores the offset; silently dropped while the coordinator is down.
+  /// Pre-creates the committed-offset slot for (group, tp), keeping any
+  /// offset already stored. Consumers call this while assigning partitions
+  /// (setup or a rebalance — both on the global plane), so later
+  /// CommitOffset calls from confined poll loops are value-only writes on
+  /// pre-existing entries: no structural map mutation off the global plane.
+  void EnsureCommitSlot(const std::string& group, const TopicPartition& tp);
+
   void CommitOffset(const std::string& group, const TopicPartition& tp,
                     int64_t offset);
   /// Committed offset or 0 when none.
@@ -212,6 +219,13 @@ class KafkaCluster {
     std::vector<GroupMember> members;
     int next_member_id = 0;
   };
+
+  /// Host-confined scheduling shim: pushes onto `host`'s partition queue
+  /// when the experiment armed host scheduling (lookahead set), and falls
+  /// back to the legacy global queue otherwise so unit tests and
+  /// single-threaded tools keep their exact event order.
+  void ScheduleOnHost(const std::string& host, sim::SimTime delay,
+                      sim::InlineAction action);
 
   void Rebalance(const std::string& group, const std::string& topic);
 

@@ -26,6 +26,16 @@ KafkaProducer::KafkaProducer(KafkaCluster* cluster, std::string client_host,
 
 KafkaProducer::~KafkaProducer() { *alive_ = false; }
 
+void KafkaProducer::ScheduleOnHost(sim::SimTime delay,
+                                   sim::InlineAction action) {
+  sim::Simulation* sim = cluster_->simulation();
+  if (sim->host_scheduling_active()) {
+    sim->ScheduleOnHost(client_host_, delay, std::move(action));
+  } else {
+    sim->Schedule(delay, std::move(action));
+  }
+}
+
 crayfish::Status KafkaProducer::Send(const std::string& topic, Record record,
                                      AckCallback on_ack) {
   CRAYFISH_ASSIGN_OR_RETURN(int partitions, cluster_->NumPartitions(topic));
@@ -61,10 +71,9 @@ crayfish::Status KafkaProducer::SendToPartition(const TopicPartition& tp,
     batch.flush_scheduled = true;
     // linger: coalesces records produced within the window into one
     // request; linger 0 still coalesces same-instant sends.
-    cluster_->simulation()->Schedule(
-        config_.linger_s, [this, tp, alive = alive_]() {
-          if (*alive) FlushPartition(tp);
-        });
+    ScheduleOnHost(config_.linger_s, [this, tp, alive = alive_]() {
+      if (*alive) FlushPartition(tp);
+    });
   }
   return crayfish::Status::Ok();
 }
@@ -83,12 +92,11 @@ void KafkaProducer::FlushPartition(const TopicPartition& tp) {
   // The send itself proceeds even if the producer object is destroyed in
   // the meantime (records handed to Flush() are owed to the broker); only
   // the statistics counters are guarded by the lifetime token.
-  auto* sim = cluster_->simulation();
   KafkaCluster* cluster = cluster_;
   std::string host = client_host_;
-  sim->Schedule(serialize, [this, cluster, host = std::move(host), tp,
-                            record_count, alive = alive_,
-                            batch = std::move(batch)]() mutable {
+  ScheduleOnHost(serialize, [this, cluster, host = std::move(host), tp,
+                             record_count, alive = alive_,
+                             batch = std::move(batch)]() mutable {
     auto acks =
         std::make_shared<std::vector<AckCallback>>(std::move(batch.acks));
     // The produce request leaves the client here: linger + client-side
@@ -147,11 +155,11 @@ void KafkaProducer::SendBatch(const TopicPartition& tp,
       }
       const double delay = retry_.BackoffFor(
           std::min(attempt, retry_.max_retries - 1), &*rng_);
-      cluster_->simulation()->Schedule(
-          delay, [this, tp, acks, attempt, backup, alive]() mutable {
-            if (!*alive) return;  // teardown mid-backoff: drop the re-send
-            SendBatch(tp, std::move(*backup), acks, attempt + 1);
-          });
+      ScheduleOnHost(delay, [this, tp, acks, attempt, backup,
+                             alive]() mutable {
+        if (!*alive) return;  // teardown mid-backoff: drop the re-send
+        SendBatch(tp, std::move(*backup), acks, attempt + 1);
+      });
       return;
     }
     if (*alive) ++send_errors_;
@@ -160,7 +168,7 @@ void KafkaProducer::SendBatch(const TopicPartition& tp,
     }
   };
 
-  cluster_->simulation()->Schedule(retry_.timeout_s, [settled, fail, tp]() {
+  ScheduleOnHost(retry_.timeout_s, [settled, fail, tp]() {
     if (*settled) return;
     *settled = true;
     fail(crayfish::Status::Timeout("produce timed out: " + tp.ToString()));

@@ -1,0 +1,24 @@
+#ifndef CRAYFISH_COMMON_DEFER_HOOK_H_
+#define CRAYFISH_COMMON_DEFER_HOOK_H_
+
+#include "common/inline_action.h"
+
+namespace crayfish::common {
+
+/// Barrier-deferral seam between the observability collectors and the
+/// partitioned DES. Declared here — the bottom layer — so obs/ can call it
+/// without an obs -> sim include edge (the module include graph must stay
+/// a DAG, lint R7); the definition lives with the partition runtime
+/// (sim/partition.cc), which owns the executing-partition thread-local the
+/// hook consults. Targets that use the hook link crayfish_sim.
+///
+/// From a confined callback inside a parallel window: buffers `op` on the
+/// executing partition (stamped with its local clock and executing host)
+/// for replay at the window barrier and returns true. From global or setup
+/// context: returns false without buffering — the caller applies the
+/// mutation inline.
+bool DeferToBarrier(InlineAction op);
+
+}  // namespace crayfish::common
+
+#endif  // CRAYFISH_COMMON_DEFER_HOOK_H_

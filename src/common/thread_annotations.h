@@ -41,8 +41,18 @@
 //     std::map<std::string, Host> hosts_ CRAYFISH_GUARDED_BY("setup");
 //   };
 
+//   CRAYFISH_GLOBAL_PLANE("why") on a function: asserts to the confinement
+//                              planner (R13, DESIGN.md §4.7) that the
+//                              function only ever runs on the coordinator's
+//                              global plane — fault hooks dispatched from
+//                              exclusive sync points, autoscaler ticks.
+//                              Schedule sites inside it (and everything it
+//                              reaches) classify as intentionally global
+//                              instead of confinable.
+
 #define CRAYFISH_SHARED(channel)
 #define CRAYFISH_GUARDED_BY(channel)
 #define CRAYFISH_REQUIRES(channel)
+#define CRAYFISH_GLOBAL_PLANE(why)
 
 #endif  // CRAYFISH_COMMON_THREAD_ANNOTATIONS_H_

@@ -149,7 +149,8 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
     CRAYFISH_ASSIGN_OR_RETURN(
         server, serving::CreateExternalServer(&sim, &network,
                                               config.serving, opts));
-    server->Start();
+    // Started below, after the lookahead is armed, so the model-load and
+    // readiness events confine to the serving host.
   } else {
     CRAYFISH_ASSIGN_OR_RETURN(library,
                               serving::CreateEmbeddedLibrary(config.serving));
@@ -280,6 +281,7 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
   network.FreezeTopology();
   sim.SetLookahead(network.MinLinkLatency());
 
+  if (server != nullptr) server->Start();
   CRAYFISH_RETURN_IF_ERROR(engine->Start());
   output_consumer.Start();
   producer.Start();

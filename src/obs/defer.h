@@ -1,0 +1,40 @@
+#ifndef CRAYFISH_OBS_DEFER_H_
+#define CRAYFISH_OBS_DEFER_H_
+
+#include <utility>
+
+#include "common/defer_hook.h"
+#include "common/inline_action.h"
+
+namespace crayfish::obs {
+
+/// Barrier deferral for observability mutations under the partitioned DES.
+///
+/// Collectors (registry, trace recorder, timeline sampler) are
+/// cross-partition substrates: a confined callback on one host must not
+/// mutate them while another partition's callback does the same. Instead
+/// of locking every counter bump, each mutator calls DeferIfConfined with
+/// a closure that performs the mutation. From a confined callback the
+/// closure is buffered on the executing partition — stamped with the
+/// partition's local clock and executing host — and replayed by the
+/// coordinator at the window barrier, merged across partitions in
+/// (time, host) order. That order is independent of the thread count, so
+/// metrics, traces, and timelines stay byte-identical between
+/// `sim_threads=1` and any parallel run. From global or setup context the
+/// call returns false and the caller applies the mutation inline.
+///
+/// The closure must capture every input by value (times included): it runs
+/// at the barrier, where Now() has moved on to the window horizon.
+///
+/// Returns true when the op was deferred (the caller must NOT also apply
+/// it), false when the caller should apply it inline. Routed through the
+/// common/defer_hook.h seam so this header depends only on common/ (the
+/// module include graph stays a DAG; the hook's definition lives with the
+/// partition runtime).
+inline bool DeferIfConfined(common::InlineAction op) {
+  return common::DeferToBarrier(std::move(op));
+}
+
+}  // namespace crayfish::obs
+
+#endif  // CRAYFISH_OBS_DEFER_H_

@@ -4,7 +4,30 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/defer.h"
+
 namespace crayfish::obs {
+
+void CounterMetric::Increment(double delta) {
+  if (DeferIfConfined([this, delta]() { value_ += delta; })) return;
+  value_ += delta;
+}
+
+void GaugeMetric::Set(double v) {
+  if (DeferIfConfined([this, v]() { value_ = v; })) return;
+  value_ = v;
+}
+
+void HistogramMetric::Observe(double v) {
+  if (DeferIfConfined([this, v]() {
+        stats_.Add(v);
+        histogram_.Add(v);
+      })) {
+    return;
+  }
+  stats_.Add(v);
+  histogram_.Add(v);
+}
 
 std::string MetricsRegistry::Key(const std::string& name,
                                  const MetricLabels& labels) {
@@ -22,6 +45,7 @@ std::string MetricsRegistry::Key(const std::string& name,
 
 CounterMetric* MetricsRegistry::Counter(const std::string& name,
                                         const MetricLabels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[Key(name, labels)];
   if (!slot) slot = std::make_unique<CounterMetric>();
   return slot.get();
@@ -29,6 +53,7 @@ CounterMetric* MetricsRegistry::Counter(const std::string& name,
 
 GaugeMetric* MetricsRegistry::Gauge(const std::string& name,
                                     const MetricLabels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[Key(name, labels)];
   if (!slot) slot = std::make_unique<GaugeMetric>();
   return slot.get();
@@ -36,6 +61,7 @@ GaugeMetric* MetricsRegistry::Gauge(const std::string& name,
 
 HistogramMetric* MetricsRegistry::Histogram(const std::string& name,
                                             const MetricLabels& labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[Key(name, labels)];
   if (!slot) slot = std::make_unique<HistogramMetric>();
   return slot.get();

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -23,7 +24,11 @@ using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 /// Monotone event count (records produced, bytes moved, applies run).
 class CRAYFISH_SHARED("obs-metrics") CounterMetric {
  public:
-  void Increment(double delta = 1.0) { value_ += delta; }
+  /// Deferred to the window barrier when called from a confined callback
+  /// (obs/defer.h), applied immediately otherwise — either way the update
+  /// order, and therefore the accumulated value, is thread-count
+  /// independent.
+  void Increment(double delta = 1.0);
   double value() const { return value_; }
 
  private:
@@ -33,7 +38,8 @@ class CRAYFISH_SHARED("obs-metrics") CounterMetric {
 /// Last-written value (current queue depth, configured parallelism).
 class CRAYFISH_SHARED("obs-metrics") GaugeMetric {
  public:
-  void Set(double v) { value_ = v; }
+  /// Deferred to the window barrier from confined callbacks (obs/defer.h).
+  void Set(double v);
   double value() const { return value_; }
 
  private:
@@ -48,10 +54,8 @@ class CRAYFISH_SHARED("obs-metrics") HistogramMetric {
  public:
   HistogramMetric() : histogram_(1e-6, 1e6, 512) {}
 
-  void Observe(double v) {
-    stats_.Add(v);
-    histogram_.Add(v);
-  }
+  /// Deferred to the window barrier from confined callbacks (obs/defer.h).
+  void Observe(double v);
 
   size_t count() const { return stats_.count(); }
   double mean() const { return stats_.mean(); }
@@ -113,6 +117,13 @@ class CRAYFISH_SHARED("obs-metrics") MetricsRegistry {
   std::map<std::string, std::unique_ptr<CounterMetric>> counters_;
   std::map<std::string, std::unique_ptr<GaugeMetric>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+  /// Guards the three lookup-or-create maps only: metric *updates* are
+  /// barrier-deferred (obs/defer.h), but the first `Counter(...)` call for
+  /// a key can happen inside a parallel window on any partition, and the
+  /// map insertion must not race (R6 carve-out, like sim/mailbox). Metric
+  /// identities are key-sorted, so the stored set — and every snapshot —
+  /// is independent of arrival order.
+  mutable std::mutex mu_;
 };
 
 }  // namespace crayfish::obs

@@ -6,6 +6,7 @@
 
 #include "common/json.h"
 #include "common/logging.h"
+#include "obs/defer.h"
 
 namespace crayfish::obs {
 
@@ -77,6 +78,16 @@ TimelineWindow& TimelineSampler::WindowAt(double t) {
 
 void TimelineSampler::ObserveLatency(double t, double latency_s,
                                      uint64_t events) {
+  if (DeferIfConfined([this, t, latency_s, events]() {
+        ApplyObserveLatency(t, latency_s, events);
+      })) {
+    return;
+  }
+  ApplyObserveLatency(t, latency_s, events);
+}
+
+void TimelineSampler::ApplyObserveLatency(double t, double latency_s,
+                                          uint64_t events) {
   if (finalized_) return;
   TimelineWindow& w = WindowAt(t);
   w.completions += events;
@@ -85,16 +96,34 @@ void TimelineSampler::ObserveLatency(double t, double latency_s,
 }
 
 void TimelineSampler::Count(const std::string& name, double t, double delta) {
+  if (DeferIfConfined(
+          [this, name, t, delta]() { ApplyCount(name, t, delta); })) {
+    return;
+  }
+  ApplyCount(name, t, delta);
+}
+
+void TimelineSampler::ApplyCount(const std::string& name, double t,
+                                 double delta) {
   if (finalized_) return;
   WindowAt(t).counters[name] += delta;
 }
 
 void TimelineSampler::Annotate(double t, const std::string& label) {
+  if (DeferIfConfined([this, t, label]() { ApplyAnnotate(t, label); })) {
+    return;
+  }
+  ApplyAnnotate(t, label);
+}
+
+void TimelineSampler::ApplyAnnotate(double t, const std::string& label) {
   if (finalized_) return;
   WindowAt(t).annotations.push_back(label);
 }
 
 void TimelineSampler::BeginFault(const std::string& name, double t) {
+  // Fault transitions come from the injector's exclusive events, which
+  // always run from global context — no deferral path needed.
   if (finalized_) return;
   active_faults_.insert(name);
   WindowAt(t).active_faults.insert(name);

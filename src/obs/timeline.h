@@ -145,6 +145,15 @@ class TimelineSampler {
     double last = 0.0;
   };
 
+  // Mutation bodies behind the public feeds. Each public feed is
+  // barrier-deferred when called from a confined callback (obs/defer.h)
+  // and applies inline otherwise; Apply* forms run only from global or
+  // barrier context — always before the window containing `t` closes,
+  // because parallel window horizons are capped at NextBoundaryAfter.
+  void ApplyObserveLatency(double t, double latency_s, uint64_t events);
+  void ApplyCount(const std::string& name, double t, double delta);
+  void ApplyAnnotate(double t, const std::string& label);
+
   /// Grows `windows_` through index `idx`, seeding new windows with the
   /// currently active fault set.
   void EnsureWindow(size_t idx);

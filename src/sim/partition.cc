@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/defer_hook.h"
 #include "common/logging.h"
 
 namespace crayfish::sim {
@@ -15,6 +16,13 @@ thread_local Partition* tls_partition = nullptr;
 }  // namespace
 
 Partition* CurrentPartition() { return tls_partition; }
+
+bool DeferToBarrier(InlineAction op) {
+  Partition* p = tls_partition;
+  if (p == nullptr) return false;
+  p->deferred.push_back(DeferredOp{p->now, p->current_host, std::move(op)});
+  return true;
+}
 
 uint64_t Partition::ExecuteWindow(SimTime horizon, SimTime until) {
   tls_partition = this;
@@ -149,3 +157,14 @@ size_t PartitionRuntime::PendingEvents() const {
 }
 
 }  // namespace crayfish::sim
+
+namespace crayfish::common {
+
+// Defined here rather than in common/: the hook routes through the
+// executing-partition thread-local, which only the partition runtime
+// knows (see common/defer_hook.h for the layering contract).
+bool DeferToBarrier(InlineAction op) {
+  return sim::DeferToBarrier(std::move(op));
+}
+
+}  // namespace crayfish::common

@@ -16,6 +16,18 @@
 
 namespace crayfish::sim {
 
+/// An observability mutation recorded inside a parallel window (metric
+/// update, trace mark, timeline feed). Collectors are cross-partition
+/// substrates, so confined callbacks buffer the mutation here instead of
+/// applying it; the coordinator replays all partitions' buffers at the
+/// window barrier in (time, host) order, which is identical at every
+/// thread count — observability stays byte-deterministic and race-free.
+struct DeferredOp {
+  SimTime time = 0.0;
+  int32_t host = -1;
+  InlineAction apply;
+};
+
 /// One shard of the partitioned DES: the hosts assigned to it, their
 /// confined events, and the inbox other partitions deliver into. During a
 /// time window exactly one thread executes a partition; between windows
@@ -40,6 +52,10 @@ struct Partition {
   /// Exclusive (globally synchronized) events attributed to this
   /// partition, e.g. fault injections targeting one of its hosts.
   uint64_t exclusive_scheduled = 0;
+  /// Observability mutations recorded by this partition's callbacks during
+  /// the current window; drained by the coordinator at the barrier. The
+  /// backing store's capacity is reused across windows.
+  std::vector<DeferredOp> deferred;
 
   /// Runs confined events with time < horizon and time <= until, in
   /// (time, seq) order, and returns how many ran. Sets itself as the
@@ -52,6 +68,13 @@ struct Partition {
 /// outside windows, and always null in non-partitioned simulations).
 /// Simulation reads it to route Now()/Schedule() from confined callbacks.
 Partition* CurrentPartition();
+
+/// Buffers `op` on the executing partition for replay at the window
+/// barrier (stamped with the partition's local clock and executing host)
+/// and returns true. From global or setup context returns false without
+/// buffering — the caller applies the mutation inline. This is the entry
+/// point behind obs::DeferIfConfined (see obs/defer.h for the contract).
+bool DeferToBarrier(InlineAction op);
 
 /// Host-partitioned execution engine: N partitions, N-1 worker threads
 /// plus the coordinating (caller) thread, advancing in conservative time

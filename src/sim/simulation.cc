@@ -149,6 +149,36 @@ void Simulation::ScheduleExclusiveAt(const std::string& host, SimTime time,
   ScheduleAt(time, std::move(action));
 }
 
+void Simulation::DrainDeferredObs() {
+  const int n = runtime_->partition_count();
+  size_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += runtime_->partition(i).deferred.size();
+  }
+  if (total == 0) return;
+  deferred_scratch_.clear();
+  deferred_scratch_.reserve(total);
+  for (int i = 0; i < n; ++i) {
+    Partition& p = runtime_->partition(i);
+    for (DeferredOp& op : p.deferred) {
+      deferred_scratch_.push_back(std::move(op));
+    }
+    p.deferred.clear();
+  }
+  // Merge across partitions into the (time, host) order a serial run
+  // records naturally. Ties on both keys come from a single host, whose
+  // buffer order is already its deterministic execution order — the
+  // stable sort preserves it, so the replayed sequence is identical at
+  // every thread count.
+  std::stable_sort(deferred_scratch_.begin(), deferred_scratch_.end(),
+                   [](const DeferredOp& a, const DeferredOp& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.host < b.host;
+                   });
+  for (DeferredOp& op : deferred_scratch_) op.apply();
+  deferred_scratch_.clear();
+}
+
 uint64_t Simulation::exclusive_scheduled(int partition) const {
   if (runtime_ == nullptr) return 0;
   return runtime_->partition(partition).exclusive_scheduled;
@@ -225,6 +255,9 @@ uint64_t Simulation::Run(SimTime until) {
     executed += n;
     events_executed_ += n;
     runtime_->DrainMailboxes();
+    // Replay buffered observability mutations before the next iteration's
+    // AdvanceTo so they land in their (still open) timeline window.
+    DrainDeferredObs();
     // Local clocks never pass the horizon, which never passes t_g, so the
     // global clock stays behind every pending event.
     now_ = std::max(now_, runtime_->MaxLocalNow());

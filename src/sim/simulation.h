@@ -110,6 +110,12 @@ class CRAYFISH_SHARED("sim-event-queue") Simulation {
   void SetLookahead(SimTime lookahead_s);
   SimTime lookahead() const { return lookahead_; }
 
+  /// True once the experiment driver has armed partitioned execution
+  /// (positive lookahead). Components use this to pick between the
+  /// host-confined scheduling path and the legacy global path, so unit
+  /// tests that never call SetLookahead keep byte-identical event orders.
+  bool host_scheduling_active() const { return lookahead_ > 0.0; }
+
   /// Registers a simulated host and assigns it to a partition
   /// (round-robin by registration order, which is deterministic). Returns
   /// the host id used by the id-keyed scheduling overloads. Registering
@@ -198,6 +204,10 @@ class CRAYFISH_SHARED("sim-event-queue") Simulation {
   /// carrying the conservative lookahead bound.
   void PushRemote(Partition* from, int host_id, SimTime time,
                   InlineAction action);
+  /// Replays the observability mutations partitions buffered during the
+  /// window just executed, merged across partitions in (time, host) order.
+  /// Coordinator only, at the window barrier (see Partition::deferred).
+  void DrainDeferredObs();
 
   uint64_t seed_;
   Rng rng_;
@@ -212,6 +222,9 @@ class CRAYFISH_SHARED("sim-event-queue") Simulation {
   /// Host id -> monotone cross-host send counter (the src_seq half of the
   /// deterministic merge key). Only the owning partition's thread writes.
   std::vector<uint64_t> host_send_seq_;
+  /// Barrier-side merge buffer for deferred observability mutations; the
+  /// capacity is reused across windows.
+  std::vector<DeferredOp> deferred_scratch_;
   /// Ordered (lint R3): iteration is never timing-relevant, but the map
   /// backs deterministic host-id assignment diagnostics.
   std::map<std::string, int> host_ids_;

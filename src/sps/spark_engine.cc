@@ -49,7 +49,9 @@ crayfish::Status SparkEngine::Start() {
     // Executors load the model once before the query starts.
     load_delay = scoring_.library->LoadTimeSeconds(scoring_.model);
   }
-  sim_->Schedule(load_delay, [this]() {
+  // The query-start seed confines the trigger loop (and every micro-batch
+  // scheduled downstream) to the SPS host.
+  ScheduleOnHost(load_delay, [this]() {
     if (!stopped_) TriggerLoop();
   });
   return crayfish::Status::Ok();

@@ -240,7 +240,7 @@ TEST(DeterminismTest, PartitionedFaultedRunMatchesSerialByteForByte) {
   ASSERT_TRUE(serial->has_slo_report);
   ASSERT_NE(serial->timeline, nullptr);
   const std::string want = WideFingerprint(*serial);
-  for (const int threads : {2, 4}) {
+  for (const int threads : {2, 4, 8}) {
     auto parallel = RunExperiment(PartitionedProbeConfig(1234, threads));
     ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
     const std::string got = WideFingerprint(*parallel);
@@ -254,6 +254,42 @@ TEST(DeterminismTest, PartitionedFaultedRunMatchesSerialByteForByte) {
              << want.size() << " vs " << got.size() << "); context: \""
              << want.substr(at > 40 ? at - 40 : 0, 80) << "\" vs \""
              << got.substr(at > 40 ? at - 40 : 0, 80) << "\"";
+    }
+  }
+}
+
+// After the confinement-planner migration (DESIGN.md §4.7) the hot path —
+// producer emit loop, broker request/response hops, engine task graphs,
+// serving-side work — runs host-confined whenever the experiment arms
+// host scheduling. Every engine routes differently through those paths,
+// so prove the serial-vs-partitioned equality separately per engine, on
+// the same faulted RQ1-style pipeline with the timeline + SLO surface.
+TEST(DeterminismTest, ConfinedPipelineMatchesSerialAcrossEngines) {
+  for (const char* engine : {"kafka-streams", "spark", "ray"}) {
+    ExperimentConfig serial_cfg = PartitionedProbeConfig(1234, 1);
+    serial_cfg.engine = engine;
+    auto serial = RunExperiment(serial_cfg);
+    ASSERT_TRUE(serial.ok()) << engine << ": " << serial.status().ToString();
+    ASSERT_GT(serial->events_scored, 0u) << engine;
+    const std::string want = WideFingerprint(*serial);
+    for (const int threads : {2, 8}) {
+      ExperimentConfig cfg = PartitionedProbeConfig(1234, threads);
+      cfg.engine = engine;
+      auto parallel = RunExperiment(cfg);
+      ASSERT_TRUE(parallel.ok())
+          << engine << ": " << parallel.status().ToString();
+      const std::string got = WideFingerprint(*parallel);
+      if (got != want) {
+        size_t at = 0;
+        while (at < want.size() && at < got.size() && want[at] == got[at]) {
+          ++at;
+        }
+        FAIL() << engine << " sim_threads=" << threads
+               << " diverged from serial at byte " << at << " (sizes "
+               << want.size() << " vs " << got.size() << "); context: \""
+               << want.substr(at > 40 ? at - 40 : 0, 80) << "\" vs \""
+               << got.substr(at > 40 ? at - 40 : 0, 80) << "\"";
+      }
     }
   }
 }

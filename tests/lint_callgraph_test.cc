@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "crayfish_lint/confinement.h"
 #include "crayfish_lint/include_graph.h"
 #include "crayfish_lint/ir.h"
 #include "crayfish_lint/lint.h"
@@ -679,6 +680,352 @@ TEST(R12GlobalStateTest, SuppressionSilencesTheFinding) {
                              "int g_counter = 0;\n"}});
   EXPECT_EQ(CountRule(fs, Rule::kGlobalState), 0);
   EXPECT_EQ(CountRule(fs, Rule::kSuppression), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Confinement planner (v4 escape analysis) + R13
+// ---------------------------------------------------------------------------
+
+// Fixture scheduling surface: a Sim with the full Schedule family taking the
+// move-only event-action type, exactly as the runtime spells it.
+constexpr char kPlannerDecl[] =
+    "struct InlineAction {};\n"
+    "struct Sim {\n"
+    "  void Schedule(double d, InlineAction a);\n"
+    "  void ScheduleAt(double t, InlineAction a);\n"
+    "  void ScheduleOnHost(int h, double d, InlineAction a);\n"
+    "};\n";
+
+ConfinementReport ReportOf(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  const auto irs = Parse(sources);
+  const WholeProgram wp = BuildWholeProgram(irs);
+  return BuildConfinementReport(wp);
+}
+
+const ConfinementSite* SiteAt(const ConfinementReport& rep,
+                              const std::string& file, int line) {
+  for (const ConfinementSite& s : rep.sites) {
+    if (s.file == file && s.line == line) return &s;
+  }
+  return nullptr;
+}
+
+TEST(ConfinementPlannerTest, ThisCaptureWritingOwnStateIsConfinable) {
+  // The canonical migration candidate: a lambda capturing `this` through
+  // InlineAction, touching only the component's own members, in a class
+  // with a host anchor. Everything it needs lives on one host.
+  const auto rep = ReportOf({{"src/sps/fix.cc",
+                              std::string(kPlannerDecl) +
+                                  "class Pump {\n"
+                                  " public:\n"
+                                  "  void Start() {\n"
+                                  "    sim_->Schedule(0.5, [this]() { emitted_ += 1; });\n"
+                                  "  }\n"
+                                  " private:\n"
+                                  "  Sim* sim_;\n"
+                                  "  int host_id_ = 0;\n"
+                                  "  int emitted_ = 0;\n"
+                                  "};\n"}});
+  const ConfinementSite* s = SiteAt(rep, "src/sps/fix.cc", 10);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->verdict, ConfinementVerdict::kConfinable);
+  EXPECT_FALSE(s->inherited);
+  EXPECT_TRUE(s->obligations.empty());
+  EXPECT_EQ(s->component, "Pump");
+}
+
+TEST(ConfinementPlannerTest, SharedPtrConstPayloadReadStaysConfinable) {
+  // Reading a shared_ptr<const Bytes> payload is not an escape: the pointee
+  // is immutable by type (the R9 ownership model), so a confined callback
+  // inspecting it shares nothing another partition could see change.
+  const auto rep = ReportOf(
+      {{"src/sps/fix.cc",
+        std::string(kPlannerDecl) +
+            "struct Bytes { int size() const; };\n"
+            "class Sink {\n"
+            " public:\n"
+            "  void Start() {\n"
+            "    sim_->Schedule(0.5, [this]() {\n"
+            "      if (payload_->size() > 0) bytes_seen_ += 1;\n"
+            "    });\n"
+            "  }\n"
+            " private:\n"
+            "  Sim* sim_;\n"
+            "  std::string host_;\n"
+            "  std::shared_ptr<const Bytes> payload_;\n"
+            "  int bytes_seen_ = 0;\n"
+            "};\n"}});
+  const ConfinementSite* s = SiteAt(rep, "src/sps/fix.cc", 11);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->verdict, ConfinementVerdict::kConfinable)
+      << "const shared payload read misclassified: " << s->reason;
+  EXPECT_TRUE(s->obligations.empty());
+}
+
+TEST(ConfinementPlannerTest, ConfinedSeedMakesDownstreamSitesInherit) {
+  // A seed registered via ScheduleOnHost puts its callback chain on the
+  // confined plane; the plain Schedule inside Step() then *inherits* the
+  // executing host — correct as spelled, and explicitly not an R13 target.
+  const auto rep = ReportOf({{"src/sps/fix.cc",
+                              std::string(kPlannerDecl) +
+                                  "class Pump {\n"
+                                  " public:\n"
+                                  "  void Start() {\n"
+                                  "    sim_->ScheduleOnHost(2, 0.0, [this]() { Step(); });\n"
+                                  "  }\n"
+                                  "  void Step() {\n"
+                                  "    ticks_ += 1;\n"
+                                  "    sim_->Schedule(0.1, [this]() { Step(); });\n"
+                                  "  }\n"
+                                  " private:\n"
+                                  "  Sim* sim_;\n"
+                                  "  int host_id_ = 2;\n"
+                                  "  int ticks_ = 0;\n"
+                                  "};\n"}});
+  const ConfinementSite* seed = SiteAt(rep, "src/sps/fix.cc", 10);
+  ASSERT_NE(seed, nullptr);
+  EXPECT_EQ(seed->verdict, ConfinementVerdict::kConfined);
+  const ConfinementSite* inner = SiteAt(rep, "src/sps/fix.cc", 14);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->verdict, ConfinementVerdict::kConfinable);
+  EXPECT_TRUE(inner->inherited);
+}
+
+TEST(ConfinementPlannerTest, MemberPointerWriteBecomesSplitObligation) {
+  const auto rep = ReportOf({{"src/sps/fix.cc",
+                              std::string(kPlannerDecl) +
+                                  "struct Buf { int count; };\n"
+                                  "class Fan {\n"
+                                  " public:\n"
+                                  "  void Start() {\n"
+                                  "    sim_->Schedule(1.0, [this]() { other_->count = 1; });\n"
+                                  "  }\n"
+                                  " private:\n"
+                                  "  Sim* sim_;\n"
+                                  "  std::string host_;\n"
+                                  "  Buf* other_;\n"
+                                  "};\n"}});
+  const ConfinementSite* s = SiteAt(rep, "src/sps/fix.cc", 11);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->verdict, ConfinementVerdict::kConfinableAfterSplit);
+  ASSERT_EQ(s->obligations.size(), 1u);
+  EXPECT_EQ(s->obligations[0].kind, "member-pointer");
+  EXPECT_EQ(s->obligations[0].via, "other_");
+  EXPECT_EQ(s->obligations[0].field, "count");
+}
+
+TEST(ConfinementPlannerTest, RemoteCallAndRefCaptureAreObligationsToo) {
+  const auto rep = ReportOf(
+      {{"src/sps/peer.cc",
+        "class Peer {\n"
+        " public:\n"
+        "  void Bump();\n"
+        " private:\n"
+        "  int hits_ = 0;\n"
+        "};\n"
+        "void Peer::Bump() { hits_ += 1; }\n"},
+       {"src/sps/fix.cc",
+        std::string(kPlannerDecl) +
+            "class Peer;\n"
+            "class Fan {\n"
+            " public:\n"
+            "  void Go() {\n"
+            "    sim_->Schedule(2.0, [this]() { peer_->Bump(); });\n"
+            "  }\n"
+            "  void Tally() {\n"
+            "    int total = 0;\n"
+            "    sim_->Schedule(3.0, [&total]() { total += 1; });\n"
+            "  }\n"
+            " private:\n"
+            "  Sim* sim_;\n"
+            "  std::string host_;\n"
+            "  Peer* peer_;\n"
+            "};\n"}});
+  const ConfinementSite* call = SiteAt(rep, "src/sps/fix.cc", 11);
+  ASSERT_NE(call, nullptr);
+  EXPECT_EQ(call->verdict, ConfinementVerdict::kConfinableAfterSplit);
+  ASSERT_EQ(call->obligations.size(), 1u);
+  EXPECT_EQ(call->obligations[0].kind, "remote-call");
+  EXPECT_EQ(call->obligations[0].type, "Peer");
+  const ConfinementSite* ref = SiteAt(rep, "src/sps/fix.cc", 15);
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref->verdict, ConfinementVerdict::kConfinableAfterSplit);
+  ASSERT_EQ(ref->obligations.size(), 1u);
+  EXPECT_EQ(ref->obligations[0].kind, "ref-capture");
+  EXPECT_EQ(ref->obligations[0].via, "total");
+}
+
+TEST(ConfinementPlannerTest, CoordinatorOffsetStoreClassifiesGlobal) {
+  // A callback that reaches a CRAYFISH_GLOBAL_PLANE function — the broker
+  // coordinator's offset store — must classify global no matter how local
+  // the rest of its state is, and the reason must name the witness.
+  const auto rep = ReportOf(
+      {{"src/broker/fix.cc",
+        std::string(kPlannerDecl) +
+            "class Coordinator {\n"
+            " public:\n"
+            "  void CommitOffsets() CRAYFISH_GLOBAL_PLANE(\"offset store\") {\n"
+            "    committed_ += 1;\n"
+            "  }\n"
+            " private:\n"
+            "  int committed_ = 0;\n"
+            "};\n"
+            "class Consumer {\n"
+            " public:\n"
+            "  void Poll() {\n"
+            "    sim_->Schedule(0.5, [this]() { coord_->CommitOffsets(); });\n"
+            "  }\n"
+            " private:\n"
+            "  Sim* sim_;\n"
+            "  std::string client_host_;\n"
+            "  Coordinator* coord_;\n"
+            "};\n"}});
+  const ConfinementSite* s = SiteAt(rep, "src/broker/fix.cc", 18);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->verdict, ConfinementVerdict::kGlobal);
+  EXPECT_NE(s->reason.find("Coordinator::CommitOffsets"), std::string::npos)
+      << s->reason;
+}
+
+TEST(ConfinementPlannerTest, NoHostAnchorAndOpaqueActionClassifyGlobal) {
+  const auto rep = ReportOf({{"src/sps/fix.cc",
+                              std::string(kPlannerDecl) +
+                                  "class Anchorless {\n"
+                                  " public:\n"
+                                  "  void Start() {\n"
+                                  "    sim_->Schedule(0.5, [this]() { n_ += 1; });\n"
+                                  "  }\n"
+                                  " private:\n"
+                                  "  Sim* sim_;\n"
+                                  "  int n_ = 0;\n"
+                                  "};\n"
+                                  "class Opaque {\n"
+                                  " public:\n"
+                                  "  void Start() {\n"
+                                  "    sim_->Schedule(0.5, action_);\n"
+                                  "  }\n"
+                                  " private:\n"
+                                  "  Sim* sim_;\n"
+                                  "  std::string host_;\n"
+                                  "  InlineAction action_;\n"
+                                  "};\n"}});
+  const ConfinementSite* anchorless = SiteAt(rep, "src/sps/fix.cc", 10);
+  ASSERT_NE(anchorless, nullptr);
+  EXPECT_EQ(anchorless->verdict, ConfinementVerdict::kGlobal);
+  EXPECT_NE(anchorless->reason.find("no host anchor"), std::string::npos);
+  const ConfinementSite* opaque = SiteAt(rep, "src/sps/fix.cc", 19);
+  ASSERT_NE(opaque, nullptr);
+  EXPECT_EQ(opaque->verdict, ConfinementVerdict::kGlobal);
+  EXPECT_NE(opaque->reason.find("opaque"), std::string::npos);
+}
+
+// --- R13: the planner's verdicts drive a rule -----------------------------
+
+TEST(R13ConfinementTest, FiresOnProvedConfinableGlobalPathSite) {
+  const auto fs = LintProg({{"src/sps/fix.cc",
+                             std::string(kPlannerDecl) +
+                                 "class Pump {\n"
+                                 " public:\n"
+                                 "  void Start() {\n"
+                                 "    sim_->Schedule(0.5, [this]() { emitted_ += 1; });\n"
+                                 "  }\n"
+                                 " private:\n"
+                                 "  Sim* sim_;\n"
+                                 "  int host_id_ = 0;\n"
+                                 "  int emitted_ = 0;\n"
+                                 "};\n"}});
+  ASSERT_EQ(CountRule(fs, Rule::kConfinementPlanner), 1);
+  const Finding* f = FirstOf(fs, Rule::kConfinementPlanner);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 10);
+  ASSERT_EQ(f->path.size(), 3u);
+  EXPECT_EQ(f->path[0], "Pump::Start");
+  EXPECT_EQ(f->path[2], "confinable");
+}
+
+TEST(R13ConfinementTest, JustifiedSuppressionAndInheritedSitesAreQuiet) {
+  const auto fs = LintProg(
+      {{"src/sps/fix.cc",
+        std::string(kPlannerDecl) +
+            "class Pump {\n"
+            " public:\n"
+            "  void Start() {\n"
+            "    // lint: confinement-ok keeps the legacy event order for unit tests\n"
+            "    sim_->Schedule(0.5, [this]() { emitted_ += 1; });\n"
+            "    sim_->ScheduleOnHost(2, 0.0, [this]() { Step(); });\n"
+            "  }\n"
+            "  void Step() {\n"
+            "    ticks_ += 1;\n"
+            "    sim_->Schedule(0.1, [this]() { Step(); });\n"
+            "  }\n"
+            " private:\n"
+            "  Sim* sim_;\n"
+            "  int host_id_ = 2;\n"
+            "  int emitted_ = 0;\n"
+            "  int ticks_ = 0;\n"
+            "};\n"}});
+  // The first Start site is a proved-confinable global-path use, silenced
+  // by a justified suppression; the Step site inherits the confined plane
+  // through the OnHost-registered seed. Neither may fire.
+  EXPECT_EQ(CountRule(fs, Rule::kConfinementPlanner), 0);
+}
+
+TEST(R13ConfinementTest, OnHostSpellingAndAfterSplitSitesAreQuiet) {
+  const auto fs = LintProg({{"src/sps/fix.cc",
+                             std::string(kPlannerDecl) +
+                                 "struct Buf { int count; };\n"
+                                 "class Fan {\n"
+                                 " public:\n"
+                                 "  void Start() {\n"
+                                 "    sim_->ScheduleOnHost(1, 0.5, [this]() { n_ += 1; });\n"
+                                 "    sim_->Schedule(1.0, [this]() { other_->count = 1; });\n"
+                                 "  }\n"
+                                 " private:\n"
+                                 "  Sim* sim_;\n"
+                                 "  std::string host_;\n"
+                                 "  Buf* other_;\n"
+                                 "  int n_ = 0;\n"
+                                 "};\n"}});
+  // Site 1 is already confined; site 2 is confinable-after-split (R10
+  // territory, not R13's): R13 must stay quiet on both.
+  EXPECT_EQ(CountRule(fs, Rule::kConfinementPlanner), 0);
+}
+
+TEST(R13ConfinementTest, RuleIdBreaksTiesOnSharedFileLine) {
+  // Two Schedule sites on one line: the first trips R10 (ref-captured
+  // local), the second trips R13 (proved confinable, global path). The
+  // findings sort must order them R10-then-R13 by rule id so serial and
+  // --jobs=N runs emit byte-identical reports.
+  const auto fs = LintProg(
+      {{"src/sps/fix.cc",
+        std::string(kPlannerDecl) +
+            "class Fan {\n"
+            " public:\n"
+            "  void Go() {\n"
+            "    int total = 0;\n"
+            "    sim_->Schedule(1.0, [&total]() { total += 1; }); sim_->Schedule(2.0, [this]() { n_ += 1; });\n"
+            "  }\n"
+            " private:\n"
+            "  Sim* sim_;\n"
+            "  std::string host_;\n"
+            "  int n_ = 0;\n"
+            "};\n"}});
+  ASSERT_EQ(CountRule(fs, Rule::kPartitionConfinement), 1);
+  ASSERT_EQ(CountRule(fs, Rule::kConfinementPlanner), 1);
+  const Finding* r10 = FirstOf(fs, Rule::kPartitionConfinement);
+  const Finding* r13 = FirstOf(fs, Rule::kConfinementPlanner);
+  ASSERT_NE(r10, nullptr);
+  ASSERT_NE(r13, nullptr);
+  EXPECT_EQ(r10->line, 11);
+  EXPECT_EQ(r13->line, 11);
+  // Same (file, line): rule id is the final tie-break, R10 first.
+  size_t i10 = 0, i13 = 0;
+  for (size_t i = 0; i < fs.size(); ++i) {
+    if (fs[i].rule == Rule::kPartitionConfinement) i10 = i;
+    if (fs[i].rule == Rule::kConfinementPlanner) i13 = i;
+  }
+  EXPECT_LT(i10, i13);
 }
 
 }  // namespace

@@ -886,7 +886,7 @@ TEST(JsonOutputTest, RoundTripsThroughProjectJsonParser) {
   ASSERT_TRUE(parsed.ok()) << json;
   const crayfish::JsonValue& doc = *parsed;
   EXPECT_EQ(doc.GetStringOr("tool", ""), "crayfish_lint");
-  EXPECT_EQ(doc.GetIntOr("schema_version", 0), 3);
+  EXPECT_EQ(doc.GetIntOr("schema_version", 0), 4);
   EXPECT_EQ(doc.GetIntOr("files_scanned", 0), 1);
   ASSERT_NE(doc.Find("errors"), nullptr);
   EXPECT_EQ(doc.Find("errors")->size(), 1u);

@@ -270,6 +270,15 @@ WholeProgram BuildWholeProgram(const std::vector<FileIR>& irs) {
             }
           }
         }
+        for (const auto& [method, why] : cd.method_global_plane) {
+          merged.method_global_plane.emplace(method, why);
+        }
+        for (const std::string& base : cd.bases) {
+          if (std::find(merged.bases.begin(), merged.bases.end(), base) ==
+              merged.bases.end()) {
+            merged.bases.push_back(base);
+          }
+        }
       }
       if (!cd.shared_channel.empty()) {
         wp.shared_types.emplace(cd.name, cd.shared_channel);
@@ -300,6 +309,13 @@ WholeProgram BuildWholeProgram(const std::vector<FileIR>& irs) {
         node.class_name = fn.class_name;
         node.is_callback = fn.is_callback;
         node.register_line = fn.register_line;
+        node.register_method = fn.register_method;
+      }
+      if (fn.global_plane) {
+        node.global_plane = true;
+        if (node.global_plane_reason.empty()) {
+          node.global_plane_reason = fn.global_plane_reason;
+        }
       }
       node.defs.emplace_back(ir.path, &fn);
       for (const std::string& ch : fn.requires_channels) {
@@ -318,6 +334,14 @@ WholeProgram BuildWholeProgram(const std::vector<FileIR>& irs) {
       if (it != cd->method_requires.end()) {
         for (const std::string& ch : it->second) {
           node.requires_channels.push_back(ch);
+        }
+      }
+      // GLOBAL_PLANE declared on the prototype also marks the definition.
+      const auto gp = cd->method_global_plane.find(method);
+      if (gp != cd->method_global_plane.end()) {
+        node.global_plane = true;
+        if (node.global_plane_reason.empty()) {
+          node.global_plane_reason = gp->second;
         }
       }
     }
@@ -517,6 +541,9 @@ WholeProgram BuildWholeProgram(const std::vector<FileIR>& irs) {
       }
     }
   }
+
+  // --- confinement planner (R13 / --dump-confinement) ----------------------
+  wp.confinement = BuildConfinementReport(wp);
   return wp;
 }
 
@@ -524,7 +551,7 @@ std::string DumpCallGraph(const WholeProgram& wp) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"tool\": \"crayfish_lint\",\n";
-  os << "  \"schema_version\": 3,\n";
+  os << "  \"schema_version\": 4,\n";
   os << "  \"channels\": ";
   AppendStringArray(&os, {wp.channels.begin(), wp.channels.end()});
   os << ",\n";
@@ -550,6 +577,14 @@ std::string DumpCallGraph(const WholeProgram& wp) {
     if (node.is_callback) {
       os << "\"callback\": true, \"registered_at\": " << node.register_line
          << ", ";
+      if (!node.register_method.empty()) {
+        os << "\"registered_via\": \"" << JsonEscape(node.register_method)
+           << "\", ";
+      }
+    }
+    if (node.global_plane) {
+      os << "\"global_plane\": \""
+         << JsonEscape(node.global_plane_reason) << "\", ";
     }
     if (!node.requires_channels.empty()) {
       os << "\"requires\": ";
@@ -568,7 +603,7 @@ std::string DumpEffects(const WholeProgram& wp) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"tool\": \"crayfish_lint\",\n";
-  os << "  \"schema_version\": 3,\n";
+  os << "  \"schema_version\": 4,\n";
   os << "  \"effects\": {";
   bool first = true;
   for (const auto& [key, summary] : wp.effects) {

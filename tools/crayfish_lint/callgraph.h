@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "crayfish_lint/confinement.h"
 #include "crayfish_lint/ir.h"
 
 namespace crayfish::lint {
@@ -64,6 +65,9 @@ struct FunctionNode {
   std::string class_name;  ///< "" for free functions
   bool is_callback = false;
   int register_line = 0;   ///< callbacks: the Schedule/ScheduleAt site
+  std::string register_method;  ///< callbacks: the Schedule-family name used
+  bool global_plane = false;    ///< CRAYFISH_GLOBAL_PLANE on any def or decl
+  std::string global_plane_reason;
   std::vector<std::pair<std::string, const Function*>> defs;  ///< (file, fn)
   std::vector<std::string> requires_channels;  ///< sorted, deduplicated
   std::set<std::string> calls;                 ///< resolved callee keys
@@ -84,6 +88,9 @@ struct WholeProgram {
   /// R11: channel -> function keys that may execute *without* holding it
   /// (reachable from an entry point along a path with no CRAYFISH_REQUIRES).
   std::map<std::string, std::set<std::string>> exposed;
+  /// The confinement planner's verdicts over every Schedule-family call
+  /// site (R13 input and --dump-confinement payload).
+  ConfinementReport confinement;
 
   const FunctionNode* Find(const std::string& key) const {
     const auto it = functions.find(key);

@@ -1,0 +1,447 @@
+#include "crayfish_lint/confinement.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "crayfish_lint/callgraph.h"
+
+namespace crayfish::lint {
+namespace {
+
+/// Execution planes a function can run on, as bits (one function may be
+/// reachable from several contexts). `setup` is pre-simulation wiring code
+/// (constructors, Start methods, main): a Schedule call there seeds the
+/// global queue today but is the prime migration candidate. `confined` is a
+/// host partition's callback context: Schedule calls there inherit the host
+/// and are already correct. `global` is the coordinator plane.
+constexpr int kPlaneSetup = 1;
+constexpr int kPlaneConfined = 2;
+constexpr int kPlaneGlobal = 4;
+
+bool IsScheduleFamily(const std::string& name) {
+  return name == "Schedule" || name == "ScheduleAt" ||
+         name == "ScheduleOnHost" || name == "ScheduleAtOnHost" ||
+         name == "ScheduleExclusiveAt";
+}
+
+bool IsOnHostMethod(const std::string& name) {
+  return name == "ScheduleOnHost" || name == "ScheduleAtOnHost";
+}
+
+/// "Class::Start::cb1" -> "Class::Start"; "" when the key is not a peeled
+/// callback name.
+std::string HostKeyOf(const std::string& cb_key) {
+  const size_t sep = cb_key.rfind("::");
+  if (sep == std::string::npos) return "";
+  const std::string last = cb_key.substr(sep + 2);
+  if (last.size() < 3 || last.compare(0, 2, "cb") != 0) return "";
+  for (size_t i = 2; i < last.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(last[i]))) return "";
+  }
+  return cb_key.substr(0, sep);
+}
+
+bool NameMentionsHost(const std::string& name) {
+  std::string low;
+  low.reserve(name.size());
+  for (char c : name) {
+    low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return low.find("host") != std::string::npos;
+}
+
+/// Simulation-runtime and observability types whose mutation from a confined
+/// callback is not a migration blocker: scheduling through `Simulation` /
+/// `Network::Send` *is* the mechanism the planner reasons about (the
+/// partitioned engine synchronizes them via mailboxes), and obs-layer writes
+/// are routed through the deterministic post-window drain by
+/// `obs::DeferIfConfined`. Everything else that crosses hosts is a real
+/// obligation.
+const std::set<std::string> kRuntimeTypes = {
+    "Simulation",    "Network",         "Partition",
+    "PartitionRuntime", "TraceRecorder", "MetricsRegistry",
+    "TimelineSampler",  "SloMonitor",
+};
+
+bool IsRuntimeCrossing(const Crossing& c) {
+  if (kRuntimeTypes.count(c.type) > 0) return true;
+  if (c.field == "Send" &&
+      (c.type.empty() || c.type.find("Network") != std::string::npos)) {
+    return true;  // the one legal cross-host component edge
+  }
+  // Crossings whose direct origin is inside the trusted runtime layers.
+  if (c.origin.find("src/sim/") != std::string::npos ||
+      c.origin.find("src/obs/") != std::string::npos) {
+    return true;
+  }
+  return false;
+}
+
+/// Component classes of the simulation runtime itself: their Schedule calls
+/// implement the engine rather than ride on it, so the planner does not
+/// classify them.
+const std::set<std::string> kRuntimeClasses = {
+    "Simulation", "PartitionRuntime", "Partition", "Network",
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view ConfinementVerdictName(ConfinementVerdict v) {
+  switch (v) {
+    case ConfinementVerdict::kConfined: return "confined";
+    case ConfinementVerdict::kConfinable: return "confinable";
+    case ConfinementVerdict::kConfinableAfterSplit:
+      return "confinable-after-split";
+    case ConfinementVerdict::kGlobal: return "global";
+  }
+  return "global";
+}
+
+ConfinementReport BuildConfinementReport(const WholeProgram& wp) {
+  ConfinementReport rep;
+
+  // --- execution-plane fixpoint --------------------------------------------
+  // Seeds: GLOBAL_PLANE annotations, OnHost-registered callbacks (explicitly
+  // confined), exclusive callbacks (explicitly global), and zero-caller
+  // non-callbacks (setup entry points). Bits flow caller -> callee over call
+  // edges, and host -> callback over Schedule/ScheduleAt registrations (those
+  // callbacks inherit the registration context; OnHost/exclusive ones do
+  // not — their context is fixed by the primitive).
+  std::set<std::string> has_caller;
+  for (const auto& [key, node] : wp.functions) {
+    for (const std::string& callee : node.calls) {
+      if (callee != key) has_caller.insert(callee);
+    }
+  }
+  std::map<std::string, int> plane;
+  std::map<std::string, std::vector<std::string>> inherit_edges;  // host->cb
+  std::map<std::string, std::vector<std::string>> sched_edges;    // host->cb
+  for (const auto& [key, node] : wp.functions) {
+    int& p = plane[key];
+    if (node.global_plane) p |= kPlaneGlobal;
+    if (node.is_callback) {
+      const std::string host = HostKeyOf(key);
+      if (!host.empty()) sched_edges[host].push_back(key);
+      if (IsOnHostMethod(node.register_method)) {
+        p |= kPlaneConfined;
+      } else if (node.register_method == "ScheduleExclusiveAt") {
+        p |= kPlaneGlobal;
+      } else if (!host.empty()) {
+        inherit_edges[host].push_back(key);
+      }
+    } else if (has_caller.count(key) == 0) {
+      p |= kPlaneSetup;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [key, node] : wp.functions) {
+      const int p = plane[key];
+      if (p == 0) continue;
+      const auto flow = [&](const std::string& to) {
+        int& q = plane[to];
+        if ((q | p) != q) {
+          q |= p;
+          changed = true;
+        }
+      };
+      for (const std::string& callee : node.calls) flow(callee);
+      const auto it = inherit_edges.find(key);
+      if (it != inherit_edges.end()) {
+        for (const std::string& cb : it->second) flow(cb);
+      }
+    }
+  }
+
+  // --- reachability of GLOBAL_PLANE-annotated functions --------------------
+  // witness[f] = smallest annotated key reachable from f over call edges and
+  // *all* registration edges (scheduling further work that ends on the
+  // coordinator is just as blocking as calling it directly).
+  std::map<std::string, std::string> witness;
+  for (const auto& [key, node] : wp.functions) {
+    if (node.global_plane) witness[key] = key;
+  }
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [key, node] : wp.functions) {
+      if (node.global_plane) continue;  // witness fixed at itself
+      std::string best;
+      {
+        const auto it = witness.find(key);
+        if (it != witness.end()) best = it->second;
+      }
+      const auto consider = [&](const std::string& succ) {
+        const auto it = witness.find(succ);
+        if (it == witness.end() || it->second.empty()) return;
+        if (best.empty() || it->second < best) best = it->second;
+      };
+      for (const std::string& callee : node.calls) consider(callee);
+      const auto it = sched_edges.find(key);
+      if (it != sched_edges.end()) {
+        for (const std::string& cb : it->second) consider(cb);
+      }
+      if (!best.empty() && witness[key] != best) {
+        witness[key] = best;
+        changed = true;
+      }
+    }
+  }
+
+  // --- host anchors per component (bases walked transitively) --------------
+  std::map<std::string, std::vector<std::string>> anchor_cache;
+  const auto anchors_of =
+      [&](const std::string& cls) -> const std::vector<std::string>& {
+    const auto hit = anchor_cache.find(cls);
+    if (hit != anchor_cache.end()) return hit->second;
+    std::vector<std::string> anchors;
+    std::set<std::string> visited;
+    std::vector<std::string> stack{cls};
+    while (!stack.empty()) {
+      const std::string c = stack.back();
+      stack.pop_back();
+      if (c.empty() || !visited.insert(c).second) continue;
+      const ClassDecl* cd = wp.FindClass(c);
+      if (cd == nullptr) continue;
+      for (const MemberDecl& m : cd->members) {
+        if (NameMentionsHost(m.name)) {
+          anchors.push_back(m.name);
+          continue;
+        }
+        // One level into a project-known member type: `config_.host` counts.
+        if (const ClassDecl* mt = wp.FindClass(m.type)) {
+          for (const MemberDecl& mm : mt->members) {
+            if (NameMentionsHost(mm.name)) {
+              anchors.push_back(m.name + "." + mm.name);
+              break;
+            }
+          }
+        }
+      }
+      for (const std::string& b : cd->bases) stack.push_back(b);
+    }
+    std::sort(anchors.begin(), anchors.end());
+    anchors.erase(std::unique(anchors.begin(), anchors.end()), anchors.end());
+    return anchor_cache.emplace(cls, std::move(anchors)).first->second;
+  };
+
+  const auto obligations_of = [&](const std::string& fkey) {
+    std::vector<MigrationObligation> out;
+    const auto it = wp.effects.find(fkey);
+    if (it == wp.effects.end()) return out;
+    for (const Crossing& c : it->second.crossings) {
+      if (IsRuntimeCrossing(c)) continue;
+      out.push_back({c.kind, c.via, c.type, c.field, c.origin});
+    }
+    return out;
+  };
+
+  // --- classify every Schedule-family call site ----------------------------
+  const auto classify = [&](const std::string& host_key,
+                            const FunctionNode* host, const std::string& file,
+                            int line, const std::string& method,
+                            const std::string& cb_key) {
+    const std::string component = host != nullptr ? host->class_name : "";
+    if (kRuntimeClasses.count(component) > 0) return;  // engine internals
+    // Component forwarding helpers named after the scheduling API — the
+    // migration pattern `Foo::ScheduleOnHost(delay, a)` that picks the
+    // confined path when the experiment armed it and the legacy global
+    // path otherwise — are scheduling substrate: their internal dispatch
+    // calls are not component call sites.
+    const size_t sep = host_key.rfind("::");
+    const std::string unqualified =
+        sep == std::string::npos ? host_key : host_key.substr(sep + 2);
+    if (IsOnHostMethod(unqualified)) return;
+    ConfinementSite s;
+    s.file = file;
+    s.line = line;
+    s.function = host_key;
+    s.component = component;
+    s.method = method;
+    s.callback = cb_key;
+    if (IsOnHostMethod(method)) {
+      s.verdict = ConfinementVerdict::kConfined;
+      s.reason = "already scheduled on the owning host";
+    } else if (method == "ScheduleExclusiveAt") {
+      s.verdict = ConfinementVerdict::kGlobal;
+      s.reason = "exclusive event: runs on the global plane by design";
+    } else {
+      std::string w;
+      if (!cb_key.empty()) {
+        const auto it = witness.find(cb_key);
+        if (it != witness.end()) w = it->second;
+      }
+      const auto pit = plane.find(host_key);
+      const int hp = pit != plane.end() ? pit->second : 0;
+      if (!w.empty()) {
+        s.verdict = ConfinementVerdict::kGlobal;
+        s.reason = "schedules work that reaches global-plane function " + w;
+        const FunctionNode* wn = wp.Find(w);
+        if (wn != nullptr && !wn->global_plane_reason.empty()) {
+          s.reason += " (" + wn->global_plane_reason + ")";
+        }
+      } else if ((hp & kPlaneGlobal) != 0 && (hp & kPlaneConfined) == 0) {
+        s.verdict = ConfinementVerdict::kGlobal;
+        s.reason = "enclosing function runs on the global plane";
+      } else if ((hp & kPlaneConfined) != 0) {
+        s.verdict = ConfinementVerdict::kConfinable;
+        s.inherited = true;
+        s.reason = "inherits the owning host from its confined caller context";
+      } else if (anchors_of(component).empty()) {
+        s.verdict = ConfinementVerdict::kGlobal;
+        s.reason = component.empty()
+                       ? "free-function context: no component host anchor"
+                       : "no host anchor on " + component;
+      } else {
+        std::vector<MigrationObligation> obls =
+            cb_key.empty() ? std::vector<MigrationObligation>{}
+                           : obligations_of(cb_key);
+        if (!obls.empty()) {
+          s.verdict = ConfinementVerdict::kConfinableAfterSplit;
+          s.obligations = std::move(obls);
+          s.reason = "blocked by shared state; see obligations";
+        } else if (cb_key.empty()) {
+          s.verdict = ConfinementVerdict::kGlobal;
+          s.reason = "opaque action argument: scheduled work not analyzable";
+        } else {
+          s.verdict = ConfinementVerdict::kConfinable;
+          s.reason = "all touched state is host-local";
+        }
+      }
+    }
+    rep.sites.push_back(std::move(s));
+  };
+
+  // Peeled callbacks are the primary site source: one registration each.
+  std::map<std::tuple<std::string, std::string, int, std::string>, int> peeled;
+  for (const auto& [key, node] : wp.functions) {
+    if (!node.is_callback) continue;
+    const std::string host_key = HostKeyOf(key);
+    ++peeled[{host_key, node.file, node.register_line, node.register_method}];
+    classify(host_key, wp.Find(host_key), node.file, node.register_line,
+             node.register_method, key);
+  }
+  // Schedule-family call sites with no matching peeled callback take an
+  // opaque (pre-built action) argument.
+  std::map<std::tuple<std::string, std::string, int, std::string>, int> used;
+  for (const auto& [key, node] : wp.functions) {
+    for (const auto& [file, fn] : node.defs) {
+      for (const CallSite& cs : fn->calls) {
+        if (!IsScheduleFamily(cs.callee)) continue;
+        const auto k = std::make_tuple(key, file, cs.line, cs.callee);
+        const auto it = peeled.find(k);
+        const int avail = it == peeled.end() ? 0 : it->second;
+        int& consumed = used[k];
+        if (consumed < avail) {
+          ++consumed;  // this call site is a peeled-callback registration
+          continue;
+        }
+        classify(key, &node, file, cs.line, cs.callee, "");
+      }
+    }
+  }
+
+  std::sort(rep.sites.begin(), rep.sites.end(),
+            [](const ConfinementSite& a, const ConfinementSite& b) {
+              return std::tie(a.file, a.line, a.method, a.callback) <
+                     std::tie(b.file, b.line, b.method, b.callback);
+            });
+
+  // --- per-component rollup ------------------------------------------------
+  for (const ConfinementSite& s : rep.sites) {
+    if (s.component.empty()) continue;
+    ComponentConfinement& cc = rep.components[s.component];
+    if (cc.host_anchors.empty()) cc.host_anchors = anchors_of(s.component);
+    switch (s.verdict) {
+      case ConfinementVerdict::kConfined: ++cc.confined; break;
+      case ConfinementVerdict::kConfinable: ++cc.confinable; break;
+      case ConfinementVerdict::kConfinableAfterSplit:
+        ++cc.confinable_after_split;
+        break;
+      case ConfinementVerdict::kGlobal: ++cc.global_sites; break;
+    }
+  }
+  return rep;
+}
+
+std::string DumpConfinement(const WholeProgram& wp) {
+  const ConfinementReport& rep = wp.confinement;
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"tool\": \"crayfish_lint\",\n";
+  os << "  \"schema_version\": 4,\n";
+  os << "  \"sites\": [";
+  bool first = true;
+  for (const ConfinementSite& s : rep.sites) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"file\": \"" << JsonEscape(s.file) << "\", ";
+    os << "\"line\": " << s.line << ", ";
+    os << "\"function\": \"" << JsonEscape(s.function) << "\", ";
+    if (!s.component.empty()) {
+      os << "\"component\": \"" << JsonEscape(s.component) << "\", ";
+    }
+    os << "\"method\": \"" << JsonEscape(s.method) << "\", ";
+    if (!s.callback.empty()) {
+      os << "\"callback\": \"" << JsonEscape(s.callback) << "\", ";
+    }
+    os << "\"verdict\": \"" << ConfinementVerdictName(s.verdict) << "\"";
+    if (s.inherited) os << ", \"inherited\": true";
+    os << ", \"reason\": \"" << JsonEscape(s.reason) << "\"";
+    if (!s.obligations.empty()) {
+      os << ", \"obligations\": [";
+      bool ofirst = true;
+      for (const MigrationObligation& o : s.obligations) {
+        if (!ofirst) os << ", ";
+        ofirst = false;
+        os << "{\"kind\": \"" << JsonEscape(o.kind) << "\", \"via\": \""
+           << JsonEscape(o.via) << "\", \"type\": \"" << JsonEscape(o.type)
+           << "\", \"field\": \"" << JsonEscape(o.field)
+           << "\", \"origin\": \"" << JsonEscape(o.origin) << "\"}";
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "\n  ],\n";
+  os << "  \"components\": {";
+  first = true;
+  for (const auto& [name, cc] : rep.components) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    \"" << JsonEscape(name) << "\": {\"host_anchors\": [";
+    for (size_t i = 0; i < cc.host_anchors.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "\"" << JsonEscape(cc.host_anchors[i]) << "\"";
+    }
+    os << "], \"confined\": " << cc.confined
+       << ", \"confinable\": " << cc.confinable
+       << ", \"confinable_after_split\": " << cc.confinable_after_split
+       << ", \"global\": " << cc.global_sites << "}";
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+}  // namespace crayfish::lint

@@ -1,0 +1,100 @@
+#ifndef CRAYFISH_TOOLS_LINT_CONFINEMENT_H_
+#define CRAYFISH_TOOLS_LINT_CONFINEMENT_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crayfish::lint {
+
+struct WholeProgram;  // callgraph.h — the planner runs over the built graph
+
+/// Verdict lattice for one Schedule-family call site, ordered from "already
+/// host-local" to "must stay on the coordinator":
+///
+///   confined < confinable < confinable-after-split < global
+///
+/// `kConfined` — the site already uses ScheduleOnHost/ScheduleAtOnHost, or it
+/// executes inside a host-confined callback (events scheduled from confined
+/// context inherit the host's partition, so the global-path spelling is
+/// correct and fast there).
+/// `kConfinable` — every touched state is provably local to the component's
+/// host anchor and the only cross-host effect is Network::Send; R13 fires
+/// when such a site still uses the global path from setup context.
+/// `kConfinableAfterSplit` — blocked by one or more named shared fields; the
+/// access paths are emitted as machine-readable migration obligations.
+/// `kGlobal` — legitimately cross-host (coordinator rebalance, autoscaler,
+/// fault injector, or state the analysis cannot prove local).
+enum class ConfinementVerdict {
+  kConfined,
+  kConfinable,
+  kConfinableAfterSplit,
+  kGlobal,
+};
+
+/// Stable lowercase name: "confined", "confinable", "confinable-after-split",
+/// "global". Used in JSON dumps and R13 messages.
+std::string_view ConfinementVerdictName(ConfinementVerdict v);
+
+/// One blocker on a confinable-after-split site: the access path through
+/// which the scheduled callback (or something it calls) reaches state that
+/// is not provably host-local. Mirrors callgraph.h's Crossing so the report
+/// is self-contained for external consumers of the JSON.
+struct MigrationObligation {
+  std::string kind;    ///< "member-pointer" | "ref-capture" | ... (R10 kinds)
+  std::string via;     ///< member / capture / global written through
+  std::string type;    ///< pointee or object type ("" when unknown)
+  std::string field;   ///< field or mutating method on the remote object
+  std::string origin;  ///< "file:line" of the direct write or call
+};
+
+/// One classified Schedule-family call site.
+struct ConfinementSite {
+  std::string file;      ///< file containing the call site
+  int line = 0;          ///< line of the Schedule/ScheduleAt/... call
+  std::string function;  ///< node key of the enclosing function ("" opaque)
+  std::string component; ///< class owning the site ("" for free functions)
+  std::string method;    ///< the Schedule-family name used at the site
+  std::string callback;  ///< node key of the peeled callback ("" opaque arg)
+  ConfinementVerdict verdict = ConfinementVerdict::kGlobal;
+  /// True when the verdict is kConfinable but the enclosing function already
+  /// runs on the confined plane for at least one caller path — the global
+  /// spelling inherits the host there, so R13 must not fire.
+  bool inherited = false;
+  std::string reason;    ///< one-line human explanation of the verdict
+  std::vector<MigrationObligation> obligations;  ///< after-split blockers
+};
+
+/// Per-component rollup for --confinement_report style tables.
+struct ComponentConfinement {
+  std::vector<std::string> host_anchors;  ///< members anchoring the host
+  int confined = 0;
+  int confinable = 0;
+  int confinable_after_split = 0;
+  int global_sites = 0;
+};
+
+/// The planner's full output: every Schedule-family call site in the
+/// program, classified, plus per-component counts. Sites are sorted by
+/// (file, line, method, callback) so the JSON dump is deterministic.
+struct ConfinementReport {
+  std::vector<ConfinementSite> sites;
+  std::map<std::string, ComponentConfinement> components;
+};
+
+/// Runs the escape analysis over a built whole-program graph: associates
+/// every peeled callback (and opaque Schedule-family call) with its host
+/// function and component, computes which execution plane each function can
+/// run on (setup / confined / global), checks reachability of
+/// CRAYFISH_GLOBAL_PLANE-annotated functions, resolves host anchors through
+/// base classes, and classifies each site per the verdict lattice above.
+ConfinementReport BuildConfinementReport(const WholeProgram& wp);
+
+/// Deterministic JSON rendering (schema_version 4) for --dump-confinement
+/// and the golden-file CI gate.
+std::string DumpConfinement(const WholeProgram& wp);
+
+}  // namespace crayfish::lint
+
+#endif  // CRAYFISH_TOOLS_LINT_CONFINEMENT_H_

@@ -120,8 +120,13 @@ struct Function {
   std::vector<WriteSite> writes;
   std::vector<VarDecl> locals;      ///< flat locals+params for receiver typing
   std::vector<Capture> captures;    ///< callbacks only: the lambda's captures
-  bool is_callback = false;         ///< peeled from Schedule/ScheduleAt
+  bool is_callback = false;         ///< peeled from a Schedule-family call
   int register_line = 0;            ///< callbacks: line of the Schedule call
+  std::string register_method;      ///< callbacks: "Schedule", "ScheduleOnHost",
+                                    ///< "ScheduleAt", "ScheduleAtOnHost", or
+                                    ///< "ScheduleExclusiveAt"
+  bool global_plane = false;        ///< CRAYFISH_GLOBAL_PLANE on the definition
+  std::string global_plane_reason;  ///< the annotation's justification string
 };
 
 /// A call whose result is discarded as a full expression statement
@@ -158,6 +163,9 @@ struct ClassDecl {
   std::string shared_channel;  ///< CRAYFISH_SHARED("channel") ("" = none)
   std::vector<MemberDecl> members;
   std::map<std::string, std::vector<std::string>> method_requires;
+  /// CRAYFISH_GLOBAL_PLANE-annotated method declarations -> justification.
+  std::map<std::string, std::string> method_global_plane;
+  std::vector<std::string> bases;  ///< base-class names from the base list
   int body_begin_line = 0;  ///< line of the class body `{`
   int body_end_line = 0;    ///< line of the class body `}`
 };

@@ -97,6 +97,13 @@ const std::set<std::string>* HostThreadingCarveOut(std::string_view path) {
       PathEndsWith(path, "src/sim/mailbox.cc")) {
     return &kMailbox;
   }
+  // Metric registry: updates are barrier-deferred (obs/defer.h), but the
+  // lookup-or-create maps take insertions from parallel window threads, so
+  // the registry owns one mutex — the same shape as the mailbox.
+  if (PathEndsWith(path, "src/obs/registry.h") ||
+      PathEndsWith(path, "src/obs/registry.cc")) {
+    return &kMailbox;
+  }
   return nullptr;
 }
 
@@ -133,6 +140,7 @@ const std::map<std::string, Rule, std::less<>> kKeywordToRule = {
     {"cross-host-ok", Rule::kPartitionConfinement},
     {"capability-ok", Rule::kCapability},
     {"global-state-ok", Rule::kGlobalState},
+    {"confinement-ok", Rule::kConfinementPlanner},
 };
 
 // ---------------------------------------------------------------------------
@@ -189,10 +197,16 @@ class Linter {
       // model, so the partition-safety rules run as one family. The CLI
       // driver always builds the model, even for a single file.
       if (InSimReachable(path_)) CheckGlobalState();
+      CheckConfinementPlanner();
     }
+    // Rule id is the final tie-break so that multi-rule hits on one
+    // (file, line) — e.g. R10 and R13 on the same Schedule site — order
+    // identically no matter which check enqueued first.
     std::stable_sort(findings_.begin(), findings_.end(),
                      [](const Finding& a, const Finding& b) {
-                       return a.line < b.line;
+                       if (a.line != b.line) return a.line < b.line;
+                       return static_cast<int>(a.rule) <
+                              static_cast<int>(b.rule);
                      });
     return std::move(findings_);
   }
@@ -228,7 +242,7 @@ class Linter {
                "use one of: wall-clock-ok, unseeded-ok, order-independent, "
                "status-ignored, float-ok, host-threading-ok, layering-ok, "
                "move-ok, aliasing-ok, cross-host-ok, capability-ok, "
-               "global-state-ok");
+               "global-state-ok, confinement-ok");
       } else if (s.justification.empty()) {
         Report(Rule::kSuppression, s.line,
                "lint suppression '" + s.keyword +
@@ -859,6 +873,37 @@ class Linter {
     }
   }
 
+  // R13 --------------------------------------------------------------------
+  // Confinement planner enforcement: when the planner proves a
+  // Schedule/ScheduleAt site confinable from pure setup context (all touched
+  // state host-local, host anchor present, no global-plane reachability),
+  // using the global path leaves a provably-parallelizable event on the
+  // coordinator. Inherited sites (confined caller context) are exempt: the
+  // global spelling already lands on the owning host there.
+  void CheckConfinementPlanner() {
+    const WholeProgram& wp = *ctx_.whole_program;
+    for (const ConfinementSite& s : wp.confinement.sites) {
+      if (!SamePath(s.file, path_)) continue;
+      if (s.verdict != ConfinementVerdict::kConfinable || s.inherited) {
+        continue;
+      }
+      if (s.method != "Schedule" && s.method != "ScheduleAt") continue;
+      std::ostringstream msg;
+      msg << "'" << s.function << "' schedules a provably host-confinable "
+          << "event through the global path (" << s.method << "): "
+          << s.reason << "; the partitioned engine cannot parallelize it "
+          << "until it targets the owning host";
+      std::ostringstream fix;
+      fix << "schedule via "
+          << (s.method == "Schedule" ? "ScheduleOnHost" : "ScheduleAtOnHost")
+          << " with the component's host id (see the README migration "
+             "recipe), or annotate `// lint: confinement-ok <why>`";
+      Report(Rule::kConfinementPlanner, s.line, msg.str(), fix.str(),
+             {s.function, s.callback, std::string(
+                  ConfinementVerdictName(s.verdict))});
+    }
+  }
+
   // R12 --------------------------------------------------------------------
   // Global mutable state in sim-reachable code: a namespace-scope variable
   // or function-local static is shared by every host partition, so any write
@@ -958,6 +1003,8 @@ std::string_view RuleName(Rule rule) {
       return "R11";
     case Rule::kGlobalState:
       return "R12";
+    case Rule::kConfinementPlanner:
+      return "R13";
   }
   return "R?";
 }
@@ -990,6 +1037,8 @@ std::string_view SuppressionKeyword(Rule rule) {
       return "capability-ok";
     case Rule::kGlobalState:
       return "global-state-ok";
+    case Rule::kConfinementPlanner:
+      return "confinement-ok";
   }
   return "";
 }
@@ -1085,7 +1134,7 @@ std::string FindingsToJson(const std::vector<Finding>& findings,
   std::ostringstream os;
   os << "{\n";
   os << "  \"tool\": \"crayfish_lint\",\n";
-  os << "  \"schema_version\": 3,\n";
+  os << "  \"schema_version\": 4,\n";
   os << "  \"files_scanned\": " << files_scanned << ",\n";
   os << "  \"errors\": [";
   for (size_t i = 0; i < errors.size(); ++i) {

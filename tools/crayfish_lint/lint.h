@@ -35,6 +35,9 @@ enum class Rule {
                   //      methods called only while holding the channel
   kGlobalState,   // R12: no mutable namespace-scope variables or function-
                   //      local statics in sim-reachable code
+  kConfinementPlanner,  // R13: a Schedule/ScheduleAt site the confinement
+                        //      planner proves confinable must migrate to
+                        //      ScheduleOnHost or carry a justification
 };
 
 /// Stable short name used in machine-readable output ("R1", "R2", ...).
@@ -102,7 +105,7 @@ std::vector<Finding> LintProgram(
     const LintOptions& options);
 
 /// Serializes a lint run machine-readably (SARIF-ish, stable key order):
-/// `{"tool": "crayfish_lint", "schema_version": 3, "files_scanned": N,
+/// `{"tool": "crayfish_lint", "schema_version": 4, "files_scanned": N,
 ///   "errors": [...], "findings": [{"file", "line", "rule", "message",
 ///   "suppress_keyword", "suggestion"?, "path"?}]}`.
 std::string FindingsToJson(const std::vector<Finding>& findings,

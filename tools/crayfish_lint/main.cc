@@ -5,7 +5,7 @@
 // Usage:
 //   crayfish_lint [--fix-suggestions] [--format=text|json] [--jobs=N]
 //                 [--dump-dag] [--dump-callgraph] [--dump-effects]
-//                 <file-or-dir>...
+//                 [--dump-confinement] <file-or-dir>...
 //
 // Text output is machine readable, one finding per line:
 //   <file>:<line>: <rule>: <message>
@@ -82,7 +82,8 @@ int Usage() {
   std::cerr
       << "usage: crayfish_lint [--fix-suggestions] [--format=text|json]\n"
          "                     [--jobs=N] [--dump-dag] [--dump-callgraph]\n"
-         "                     [--dump-effects] <file-or-dir>...\n"
+         "                     [--dump-effects] [--dump-confinement]\n"
+         "                     <file-or-dir>...\n"
          "\n"
          "Determinism & correctness rules enforced over the Crayfish "
          "sources:\n"
@@ -110,6 +111,10 @@ int Usage() {
          "      is provably held on every entry-point path\n"
          "  R12 no mutable namespace-scope variables or function-local\n"
          "      statics in sim-reachable code\n"
+         "  R13 confinement planner: a Schedule/ScheduleAt site proved\n"
+         "      confinable (host anchor present, all touched state\n"
+         "      host-local, no global-plane reachability) must schedule via\n"
+         "      ScheduleOnHost/ScheduleAtOnHost or justify staying global\n"
          "\n"
          "Flags:\n"
          "  --fix-suggestions  append a remediation hint to each finding\n"
@@ -123,13 +128,16 @@ int Usage() {
          "  --dump-effects     print per-function effect summaries (self\n"
          "                     writes, global writes, partition crossings)\n"
          "                     as JSON and exit\n"
+         "  --dump-confinement print the confinement planner's verdict for\n"
+         "                     every Schedule-family call site (plus\n"
+         "                     per-component rollups) as JSON and exit\n"
          "\n"
          "Suppress a finding on its line (or the line below a standalone\n"
          "comment) with `// lint: <keyword> <justification>`, keywords:\n"
          "  wall-clock-ok unseeded-ok order-independent status-ignored "
          "float-ok\n"
          "  host-threading-ok layering-ok move-ok aliasing-ok cross-host-ok\n"
-         "  capability-ok global-state-ok\n";
+         "  capability-ok global-state-ok confinement-ok\n";
   return 2;
 }
 
@@ -142,6 +150,7 @@ int main(int argc, char** argv) {
   bool dump_dag = false;
   bool dump_callgraph = false;
   bool dump_effects = false;
+  bool dump_confinement = false;
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -165,6 +174,8 @@ int main(int argc, char** argv) {
       dump_callgraph = true;
     } else if (arg == "--dump-effects") {
       dump_effects = true;
+    } else if (arg == "--dump-confinement") {
+      dump_confinement = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -220,13 +231,16 @@ int main(int argc, char** argv) {
       crayfish::lint::BuildWholeProgram(irs);
   ctx.whole_program = &whole_program;
 
-  if (dump_dag || dump_callgraph || dump_effects) {
+  if (dump_dag || dump_callgraph || dump_effects || dump_confinement) {
     if (dump_dag) std::cout << graph.Dump();
     if (dump_callgraph) {
       std::cout << crayfish::lint::DumpCallGraph(whole_program);
     }
     if (dump_effects) {
       std::cout << crayfish::lint::DumpEffects(whole_program);
+    }
+    if (dump_confinement) {
+      std::cout << crayfish::lint::DumpConfinement(whole_program);
     }
     for (const std::string& e : errors) {
       std::cerr << "crayfish_lint: " << e << "\n";
@@ -275,11 +289,15 @@ int main(int argc, char** argv) {
   // out in path order, and this folds the project-level findings into the
   // same order instead of tacking them onto the end, so text output is
   // byte-identical for every --jobs value *and* sorted like the JSON.
+  // Rule id breaks (file, line) ties so multi-rule hits on one call site
+  // (R10 + R13) serialize identically for every --jobs value.
   std::stable_sort(all.begin(), all.end(),
                    [](const crayfish::lint::Finding& a,
                       const crayfish::lint::Finding& b) {
-                     return a.file != b.file ? a.file < b.file
-                                             : a.line < b.line;
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return static_cast<int>(a.rule) <
+                            static_cast<int>(b.rule);
                    });
 
   if (format == "json") {

@@ -409,13 +409,23 @@ class FunctionParser {
       }
     }
     fn->params = ParseParams(open, close);
-    // CRAYFISH_REQUIRES("ch") sits between the parameter list and the body.
+    // CRAYFISH_REQUIRES("ch") / CRAYFISH_GLOBAL_PLANE("why") sit between the
+    // parameter list and the body.
     for (int k = close; k >= 0 && k < body_open;) {
       if (toks_[k].IsIdent("CRAYFISH_REQUIRES")) {
         int past = -1;
         for (std::string& ch : ParseAnnotationArgs(toks_, k, &past)) {
           fn->requires_channels.push_back(std::move(ch));
         }
+        if (past <= k) break;
+        k = past;
+        continue;
+      }
+      if (toks_[k].IsIdent("CRAYFISH_GLOBAL_PLANE")) {
+        int past = -1;
+        const auto args = ParseAnnotationArgs(toks_, k, &past);
+        fn->global_plane = true;
+        if (!args.empty()) fn->global_plane_reason = args[0];
         if (past <= k) break;
         k = past;
         continue;
@@ -1354,8 +1364,9 @@ class FunctionParser {
     }
   }
 
-  /// Finds `Schedule(...)` / `ScheduleAt(...)` calls in [begin, end), peels
-  /// each lambda argument into a synthetic callback Function (recursively for
+  /// Finds Schedule-family calls (`Schedule`, `ScheduleAt`, `ScheduleOnHost`,
+  /// `ScheduleAtOnHost`, `ScheduleExclusiveAt`) in [begin, end), peels each
+  /// lambda argument into a synthetic callback Function (recursively for
   /// nested schedules), and returns the token ranges the host's own access
   /// extraction must skip.
   std::vector<std::pair<int, int>> PeelCallbacks(int begin, int end,
@@ -1365,7 +1376,11 @@ class FunctionParser {
     for (int k = begin; k < end; ++k) {
       const Token& t = toks_[k];
       if (!IsCodeToken(t)) continue;
-      if (!t.IsIdent("Schedule") && !t.IsIdent("ScheduleAt")) continue;
+      if (!t.IsIdent("Schedule") && !t.IsIdent("ScheduleAt") &&
+          !t.IsIdent("ScheduleOnHost") && !t.IsIdent("ScheduleAtOnHost") &&
+          !t.IsIdent("ScheduleExclusiveAt")) {
+        continue;
+      }
       const int open = NextCode(toks_, k);
       if (open < 0 || open >= end || !toks_[open].IsPunct("(")) continue;
       const int close = MatchParen(toks_, open);
@@ -1403,6 +1418,7 @@ class FunctionParser {
         cb.line = toks_[j].line;
         cb.is_callback = true;
         cb.register_line = toks_[k].line;
+        cb.register_method = t.text;
         cb.captures = ParseCaptures(j, rb, *host);
         if (lp_open >= 0) cb.params = ParseParams(lp_open, lp_close);
         cb.body = ParseStmtList(body_open + 1, body_close);
@@ -1484,12 +1500,20 @@ void ProcessClassPiece(const std::vector<Token>& toks,
     const Token& name_tok = toks[piece[call_open - 1]];
     if (name_tok.kind != TokenKind::kIdentifier) return;
     for (size_t j = call_open; j < piece.size(); ++j) {
-      if (!toks[piece[j]].IsIdent("CRAYFISH_REQUIRES")) continue;
-      int past = -1;
-      auto args = ParseAnnotationArgs(toks, piece[j], &past);
-      if (!args.empty()) {
-        auto& chans = cd->method_requires[name_tok.text];
-        for (std::string& ch : args) chans.push_back(std::move(ch));
+      if (toks[piece[j]].IsIdent("CRAYFISH_REQUIRES")) {
+        int past = -1;
+        auto args = ParseAnnotationArgs(toks, piece[j], &past);
+        if (!args.empty()) {
+          auto& chans = cd->method_requires[name_tok.text];
+          for (std::string& ch : args) chans.push_back(std::move(ch));
+        }
+        continue;
+      }
+      if (toks[piece[j]].IsIdent("CRAYFISH_GLOBAL_PLANE")) {
+        int past = -1;
+        const auto args = ParseAnnotationArgs(toks, piece[j], &past);
+        cd->method_global_plane[name_tok.text] =
+            args.empty() ? std::string() : args[0];
       }
     }
     return;
@@ -1592,13 +1616,29 @@ void ExtractClasses(const std::vector<Token>& toks, FileIR* ir) {
       k = past;
     }
     // Scan over `final` / base list to the body `{`; `;` is a forward decl.
+    // Base-class names feed the confinement planner's host-anchor search
+    // (anchors declared on a base, e.g. StreamEngine::config_, also anchor
+    // the derived engine).
     int body_open = -1;
+    bool in_bases = false;
     while (k >= 0 && k < n) {
       if (toks[k].IsPunct("{")) {
         body_open = k;
         break;
       }
       if (toks[k].IsPunct(";") || toks[k].IsPunct("(")) break;
+      if (toks[k].IsPunct(":")) in_bases = true;
+      if (in_bases && toks[k].kind == TokenKind::kIdentifier &&
+          !toks[k].IsIdent("public") && !toks[k].IsIdent("private") &&
+          !toks[k].IsIdent("protected") && !toks[k].IsIdent("virtual") &&
+          !toks[k].IsIdent("final")) {
+        // Keep the last identifier of each qualified base name: a following
+        // `::` means the current one was a namespace qualifier.
+        const int after = NextCode(toks, k);
+        if (after < 0 || !toks[after].IsPunct("::")) {
+          cd.bases.push_back(toks[k].text);
+        }
+      }
       if (toks[k].IsPunct("<")) {
         const int a = SkipAngles(toks, k);
         if (a < 0) break;
