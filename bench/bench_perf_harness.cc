@@ -42,10 +42,12 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "broker/cluster.h"
 #include "broker/record.h"
 #include "core/experiment.h"
 #include "core/sweep.h"
 #include "sim/event_queue.h"
+#include "sim/network.h"
 #include "sim/simulation.h"
 
 namespace crayfish::bench {
@@ -431,6 +433,44 @@ std::vector<PartitionedPoint> PipelineScaling(uint64_t* checksum,
   return out;
 }
 
+// --- section 6: lean cluster construction ----------------------------------
+// Cost of standing up the autoscaler's cluster-scale topology: a 1000-host
+// fleet with a 256-partition topic. With lazy per-partition bookkeeping and
+// per-source link buckets this is linear in hosts + partitions; the
+// live-link count doubles as evidence that nothing quadratic materialized.
+
+constexpr int kClusterHosts = 1000;
+constexpr int kClusterPartitions = 256;
+
+struct ClusterConstructResult {
+  double wall_s = 0.0;
+  size_t live_links = 0;
+};
+
+ClusterConstructResult ClusterConstruct() {
+  const auto start = Clock::now();
+  sim::Simulation sim(7);
+  sim::Network network(&sim);
+  for (int i = 0; i < kClusterHosts; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "fleet-%04d", i);
+    const auto s = network.AddHost(sim::Host{name, /*vcpus=*/4,
+                                             /*memory_bytes=*/15ULL << 30,
+                                             /*has_gpu=*/false});
+    CRAYFISH_CHECK(s.ok()) << s.ToString();
+  }
+  broker::KafkaCluster cluster(&sim, &network, broker::ClusterConfig{});
+  const auto created = cluster.CreateTopic("wide", kClusterPartitions);
+  CRAYFISH_CHECK(created.ok()) << created.ToString();
+  network.FreezeTopology();
+  ClusterConstructResult r;
+  r.wall_s = SecondsSince(start);
+  r.live_links = network.live_link_count();
+  CRAYFISH_CHECK(r.live_links == 0)
+      << "lean construction materialized " << r.live_links << " links";
+  return r;
+}
+
 // ---------------------------------------------------------------------------
 
 void RunHarness() {
@@ -519,6 +559,14 @@ void RunHarness() {
   }
   const double pipe_speedup_4 = pipe[0].wall_s / pipe[2].wall_s;
 
+  std::printf("bench_perf_harness: cluster construct (%d hosts, "
+              "%d partitions, lazy broker state)...\n",
+              kClusterHosts, kClusterPartitions);
+  (void)ClusterConstruct();
+  const ClusterConstructResult cluster = ClusterConstruct();
+  std::printf("  construct  %8.3f s  %zu live links\n", cluster.wall_s,
+              cluster.live_links);
+
   // The JSON lands in the working directory, not out_dir: unlike the
   // generated CSVs it is committed, so the perf trajectory is diffable
   // per PR.
@@ -571,6 +619,15 @@ void RunHarness() {
       "    \"events_per_s\": [%.0f, %.0f, %.0f, %.0f],\n"
       "    \"speedup_at_4_threads\": %.3f,\n"
       "    \"note\": \"%s\"\n"
+      "  },\n"
+      "  \"cluster_construct\": {\n"
+      "    \"hosts\": %d,\n"
+      "    \"partitions\": %d,\n"
+      "    \"wall_s\": %.3f,\n"
+      "    \"live_links\": %zu,\n"
+      "    \"note\": \"per-source link buckets and null partition slots: "
+      "construction is linear in hosts + partitions, no host-pair links or "
+      "eager partition state\"\n"
       "  }\n"
       "}\n",
       hw, static_cast<unsigned long long>(kMicroEvents), legacy_eps,
@@ -588,7 +645,8 @@ void RunHarness() {
       pipe[1].threads, pipe[2].threads, pipe[3].threads, pipe[0].wall_s,
       pipe[1].wall_s, pipe[2].wall_s, pipe[3].wall_s, pipe[0].events_per_s,
       pipe[1].events_per_s, pipe[2].events_per_s, pipe[3].events_per_s,
-      pipe_speedup_4, part_note);
+      pipe_speedup_4, part_note, kClusterHosts, kClusterPartitions,
+      cluster.wall_s, cluster.live_links);
   out << buf;
   std::printf("wrote %s\n", path.c_str());
 }

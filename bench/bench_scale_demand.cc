@@ -1,0 +1,97 @@
+// Extension beyond the paper (ROADMAP item 2, Theodolite-style): the
+// *demand metric* — for each engine x load intensity, the minimal serving
+// replica count whose SLO holds (Henning & Hasselbring's scalability
+// benchmark formulation). The paper reports sustainable throughput at a
+// fixed deployment; the demand table answers the dual question, "how much
+// of the resource does each load level require", which is what an elastic
+// deployment actually provisions.
+//
+// Matrix: SPS engines x load intensities against TorchServe + FFNN (the
+// worker-count-bound serving tool, ~350 ev/s per replica), p95 < 250 ms.
+// Each cell is a deterministic bisection over replica counts; every
+// still-searching cell contributes its midpoint probe to one wave, and the
+// wave runs through the sweep pool (`core::RunExperiments`).
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/slo.h"
+#include "scale/demand.h"
+
+namespace crayfish::bench {
+namespace {
+
+void RunScaleDemand() {
+  scale::DemandConfig dcfg;
+  dcfg.engines = {"flink", "kafka-streams", "spark"};
+  dcfg.loads_eps = {200.0, 500.0, 800.0};
+  dcfg.min_replicas = 1;
+  dcfg.max_replicas = 8;
+
+  auto slo = obs::SloConfig::FromJsonText(
+      R"({"slos": [{"name": "p95", "metric": "p95_latency_s",
+                    "max": 0.25, "error_budget": 0.1}]})");
+  CRAYFISH_CHECK(slo.ok()) << slo.status().ToString();
+
+  scale::DemandProbeBatch probe =
+      [&slo](const std::vector<scale::DemandQuery>& queries) {
+        std::vector<core::ExperimentConfig> configs;
+        for (const scale::DemandQuery& q : queries) {
+          core::ExperimentConfig cfg;
+          cfg.engine = q.engine;
+          cfg.serving = "torchserve";
+          cfg.model = "ffnn";
+          cfg.input_rate = q.load_eps;
+          cfg.parallelism = q.replicas;
+          cfg.duration_s = 20.0;
+          cfg.drain_s = 5.0;
+          cfg.slo = *slo;
+          configs.push_back(std::move(cfg));
+        }
+        const std::vector<core::ExperimentResult> results = RunAll(configs);
+        std::vector<scale::DemandProbeResult> out;
+        for (const core::ExperimentResult& r : results) {
+          scale::DemandProbeResult pr;
+          pr.slo_ok = r.has_slo_report && r.slo_report.passed;
+          pr.achieved_eps = r.summary.throughput_eps;
+          if (r.has_slo_report) pr.detail = r.slo_report.Summary();
+          out.push_back(std::move(pr));
+        }
+        return out;
+      };
+
+  auto table = scale::RunDemandSearch(dcfg, probe);
+  CRAYFISH_CHECK(table.ok()) << table.status().ToString();
+
+  core::ReportTable report(
+      "Ext: demand metric, TorchServe + FFNN (p95 < 250 ms)",
+      {"Engine", "Load ev/s", "Demand (replicas)", "Probes",
+       "Achieved ev/s"});
+  for (const scale::DemandCell& c : table->cells) {
+    report.AddRow({c.engine, core::ReportTable::Num(c.load_eps, 0),
+                   c.feasible ? std::to_string(c.demand) : "infeasible",
+                   std::to_string(c.probes),
+                   core::ReportTable::Num(c.achieved_eps)});
+  }
+  Emit(report, "scale_demand.csv");
+
+  // The machine-readable demand table itself (the artifact CI uploads).
+  const std::string dir = Options().out_dir.empty() ? "." : Options().out_dir;
+  crayfish::Status s = table->WriteCsv(dir + "/scale_demand_table.csv");
+  CRAYFISH_CHECK(s.ok()) << s.ToString();
+  s = table->WriteJson(dir + "/scale_demand_table.json");
+  CRAYFISH_CHECK(s.ok()) << s.ToString();
+  std::printf("[demand table: %s/scale_demand_table.{csv,json}]\n",
+              dir.c_str());
+}
+
+}  // namespace
+}  // namespace crayfish::bench
+
+int main(int argc, char** argv) {
+  crayfish::SetLogLevel(crayfish::LogLevel::kWarning);
+  crayfish::bench::Init(argc, argv);
+  crayfish::bench::RunScaleDemand();
+  return 0;
+}

@@ -33,10 +33,25 @@ crayfish::Status KafkaCluster::CreateTopic(const std::string& name,
     return crayfish::Status::AlreadyExists("topic: " + name);
   }
   TopicState state;
-  state.partitions.resize(static_cast<size_t>(partitions));
-  state.waiters.resize(static_cast<size_t>(partitions));
+  state.partition_count = partitions;
+  // Null slots only: per-partition state materializes on first
+  // produce/fetch (EnsurePart), so creating a 256-partition topic on a
+  // thousand-host fleet allocates 256 pointers, nothing more.
+  state.parts.resize(static_cast<size_t>(partitions));
   topics_[name] = std::move(state);
   return crayfish::Status::Ok();
+}
+
+KafkaCluster::PartitionState& KafkaCluster::EnsurePart(TopicState& state,
+                                                       int partition) {
+  auto& slot = state.parts[static_cast<size_t>(partition)];
+  if (slot == nullptr) {
+    slot = std::make_unique<PartitionState>();
+    if (state.has_retention) {
+      slot->log.SetRetentionRecords(state.retention_records);
+    }
+  }
+  return *slot;
 }
 
 crayfish::Status KafkaCluster::SetTopicRetention(
@@ -45,8 +60,10 @@ crayfish::Status KafkaCluster::SetTopicRetention(
   if (it == topics_.end()) {
     return crayfish::Status::NotFound("topic: " + name);
   }
-  for (Partition& p : it->second.partitions) {
-    p.SetRetentionRecords(records_per_partition);
+  it->second.retention_records = records_per_partition;
+  it->second.has_retention = true;
+  for (auto& slot : it->second.parts) {
+    if (slot != nullptr) slot->log.SetRetentionRecords(records_per_partition);
   }
   return crayfish::Status::Ok();
 }
@@ -59,7 +76,7 @@ crayfish::StatusOr<int> KafkaCluster::NumPartitions(
     const std::string& name) const {
   auto it = topics_.find(name);
   if (it == topics_.end()) return crayfish::Status::NotFound("topic: " + name);
-  return static_cast<int>(it->second.partitions.size());
+  return it->second.partition_count;
 }
 
 const std::string& KafkaCluster::LeaderHost(const TopicPartition& tp) const {
@@ -117,9 +134,10 @@ void KafkaCluster::RestartBroker(int broker_index) {
 void KafkaCluster::FlushWaitersOfBroker(int broker_index) {
   const int brokers = static_cast<int>(broker_hosts_.size());
   for (auto& [topic, state] : topics_) {
-    for (size_t p = 0; p < state.waiters.size(); ++p) {
+    for (size_t p = 0; p < state.parts.size(); ++p) {
       if (static_cast<int>(p) % brokers != broker_index) continue;
-      auto& waiters = state.waiters[p];
+      if (state.parts[p] == nullptr) continue;  // never touched: no waiters
+      auto& waiters = state.parts[p]->waiters;
       if (waiters.empty()) continue;
       std::vector<PendingFetch> flushed;
       flushed.swap(waiters);
@@ -148,8 +166,7 @@ void KafkaCluster::Produce(const std::string& client_host,
                            std::vector<Record> batch,
                            std::function<void(crayfish::Status)> on_ack) {
   auto it = topics_.find(tp.topic);
-  if (it == topics_.end() ||
-      tp.partition >= static_cast<int>(it->second.partitions.size())) {
+  if (it == topics_.end() || tp.partition >= it->second.partition_count) {
     // Error acks never leave the client host: confine them there.
     ScheduleOnHost(client_host, 0.0, [on_ack = std::move(on_ack), tp]() {
       if (on_ack) on_ack(crayfish::Status::NotFound(tp.ToString()));
@@ -217,8 +234,7 @@ void KafkaCluster::Produce(const std::string& client_host,
               auto topic_it = topics_.find(tp.topic);
               CRAYFISH_CHECK(topic_it != topics_.end());
               Partition& part =
-                  topic_it->second.partitions[static_cast<size_t>(
-                      tp.partition)];
+                  EnsurePart(topic_it->second, tp.partition).log;
               // LogAppendTime: broker local time at append (§3.3 step 5).
               obs::TraceRecorder* tracer = sim_->tracer();
               for (Record& r : batch) {
@@ -244,8 +260,7 @@ void KafkaCluster::Fetch(const std::string& client_host,
                          std::function<void(std::vector<Record>)> on_records) {
   auto it = topics_.find(tp.topic);
   CRAYFISH_CHECK(it != topics_.end()) << "fetch from unknown " << tp.topic;
-  CRAYFISH_CHECK_LT(tp.partition,
-                    static_cast<int>(it->second.partitions.size()));
+  CRAYFISH_CHECK_LT(tp.partition, it->second.partition_count);
   const std::string leader = LeaderHost(tp);
   if (!LeaderAvailable(tp)) {
     // Connection refused: empty response after the error delay.
@@ -279,14 +294,12 @@ void KafkaCluster::Fetch(const std::string& client_host,
               }
               auto topic_it = topics_.find(tp.topic);
               CRAYFISH_CHECK(topic_it != topics_.end());
-              Partition& part =
-                  topic_it->second.partitions[static_cast<size_t>(
-                      tp.partition)];
+              PartitionState& ps = EnsurePart(topic_it->second, tp.partition);
               PendingFetch fetch{offset, max_records, max_bytes,
                                  std::move(client_host),
                                  std::move(on_records),
                                  std::make_shared<bool>(false)};
-              if (part.end_offset() > offset) {
+              if (ps.log.end_offset() > offset) {
                 AnswerFetch(tp, std::move(fetch));
                 return;
               }
@@ -295,15 +308,14 @@ void KafkaCluster::Fetch(const std::string& client_host,
               // moved into the waiter list and re-located on expiry, so the
               // callback and host string are never copied.
               auto done = fetch.done;
-              topic_it->second.waiters[static_cast<size_t>(tp.partition)]
-                  .push_back(std::move(fetch));
+              ps.waiters.push_back(std::move(fetch));
               sim_->Schedule(max_wait_s, [this, tp, done]() {
                 if (*done) return;
                 *done = true;
                 auto wt_it = topics_.find(tp.topic);
                 CRAYFISH_CHECK(wt_it != topics_.end());
                 auto& waiters =
-                    wt_it->second.waiters[static_cast<size_t>(tp.partition)];
+                    EnsurePart(wt_it->second, tp.partition).waiters;
                 for (auto w = waiters.begin(); w != waiters.end(); ++w) {
                   if (w->done == done) {
                     PendingFetch parked = std::move(*w);
@@ -322,8 +334,7 @@ void KafkaCluster::Fetch(const std::string& client_host,
 void KafkaCluster::AnswerFetch(const TopicPartition& tp, PendingFetch fetch) {
   auto topic_it = topics_.find(tp.topic);
   CRAYFISH_CHECK(topic_it != topics_.end());
-  Partition& part =
-      topic_it->second.partitions[static_cast<size_t>(tp.partition)];
+  Partition& part = EnsurePart(topic_it->second, tp.partition).log;
   std::vector<Record> records;
   int64_t offset = fetch.offset;
   if (offset < part.log_start_offset()) {
@@ -353,8 +364,9 @@ void KafkaCluster::AnswerFetch(const TopicPartition& tp, PendingFetch fetch) {
 void KafkaCluster::WakeWaiters(const TopicPartition& tp) {
   auto topic_it = topics_.find(tp.topic);
   CRAYFISH_CHECK(topic_it != topics_.end());
-  auto& waiters =
-      topic_it->second.waiters[static_cast<size_t>(tp.partition)];
+  auto& slot = topic_it->second.parts[static_cast<size_t>(tp.partition)];
+  if (slot == nullptr) return;  // never touched: nothing parked
+  auto& waiters = slot->waiters;
   if (waiters.empty()) return;
   std::vector<PendingFetch> to_answer;
   to_answer.swap(waiters);
@@ -405,7 +417,7 @@ void KafkaCluster::Rebalance(const std::string& group,
   CRAYFISH_CHECK(git != groups_.end());
   auto pit = topics_.find(topic);
   CRAYFISH_CHECK(pit != topics_.end());
-  const int partitions = static_cast<int>(pit->second.partitions.size());
+  const int partitions = pit->second.partition_count;
   const int member_count = static_cast<int>(git->second.members.size());
   // Eager rebalance: every member gets its new assignment after the
   // coordinator round trip (~50 ms, a fraction of a real rebalance since
@@ -479,11 +491,12 @@ crayfish::StatusOr<Partition*> KafkaCluster::GetPartition(
   if (it == topics_.end()) {
     return crayfish::Status::NotFound("topic: " + tp.topic);
   }
-  if (tp.partition < 0 ||
-      tp.partition >= static_cast<int>(it->second.partitions.size())) {
+  if (tp.partition < 0 || tp.partition >= it->second.partition_count) {
     return crayfish::Status::NotFound("partition: " + tp.ToString());
   }
-  return &it->second.partitions[static_cast<size_t>(tp.partition)];
+  // Callers run in global context (tests, the metrics analyzer, setup), so
+  // materializing an untouched partition here cannot race a leader thread.
+  return &EnsurePart(it->second, tp.partition).log;
 }
 
 crayfish::Status KafkaCluster::TrimPartition(const TopicPartition& tp,

@@ -198,11 +198,32 @@ class KafkaCluster {
     std::shared_ptr<bool> done;
   };
 
-  struct TopicState {
-    std::vector<Partition> partitions;
-    /// Parked long-poll fetches per partition.
-    std::vector<std::vector<PendingFetch>> waiters;
+  /// Per-partition broker state: the log plus its parked long-poll
+  /// fetches. Materialized lazily on first produce/fetch so a wide topic
+  /// (hundreds of partitions across a thousand-host fleet) costs one null
+  /// pointer per untouched partition, not a Partition object.
+  struct PartitionState {
+    Partition log;
+    /// Parked long-poll fetches.
+    std::vector<PendingFetch> waiters;
   };
+
+  struct TopicState {
+    int partition_count = 0;
+    /// Retention configured before the partition materialized; applied in
+    /// EnsurePart so late-created slots behave identically.
+    size_t retention_records = 0;
+    bool has_retention = false;
+    /// Slot i is null until partition i's first produce/fetch. The slot is
+    /// only written by partition i's leader thread (confined context) or
+    /// with every partition quiescent (global/exclusive context) — the
+    /// vector itself never changes shape after CreateTopic, so lazy
+    /// materialization is race-free without locks.
+    std::vector<std::unique_ptr<PartitionState>> parts;
+  };
+
+  /// Materializes (or returns) partition `partition`'s state.
+  PartitionState& EnsurePart(TopicState& state, int partition);
 
   /// Completes a fetch at the broker and sends the response back. Takes the
   /// fetch by value so the records callback moves end-to-end (a PendingFetch

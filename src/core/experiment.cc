@@ -68,6 +68,18 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
     return crayfish::Status::InvalidArgument(
         "sim_threads must be in [1, 64]");
   }
+  const bool autoscaled = config.autoscaler.enabled;
+  if (autoscaled) {
+    CRAYFISH_RETURN_IF_ERROR(config.autoscaler.Validate());
+    if (!external) {
+      return crayfish::Status::InvalidArgument(
+          "autoscaler requires an external serving tool (embedded "
+          "libraries have no worker pool to resize)");
+    }
+  }
+  if (config.workload.enabled) {
+    CRAYFISH_RETURN_IF_ERROR(config.workload.Validate());
+  }
 
   sim::Simulation sim(config.seed);
   // Before any host registration: partition count fixes the host ->
@@ -84,10 +96,12 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
     trace = std::make_shared<obs::TraceRecorder>();
     metrics = std::make_shared<obs::MetricsRegistry>();
     sim.AttachObservability(trace.get(), metrics.get());
-  } else if (faulted) {
+  } else if (faulted || autoscaled) {
     // Fault runs always carry a registry: the retry counters incremented
     // by producers/consumers/serving clients are the cross-layer channel
-    // the recovery scorecard reads. Registry updates are passive, so this
+    // the recovery scorecard reads. Autoscaled runs carry one for the same
+    // reason (the `autoscale_*` metrics and the loss scorecard that proves
+    // scale-in dropped nothing). Registry updates are passive, so this
     // does not perturb the run.
     metrics = std::make_shared<obs::MetricsRegistry>();
     sim.AttachObservability(nullptr, metrics.get());
@@ -131,6 +145,31 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
         "crayfish-in", config.retention_records));
     CRAYFISH_RETURN_IF_ERROR(cluster.SetTopicRetention(
         "crayfish-out", config.retention_records));
+  }
+
+  // Cluster-scale topology (scale::WorkloadSpec): idle fleet hosts plus
+  // per-tenant background topics. Hosts are registered before
+  // FreezeTopology, so a thousand-host fleet costs one empty link bucket
+  // per host; tenant topics allocate per-partition broker state lazily on
+  // first produce.
+  if (config.workload.enabled) {
+    for (int i = 0; i < config.workload.fleet_hosts; ++i) {
+      // lint: capability-ok setup phase: fleet registration runs single-threaded before FreezeTopology and the first event, which is what the "setup" channel asserts
+      CRAYFISH_RETURN_IF_ERROR(network.AddHost(
+          sim::Host{config.workload.fleet_host_prefix + std::to_string(i),
+                    /*vcpus=*/4, /*memory_bytes=*/15ULL << 30,
+                    /*has_gpu=*/false}));
+    }
+    for (int t = 0; t < config.workload.tenants; ++t) {
+      const std::string topic =
+          config.workload.tenant_topic_prefix + std::to_string(t);
+      CRAYFISH_RETURN_IF_ERROR(
+          cluster.CreateTopic(topic, config.workload.tenant_partitions));
+      if (config.retention_records > 0) {
+        CRAYFISH_RETURN_IF_ERROR(
+            cluster.SetTopicRetention(topic, config.retention_records));
+      }
+    }
   }
 
   const serving::ModelProfile profile =
@@ -205,10 +244,41 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
   }
   InputProducer::Options ip_opts;
   ip_opts.schedule = config.Schedule();
+  if (config.workload.enabled) {
+    // Workload shape drives the primary producer's instantaneous rate (a
+    // pure function of sim time — see RateSchedule::rate_fn's contract).
+    const scale::WorkloadShape shape = config.workload.shape;
+    ip_opts.schedule.rate_fn = [shape](double t) { return shape.RateAt(t); };
+  }
   ip_opts.max_events = config.max_events;
   ip_opts.stop_at_s = config.duration_s;
   ip_opts.materialize_payloads = config.validate_real_inference;
   InputProducer producer(&sim, &cluster, std::move(*generator), ip_opts);
+
+  // Background tenants: each gets its own producer host and topic, pushing
+  // the shared shape scaled by tenant_rate_factor. They load the brokers
+  // and the network, not the scored pipeline (no consumer reads them), so
+  // `result.events_sent` stays the primary producer's count.
+  std::vector<std::unique_ptr<InputProducer>> tenant_producers;
+  if (config.workload.enabled) {
+    for (int t = 0; t < config.workload.tenants; ++t) {
+      InputProducer::Options topts;
+      topts.client_host =
+          config.workload.tenant_host_prefix + std::to_string(t);
+      topts.topic = config.workload.tenant_topic_prefix + std::to_string(t);
+      const scale::WorkloadShape shape = config.workload.shape;
+      const double factor = config.workload.tenant_rate_factor;
+      topts.schedule.rate_fn = [shape, factor](double t_s) {
+        return shape.RateAt(t_s) * factor;
+      };
+      topts.stop_at_s = config.duration_s;
+      tenant_producers.push_back(std::make_unique<InputProducer>(
+          &sim, &cluster,
+          DataGenerator(config.SampleShape(), config.batch_size,
+                        sim.ForkRng()),
+          topts));
+    }
+  }
 
   // Fault schedule: armed after every component exists (hooks bind to the
   // live server/engine), before the first simulated event.
@@ -225,7 +295,16 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
       };
       hooks.serving_down = [srv](bool down) { srv->SetServerDown(down); };
       hooks.serving_worker_delta = [srv](int delta) {
-        srv->SetWorkers(std::max(1, srv->workers() + delta));
+        // Scale-in drains in-flight requests before removing workers
+        // (graceful resize); scale-out takes effect immediately. Deltas
+        // stack on the *target* width so a resize issued mid-drain
+        // composes instead of resurrecting the pre-drain width.
+        const int target = std::max(1, srv->target_workers() + delta);
+        if (delta < 0) {
+          srv->SetWorkersGraceful(target);
+        } else {
+          srv->SetWorkers(target);
+        }
       };
     }
     sps::StreamEngine* eng = engine.get();
@@ -234,6 +313,67 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
     };
     injector->set_hooks(std::move(hooks));
     CRAYFISH_RETURN_IF_ERROR(injector->Arm());
+  }
+
+  // Elastic autoscaler: the control loop runs as exclusive events at
+  // global sync points (every partition quiescent), so resizes are
+  // byte-for-byte identical at any sim_threads value. All ticks are
+  // pre-scheduled here, before the first simulated event.
+  std::optional<scale::Actuator> actuator;
+  std::optional<scale::Autoscaler> autoscaler;
+  if (autoscaled) {
+    serving::ExternalServingServer* srv = server.get();
+    scale::ActuatorHooks ahooks;
+    // The loop reasons about the *target* width: during a graceful drain
+    // the pool converges to the pending target, and basing decisions on it
+    // keeps the policy from re-issuing the same shrink every tick.
+    ahooks.current_replicas = [srv]() { return srv->target_workers(); };
+    ahooks.set_replicas = [srv](int n) {
+      if (n < srv->target_workers()) {
+        // Scale-in drains in-flight requests before removing workers.
+        srv->SetWorkersGraceful(n);
+      } else {
+        srv->SetWorkers(n);
+      }
+    };
+    actuator.emplace(&sim, config.serving, std::move(ahooks));
+
+    // Window deltas (busy seconds, events sent) between consecutive ticks.
+    // Ticks execute in strict time order on the global plane, so this
+    // mutable state is single-writer and its evolution is deterministic.
+    struct SamplerState {
+      double prev_t = 0.0;
+      double prev_busy = 0.0;
+      uint64_t prev_sent = 0;
+    };
+    auto state = std::make_shared<SamplerState>();
+    sps::StreamEngine* eng = engine.get();
+    InputProducer* prod = &producer;
+    auto sampler = [srv, eng, prod, state](double now_s) {
+      scale::PolicyInput in;
+      const sps::EngineTelemetry telemetry = eng->Telemetry();
+      in.total_lag = static_cast<double>(telemetry.consumer_lag);
+      in.max_partition_lag =
+          static_cast<double>(telemetry.max_partition_lag);
+      const double busy = srv->worker_busy_seconds();
+      const uint64_t sent = prod->events_sent();
+      const double dt = now_s - state->prev_t;
+      if (dt > 0.0) {
+        const int width = std::max(1, srv->workers());
+        in.utilization = std::clamp(
+            (busy - state->prev_busy) / (dt * width), 0.0, 1.0);
+        in.arrival_rate_eps =
+            static_cast<double>(sent - state->prev_sent) / dt;
+      }
+      state->prev_t = now_s;
+      state->prev_busy = busy;
+      state->prev_sent = sent;
+      return in;
+    };
+    autoscaler.emplace(&sim, config.autoscaler, &*actuator,
+                       std::move(sampler));
+    CRAYFISH_RETURN_IF_ERROR(
+        autoscaler->Arm(config.duration_s + config.drain_s));
   }
 
   // Timeline probes are registered centrally, over objects owned by this
@@ -285,6 +425,7 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
   CRAYFISH_RETURN_IF_ERROR(engine->Start());
   output_consumer.Start();
   producer.Start();
+  for (std::unique_ptr<InputProducer>& tp : tenant_producers) tp->Start();
 
   sim.Run(config.duration_s + config.drain_s);
 
@@ -294,6 +435,7 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
 
   engine->Stop();
   producer.Stop();
+  for (std::unique_ptr<InputProducer>& tp : tenant_producers) tp->Stop();
   output_consumer.Stop();
 
   ExperimentResult result;
@@ -324,7 +466,14 @@ crayfish::StatusOr<ExperimentResult> RunExperiment(
     }
     sim.AttachTimeline(nullptr);
   }
-  if (faulted) {
+  if (autoscaled) {
+    result.autoscale = autoscaler->Summary();
+    result.has_autoscale = true;
+  }
+  if (faulted || autoscaled) {
+    // The loss scorecard covers autoscaled runs too: scale-in must drain,
+    // never drop, and the `fault_metrics.lost` field is how tests and the
+    // demand-metric runner assert that.
     for (const Measurement& m : result.measurements) {
       tracker.RecordDelivery(m.batch_id, m.append_time);
     }

@@ -19,6 +19,9 @@
 #include "obs/slo.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 #include "obs/timeline.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
 #include "obs/trace.h"  // lint: layering-ok instrumentation hook; obs reads state, never feeds it back
+#include "scale/autoscaler.h"
+#include "scale/policy.h"
+#include "scale/workload.h"
 #include "serving/model_profile.h"
 
 namespace crayfish::core {
@@ -93,6 +96,23 @@ struct ExperimentConfig {
   /// is populated.
   fault::FaultPlan fault_plan;
 
+  // --- cluster-scale workload shaping (src/scale) ---
+  /// Workload generator: when `workload.enabled`, the input producer's
+  /// rate follows `workload.shape` (RateSchedule::rate_fn) instead of the
+  /// constant/bursty Table 1 schedule, and the run can stand up a
+  /// multi-tenant fleet (background tenant topics + idle fleet hosts).
+  /// Inert by default.
+  scale::WorkloadSpec workload;
+
+  /// Elastic autoscaler: when `autoscaler.enabled`, a DES-scheduled
+  /// control loop samples broker lag / serving utilization every
+  /// `interval_s` and resizes the external serving worker pool through
+  /// scale::Actuator. Requires an external serving tool (the embedded
+  /// libraries have no worker pool to resize). A RecoveryTracker scores
+  /// the run (as in fault runs) so scale-in can be asserted loss-free.
+  /// Inert by default.
+  scale::PolicyConfig autoscaler;
+
   // --- observability ---
   /// Attach a TraceRecorder + MetricsRegistry to the run. Recording is
   /// passive (simulated clock only, no events, no RNG), so enabling it
@@ -140,6 +160,10 @@ struct ExperimentResult {
   /// shared_ptr so ExperimentResult stays copyable.
   std::shared_ptr<obs::TraceRecorder> trace;
   std::shared_ptr<obs::MetricsRegistry> metrics;
+
+  // --- populated only when config.autoscaler is enabled ---
+  bool has_autoscale = false;
+  scale::AutoscaleSummary autoscale;
 
   // --- populated only when the telemetry timeline is active ---
   /// Finalized windowed timeline (JSONL / CSV exportable).

@@ -7,6 +7,7 @@
 namespace crayfish::core {
 
 double RateSchedule::RateAt(double t) const {
+  if (rate_fn) return rate_fn(t);
   if (!bursty) return base_rate;
   return InBurst(t) ? burst_rate : base_rate;
 }

@@ -2,6 +2,7 @@
 #define CRAYFISH_CORE_GENERATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.h"
@@ -21,6 +22,12 @@ struct RateSchedule {
   double time_between_bursts_s = 120.0;  ///< tbb
   /// Offset of the first burst from t=0 (lets the warmup window pass).
   double first_burst_at_s = 120.0;
+
+  /// Workload-shape override: when set, RateAt delegates to this function
+  /// of simulated time (scale::WorkloadShape plugs in here). Must stay
+  /// strictly positive and be a pure function of t — the producer divides
+  /// by it, and purity is what keeps shaped runs thread-count independent.
+  std::function<double(double)> rate_fn;
 
   /// Instantaneous target rate at time t.
   double RateAt(double t) const;

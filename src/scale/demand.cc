@@ -1,0 +1,168 @@
+#include "scale/demand.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace crayfish::scale {
+namespace {
+
+/// CSV cell formatting for rates: fixed 6-digit precision with trailing
+/// zeros trimmed, so tables are byte-stable across platforms.
+std::string FormatRate(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  std::string s(buf);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+/// Per-cell bisection state over [lo, hi] for the minimal feasible count.
+struct CellSearch {
+  DemandCell cell;
+  int lo = 1;
+  int hi = 1;
+  bool done = false;
+
+  int Midpoint() const { return lo + (hi - lo) / 2; }
+
+  void Observe(int replicas, const DemandProbeResult& r) {
+    ++cell.probes;
+    if (r.slo_ok) {
+      cell.feasible = true;
+      cell.demand = replicas;
+      cell.achieved_eps = r.achieved_eps;
+      cell.detail = r.detail;
+      hi = replicas - 1;
+    } else {
+      lo = replicas + 1;
+      // Infeasible-so-far cells still report the throughput the largest
+      // failing probe achieved — "how close it got" is the interesting
+      // part of an infeasible row.
+      if (!cell.feasible) {
+        cell.achieved_eps = std::max(cell.achieved_eps, r.achieved_eps);
+        cell.detail = r.detail;
+      }
+    }
+    if (lo > hi) done = true;
+  }
+};
+
+Status WriteText(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write: " + path);
+  out << text;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status DemandConfig::Validate() const {
+  if (engines.empty()) {
+    return Status::InvalidArgument("demand search needs >= 1 engine");
+  }
+  if (loads_eps.empty()) {
+    return Status::InvalidArgument("demand search needs >= 1 load intensity");
+  }
+  for (double load : loads_eps) {
+    if (load <= 0.0) {
+      return Status::InvalidArgument("demand load intensities must be > 0");
+    }
+  }
+  if (min_replicas < 1 || max_replicas < min_replicas) {
+    return Status::InvalidArgument(
+        "demand search needs 1 <= min_replicas <= max_replicas");
+  }
+  return Status::Ok();
+}
+
+std::string DemandTable::ToCsv() const {
+  std::ostringstream out;
+  out << "engine,load_eps,feasible,demand,probes,achieved_eps\n";
+  for (const DemandCell& c : cells) {
+    out << c.engine << ',' << FormatRate(c.load_eps) << ','
+        << (c.feasible ? 1 : 0) << ',' << (c.feasible ? c.demand : 0) << ','
+        << c.probes << ',' << FormatRate(c.achieved_eps) << '\n';
+  }
+  return out.str();
+}
+
+JsonValue DemandTable::ToJson() const {
+  JsonValue arr = JsonValue::MakeArray();
+  for (const DemandCell& c : cells) {
+    JsonValue o = JsonValue::MakeObject();
+    o["engine"] = JsonValue(c.engine);
+    o["load_eps"] = JsonValue(c.load_eps);
+    o["feasible"] = JsonValue(c.feasible);
+    o["demand"] = JsonValue(static_cast<double>(c.feasible ? c.demand : 0));
+    o["probes"] = JsonValue(static_cast<double>(c.probes));
+    o["achieved_eps"] = JsonValue(c.achieved_eps);
+    o["detail"] = JsonValue(c.detail);
+    arr.Append(std::move(o));
+  }
+  return arr;
+}
+
+Status DemandTable::WriteCsv(const std::string& path) const {
+  return WriteText(path, ToCsv());
+}
+
+Status DemandTable::WriteJson(const std::string& path) const {
+  return WriteText(path, ToJson().DumpPretty());
+}
+
+StatusOr<DemandTable> RunDemandSearch(const DemandConfig& config,
+                                      const DemandProbeBatch& probe) {
+  CRAYFISH_RETURN_IF_ERROR(config.Validate());
+  if (probe == nullptr) {
+    return Status::InvalidArgument("demand search needs a probe callback");
+  }
+
+  // Cell order (engine-major, then load) is the table's row order.
+  std::vector<CellSearch> searches;
+  for (const std::string& engine : config.engines) {
+    for (double load : config.loads_eps) {
+      CellSearch s;
+      s.cell.engine = engine;
+      s.cell.load_eps = load;
+      s.lo = config.min_replicas;
+      s.hi = config.max_replicas;
+      searches.push_back(std::move(s));
+    }
+  }
+
+  // Wave loop: every unfinished cell contributes its midpoint probe to one
+  // batch. Bisection needs at most ceil(log2(range)) + 1 waves.
+  while (true) {
+    std::vector<size_t> active;
+    std::vector<DemandQuery> queries;
+    for (size_t i = 0; i < searches.size(); ++i) {
+      if (searches[i].done) continue;
+      active.push_back(i);
+      queries.push_back(DemandQuery{searches[i].cell.engine,
+                                    searches[i].cell.load_eps,
+                                    searches[i].Midpoint()});
+    }
+    if (queries.empty()) break;
+    std::vector<DemandProbeResult> results = probe(queries);
+    if (results.size() != queries.size()) {
+      return Status::Internal("demand probe returned " +
+                              std::to_string(results.size()) + " results for " +
+                              std::to_string(queries.size()) + " queries");
+    }
+    for (size_t k = 0; k < active.size(); ++k) {
+      searches[active[k]].Observe(queries[k].replicas, results[k]);
+    }
+  }
+
+  DemandTable table;
+  table.cells.reserve(searches.size());
+  for (CellSearch& s : searches) {
+    table.cells.push_back(std::move(s.cell));
+  }
+  return table;
+}
+
+}  // namespace crayfish::scale

@@ -1,0 +1,83 @@
+#ifndef CRAYFISH_SCALE_DEMAND_H_
+#define CRAYFISH_SCALE_DEMAND_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace crayfish::scale {
+
+/// One SLO probe the search wants answered: does `engine` at `load_eps`
+/// input rate hold its SLO with `replicas` serving replicas?
+struct DemandQuery {
+  std::string engine;
+  double load_eps = 0.0;
+  int replicas = 1;
+};
+
+/// Answer to one DemandQuery.
+struct DemandProbeResult {
+  bool slo_ok = false;
+  /// Achieved output throughput, for the table report.
+  double achieved_eps = 0.0;
+  /// Free-form detail (e.g. the SLO summary line).
+  std::string detail;
+};
+
+/// Batch probe: runs every query (one experiment each) and returns results
+/// in query order. The bench layer implements this on top of
+/// `core::SweepRunner` / `core::RunExperiments`, so the whole wave runs in
+/// the sweep thread pool; handing it in as a closure keeps `scale` below
+/// `core` in the layering DAG.
+using DemandProbeBatch =
+    std::function<std::vector<DemandProbeResult>(
+        const std::vector<DemandQuery>&)>;
+
+/// Search space: engines x load intensities, replica bounds.
+struct DemandConfig {
+  std::vector<std::string> engines;
+  std::vector<double> loads_eps;
+  int min_replicas = 1;
+  int max_replicas = 32;
+
+  Status Validate() const;
+};
+
+/// One cell of the demand table: the minimal replica count whose SLO holds
+/// for (engine, load), or infeasible when even max_replicas breaches.
+struct DemandCell {
+  std::string engine;
+  double load_eps = 0.0;
+  bool feasible = false;
+  int demand = 0;  ///< minimal SLO-holding replicas (valid when feasible)
+  int probes = 0;  ///< experiments spent on this cell
+  double achieved_eps = 0.0;  ///< throughput at the demand point
+  std::string detail;
+};
+
+/// Theodolite-style demand table: resources required per load intensity,
+/// per engine (Henning & Hasselbring's scalability metric).
+struct DemandTable {
+  std::vector<DemandCell> cells;
+
+  /// RFC 4180 CSV: engine,load_eps,feasible,demand,probes,achieved_eps.
+  std::string ToCsv() const;
+  JsonValue ToJson() const;
+  Status WriteCsv(const std::string& path) const;
+  Status WriteJson(const std::string& path) const;
+};
+
+/// Binary-searches the minimal SLO-holding replica count per
+/// engine x load cell. Wave-based: every still-searching cell contributes
+/// its midpoint query to one batch, the batch runs through `probe` (the
+/// sweep pool), and bounds tighten — so parallelism comes from the batch,
+/// while the per-cell search stays a deterministic bisection.
+StatusOr<DemandTable> RunDemandSearch(const DemandConfig& config,
+                                      const DemandProbeBatch& probe);
+
+}  // namespace crayfish::scale
+
+#endif  // CRAYFISH_SCALE_DEMAND_H_

@@ -339,7 +339,17 @@ void ExternalServingServer::SetWorkers(int workers) {
   options_.workers = workers;
 }
 
+void ExternalServingServer::SetWorkersGraceful(int workers) {
+  CRAYFISH_CHECK_GT(workers, 0);
+  workers_->ResizeGraceful(workers);
+  options_.workers = workers;
+}
+
 int ExternalServingServer::workers() const { return workers_->servers(); }
+
+int ExternalServingServer::target_workers() const {
+  return workers_->target_servers();
+}
 
 void ExternalServingServer::InjectSlowdown(double factor) {
   CRAYFISH_CHECK_GT(factor, 0.0);

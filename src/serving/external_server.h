@@ -101,7 +101,14 @@ class ExternalServingServer {
 
   /// Re-provisions the worker pool (the serving-side mp knob).
   void SetWorkers(int workers);
+  /// Like SetWorkers, but a shrink drains the worker queue before the
+  /// lower width applies (ServerPool::ResizeGraceful): the autoscaler
+  /// scale-in path, which must never strand queued inferences.
+  void SetWorkersGraceful(int workers);
   int workers() const;
+  /// Width the pool is converging to (equals workers() unless a graceful
+  /// shrink is still draining).
+  int target_workers() const;
 
   // --- fault-injection hooks ---
 

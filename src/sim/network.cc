@@ -83,23 +83,26 @@ crayfish::StatusOr<Host> Network::GetHost(const std::string& name) const {
 
 void Network::SetLinkSpec(const std::string& from, const std::string& to,
                           LinkSpec spec) {
-  const auto key = std::make_pair(from, to);
-  spec_overrides_[key] = spec;
-  links_.erase(key);
+  spec_overrides_[std::make_pair(from, to)] = spec;
+  auto it = links_by_src_.find(from);
+  if (it != links_by_src_.end()) it->second.out.erase(to);
 }
 
 Link* Network::GetOrCreateLink(const std::string& from,
                                const std::string& to) {
-  const auto key = std::make_pair(from, to);
-  auto it = links_.find(key);
-  if (it != links_.end()) return it->second.get();
+  HostLinks& bucket = links_by_src_[from];
+  auto it = bucket.out.find(to);
+  if (it != bucket.out.end()) return it->second.get();
+  // A Link's initial state is a pure function of (spec, degradation
+  // rules), never of creation time, so materializing it at first use
+  // instead of at freeze keeps every export byte-identical.
   LinkSpec spec = default_spec_;
-  auto ov = spec_overrides_.find(key);
+  auto ov = spec_overrides_.find(std::make_pair(from, to));
   if (ov != spec_overrides_.end()) spec = ov->second;
   auto link = std::make_unique<Link>(sim_, spec);
   Link* raw = link.get();
   raw->SetDegradation(DegradationFor(from, to));
-  links_[key] = std::move(link);
+  bucket.out[to] = std::move(link);
   return raw;
 }
 
@@ -120,17 +123,19 @@ void Network::SetDegradation(const std::string& from, const std::string& to,
   degradations_[std::make_pair(from, to)] = deg;
   // Re-resolve every live link so rule precedence stays consistent whether a
   // link was created before or after the rule was installed.
-  for (auto& [key, link] : links_) {
-    link->SetDegradation(DegradationFor(key.first, key.second));
+  for (auto& [src, bucket] : links_by_src_) {
+    for (auto& [dst, link] : bucket.out) {
+      link->SetDegradation(DegradationFor(src, dst));
+    }
   }
 }
 
 void Network::FreezeTopology() {
-  for (const auto& [from, from_host] : hosts_) {
-    for (const auto& [to, to_host] : hosts_) {
-      if (from != to) GetOrCreateLink(from, to);
-    }
-  }
+  // One empty bucket per host: after this the outer map never changes
+  // shape, so lazy link creation inside a bucket is single-writer (the
+  // source host's thread) with no structural races.
+  for (const auto& [name, host] : hosts_) links_by_src_[name];
+  frozen_ = true;
 }
 
 double Network::MinLinkLatency() const {
@@ -158,10 +163,11 @@ void Network::Send(const std::string& from, const std::string& to,
   }
   // Confined context: Send is the only legal cross-partition edge. The
   // sender must be the executing host — a confined callback sending on
-  // another host's behalf would race on that host's link state — and the
-  // link must pre-exist (FreezeTopology) so the link table is read-only
-  // during windows. A directed link is touched only by its source host's
-  // thread, so ReserveTransfer needs no locking.
+  // another host's behalf would race on that host's link state — and
+  // FreezeTopology must have run so the per-source bucket exists and the
+  // outer link table is structurally read-only during windows. A source
+  // bucket (and every directed link in it) is touched only by its source
+  // host's thread, so lazy creation and ReserveTransfer need no locking.
   const int from_id = sim_->HostId(from);
   const int to_id = sim_->HostId(to);
   CRAYFISH_CHECK_GE(from_id, 0) << "unknown host " << from;
@@ -172,11 +178,10 @@ void Network::Send(const std::string& from, const std::string& to,
     sim_->Schedule(0.0, std::move(on_delivered));
     return;
   }
-  auto it = links_.find(std::make_pair(from, to));
-  CRAYFISH_CHECK(it != links_.end())
-      << "no link " << from << " -> " << to
+  CRAYFISH_CHECK(frozen_)
+      << "no link bucket for " << from
       << "; call Network::FreezeTopology() after setup for confined sends";
-  const SimTime deliver_at = it->second->ReserveTransfer(bytes);
+  const SimTime deliver_at = GetOrCreateLink(from, to)->ReserveTransfer(bytes);
   if (deliver_at == kNeverSimTime) return;
   sim_->ScheduleAtOnHost(to_id, deliver_at, std::move(on_delivered));
 }
@@ -194,7 +199,15 @@ double Network::IdleTransferTime(const std::string& from,
 
 uint64_t Network::total_bytes_sent() const {
   uint64_t total = 0;
-  for (const auto& [key, link] : links_) total += link->bytes_sent();
+  for (const auto& [src, bucket] : links_by_src_) {
+    for (const auto& [dst, link] : bucket.out) total += link->bytes_sent();
+  }
+  return total;
+}
+
+size_t Network::live_link_count() const {
+  size_t total = 0;
+  for (const auto& [src, bucket] : links_by_src_) total += bucket.out.size();
   return total;
 }
 

@@ -155,9 +155,14 @@ class CRAYFISH_SHARED("sim-network") Network {
   void Send(const std::string& from, const std::string& to, uint64_t bytes,
             InlineAction on_delivered);
 
-  /// Pre-creates every directed link between distinct registered hosts so
-  /// confined senders never mutate the link table concurrently. Call once
-  /// after all hosts are added; required before any confined Send.
+  /// Freezes the host set and pre-creates the per-source link buckets —
+  /// O(hosts), not O(hosts²). Links themselves stay lazy: each directed
+  /// link materializes on first use, in its source host's bucket, which
+  /// only the source host's thread touches under the parallel DES (the
+  /// confined Send path CHECKs from == executing host, and global events
+  /// run with every partition quiescent). Call once after all hosts are
+  /// added; required before any confined Send. A thousand-host topology
+  /// therefore costs a thousand empty buckets, not a million Link objects.
   void FreezeTopology() CRAYFISH_REQUIRES("setup");
 
   /// Smallest propagation latency across the default spec and every
@@ -174,19 +179,35 @@ class CRAYFISH_SHARED("sim-network") Network {
 
   uint64_t total_bytes_sent() const;
   size_t host_count() const { return hosts_.size(); }
+  /// Materialized directed links (links are lazy; this counts only pairs
+  /// that actually communicated). The cluster_construct bench asserts this
+  /// stays far below hosts², i.e. construction memory is not quadratic.
+  size_t live_link_count() const;
 
  private:
+  /// Outgoing links of one source host. After FreezeTopology the outer map
+  /// is structurally immutable and each bucket is mutated only by its
+  /// source host's thread (or in quiescent global context), so lazy link
+  /// creation is race-free without locks.
+  struct HostLinks {
+    std::map<std::string, std::unique_ptr<Link>> out;
+  };
+
   Link* GetOrCreateLink(const std::string& from, const std::string& to);
 
   Simulation* sim_;
   LinkSpec default_spec_;
+  bool frozen_ = false;
   /// Ordered (lint R3): topology walks schedule simulated transfers, so
   /// host/link enumeration order is part of the reproducible event order.
   /// Guarded (lint R11): written only during single-threaded setup.
   std::map<std::string, Host> hosts_ CRAYFISH_GUARDED_BY("setup");
   std::map<std::pair<std::string, std::string>, LinkSpec> spec_overrides_;
   std::map<std::pair<std::string, std::string>, LinkDegradation> degradations_;
-  std::map<std::pair<std::string, std::string>, std::unique_ptr<Link>> links_;
+  /// Source host -> its outgoing-link bucket. Both levels are sorted maps,
+  /// so every enumeration (degradation re-resolution, byte totals) is
+  /// deterministic regardless of which thread materialized a link first.
+  std::map<std::string, HostLinks> links_by_src_;
 };
 
 }  // namespace crayfish::sim

@@ -26,12 +26,23 @@ void ServerPool::Submit(SimTime service_time,
 
 void ServerPool::Resize(int servers) {
   CRAYFISH_CHECK_GT(servers, 0);
+  pending_target_.reset();
   servers_ = servers;
   while (busy_ < servers_ && !queue_.empty()) {
     Job job = std::move(queue_.front());
     queue_.pop_front();
     StartJob(std::move(job));
   }
+}
+
+void ServerPool::ResizeGraceful(int servers) {
+  CRAYFISH_CHECK_GT(servers, 0);
+  if (servers >= servers_ || queue_.empty()) {
+    // Grows, and shrinks with no backlog, behave exactly like Resize.
+    Resize(servers);
+    return;
+  }
+  pending_target_ = servers;
 }
 
 void ServerPool::StartJob(Job job) {
@@ -69,6 +80,12 @@ void ServerPool::OnJobDone() {
     Job job = std::move(queue_.front());
     queue_.pop_front();
     StartJob(std::move(job));
+  }
+  if (pending_target_.has_value() && queue_.empty()) {
+    // Backlog drained: the deferred shrink lands now; jobs still running
+    // on the retired servers finish normally.
+    servers_ = *pending_target_;
+    pending_target_.reset();
   }
 }
 

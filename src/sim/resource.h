@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "common/stats.h"
@@ -46,7 +47,20 @@ class ServerPool {
   /// immediately; shrinking takes effect as running jobs finish.
   void Resize(int servers);
 
+  /// Like Resize, but a shrink drains first: queued jobs keep dispatching
+  /// at the current width and the lower target applies once the backlog
+  /// empties (running jobs always finish either way). A grow cancels any
+  /// pending shrink and applies immediately. Autoscaler scale-in uses this
+  /// so removing workers can never strand queued work.
+  void ResizeGraceful(int servers);
+
   int servers() const { return servers_; }
+  /// Drain-pending shrink target, or servers() when none is pending. This
+  /// is the width the pool is converging to — what the autoscaler reads as
+  /// the current replica count so in-flight drains are not re-requested.
+  int target_servers() const {
+    return pending_target_.has_value() ? *pending_target_ : servers_;
+  }
   int busy() const { return busy_; }
   size_t queue_depth() const { return queue_.size(); }
   uint64_t completed() const { return completed_; }
@@ -79,6 +93,8 @@ class ServerPool {
   std::string name_;
   int servers_;
   int busy_ = 0;
+  /// Deferred shrink width from ResizeGraceful, applied when queue_ drains.
+  std::optional<int> pending_target_;
   std::deque<Job> queue_;
   uint64_t completed_ = 0;
   double busy_time_ = 0.0;

@@ -70,6 +70,16 @@ std::string Fingerprint(const ExperimentResult& r) {
     AppendBits(&os, f.goodput_eps);
     os << "\n";
   }
+  if (r.has_autoscale) {
+    for (const scale::ScalingAction& a : r.autoscale.actions) {
+      os << "scale:";
+      AppendBits(&os, a.t_s);
+      os << a.from << ">" << a.to << ":" << a.reason << "\n";
+    }
+    os << "scale-ticks:" << r.autoscale.ticks << ":"
+       << r.autoscale.peak_replicas << ":" << r.autoscale.final_replicas
+       << "\n";
+  }
   if (r.trace != nullptr) os << r.trace->ToStageCsv();
   return os.str();
 }
@@ -290,6 +300,69 @@ TEST(DeterminismTest, ConfinedPipelineMatchesSerialAcrossEngines) {
                << want.substr(at > 40 ? at - 40 : 0, 80) << "\" vs \""
                << got.substr(at > 40 ? at - 40 : 0, 80) << "\"";
       }
+    }
+  }
+}
+
+/// An autoscaled flash-crowd run: the control loop executes as exclusive
+/// events at global sync points, so every resize decision — and therefore
+/// every downstream byte — must be independent of the partition count.
+ExperimentConfig AutoscaledProbeConfig(uint64_t seed, int threads) {
+  ExperimentConfig cfg;
+  cfg.engine = "flink";
+  // TorchServe: worker-count-bound capacity, so the control loop actually
+  // resizes during the spike instead of idling at min_replicas.
+  cfg.serving = "torchserve";
+  cfg.model = "ffnn";
+  cfg.input_rate = 100.0;
+  cfg.parallelism = 4;
+  cfg.duration_s = 30.0;
+  cfg.drain_s = 8.0;
+  cfg.seed = seed;
+  cfg.timeline_interval_s = 1.0;
+  cfg.sim_threads = threads;
+  cfg.workload.enabled = true;
+  cfg.workload.shape.kind = scale::ShapeKind::kFlashCrowd;
+  cfg.workload.shape.base_rate = 120.0;
+  cfg.workload.shape.spike_at_s = 8.0;
+  cfg.workload.shape.ramp_up_s = 2.0;
+  cfg.workload.shape.hold_s = 8.0;
+  cfg.workload.shape.decay_s = 4.0;
+  cfg.workload.shape.spike_mult = 5.0;
+  cfg.workload.tenants = 2;
+  cfg.workload.tenant_partitions = 4;
+  cfg.autoscaler.enabled = true;
+  cfg.autoscaler.interval_s = 2.0;
+  cfg.autoscaler.min_replicas = 1;
+  cfg.autoscaler.max_replicas = 4;
+  cfg.autoscaler.step = 1;
+  cfg.autoscaler.cooldown_s = 4.0;
+  cfg.autoscaler.scale_in_hysteresis = 2;
+  cfg.autoscaler.scale_up_lag = 60.0;
+  cfg.autoscaler.scale_down_lag = 5.0;
+  return cfg;
+}
+
+TEST(DeterminismTest, AutoscaledRunMatchesSerialByteForByte) {
+  auto serial = RunExperiment(AutoscaledProbeConfig(4321, 1));
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(serial->has_autoscale);
+  ASSERT_GE(serial->autoscale.ticks, 1u);
+  const std::string want = WideFingerprint(*serial);
+  for (const int threads : {2, 4, 8}) {
+    auto parallel = RunExperiment(AutoscaledProbeConfig(4321, threads));
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    const std::string got = WideFingerprint(*parallel);
+    if (got != want) {
+      size_t at = 0;
+      while (at < want.size() && at < got.size() && want[at] == got[at]) {
+        ++at;
+      }
+      FAIL() << "autoscaled sim_threads=" << threads
+             << " diverged from serial at byte " << at << " (sizes "
+             << want.size() << " vs " << got.size() << "); context: \""
+             << want.substr(at > 40 ? at - 40 : 0, 80) << "\" vs \""
+             << got.substr(at > 40 ? at - 40 : 0, 80) << "\"";
     }
   }
 }

@@ -12,8 +12,8 @@ namespace {
 const std::map<std::string, int, std::less<>> kModuleRanks = {
     {"common", 0}, {"sim", 1},     {"tensor", 1},
     {"broker", 2}, {"model", 2},   {"fault", 3},
-    {"sps", 4},    {"serving", 4}, {"core", 5},
-    {"obs", 6},
+    {"scale", 4},  {"sps", 5},     {"serving", 5},
+    {"core", 6},   {"obs", 7},
 };
 
 }  // namespace

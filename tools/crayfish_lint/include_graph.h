@@ -13,7 +13,8 @@ namespace crayfish::lint {
 
 /// The architecture layering R7 enforces (DESIGN.md §4.3):
 ///
-///   common → {sim, tensor} → {broker, model} → {sps, serving} → core → obs
+///   common → {sim, tensor} → {broker, model} → fault → scale →
+///   {sps, serving} → core → obs
 ///
 /// An arrow means "may be included by what follows": a module may include
 /// itself and any module of a strictly lower layer. One extra documented
@@ -26,7 +27,7 @@ namespace crayfish::lint {
 /// exempt from layering).
 std::string ModuleOf(std::string_view path);
 
-/// Layer rank of a module (0 = common ... 5 = obs), or -1 when unknown.
+/// Layer rank of a module (0 = common ... 7 = obs), or -1 when unknown.
 int ModuleRank(std::string_view module);
 
 /// True when a file of module `from` may include a header of module `to`.

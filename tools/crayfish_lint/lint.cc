@@ -539,7 +539,7 @@ class Linter {
           << ModuleRank(from) << ") may only include strictly lower layers, "
           << "but '" << to << "' is layer " << ModuleRank(to)
           << "; allowed order is common -> {sim, tensor} -> {broker, model} "
-          << "-> fault -> {sps, serving} -> core -> obs "
+          << "-> fault -> scale -> {sps, serving} -> core -> obs "
           << "(plus sps -> serving)";
       Report(Rule::kLayering, inc.line, msg.str(),
              "invert the dependency: move the shared type into a lower "

@@ -22,6 +22,11 @@
 //   --timeline_interval=S   tumbling-window width in seconds (default 1)
 //   --slo=PATH          evaluate SLOs from a JSON spec against the timeline
 //   --slo_out=PATH      write the SLO report as JSON
+//   --workload=PATH     drive the producer with a workload shape (JSON:
+//                       constant|diurnal|flash-crowd|ramp|replay, plus
+//                       multi-tenant fan-out; see README)
+//   --autoscaler=PATH   run the elastic control loop from a policy JSON
+//                       (reactive | predictive) and report scaling actions
 //   --confinement_report[=PATH]
 //                       print the per-component scheduling-plane verdict
 //                       table (from the lint confinement plan) for the
@@ -53,6 +58,12 @@
 //   seed          = 42
 //   sim_threads   = 1                # parallel DES partitions (results are
 //                                    # byte-identical at any value)
+//   # workload.* / autoscaler.* keys override the respective JSON specs
+//   # (and enable them), e.g.:
+//   # workload.kind        = flash-crowd
+//   # workload.base_rate   = 500
+//   # autoscaler.kind      = reactive
+//   # autoscaler.max_replicas = 8
 //   # engine-specific overrides pass through verbatim, e.g.:
 //   # spark.max_offsets_per_trigger = 768
 
@@ -70,6 +81,8 @@
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/sweep.h"
+#include "scale/policy.h"
+#include "scale/workload.h"
 #include "serving/calibration.h"
 
 namespace {
@@ -111,11 +124,13 @@ core::ExperimentConfig FromConfig(const Config& cfg) {
   out.enable_tracing = cfg.GetBoolOr("trace", out.enable_tracing);
   out.timeline_interval_s =
       cfg.GetDoubleOr("timeline_interval_s", out.timeline_interval_s);
-  // Engine-specific keys pass through verbatim; "fault.*" keys are plan
-  // overrides, routed separately by ApplyFaultConfig.
+  // Engine-specific keys pass through verbatim; "fault.*", "workload.*",
+  // and "autoscaler.*" keys are plan/spec overrides, routed separately by
+  // ApplyFaultConfig / ApplyScaleConfig.
   for (const std::string& key : cfg.Keys()) {
     if (key.find('.') != std::string::npos &&
-        key.rfind("fault.", 0) != 0) {
+        key.rfind("fault.", 0) != 0 && key.rfind("workload.", 0) != 0 &&
+        key.rfind("autoscaler.", 0) != 0) {
       out.engine_overrides.Set(key, cfg.GetStringOr(key, ""));
     }
   }
@@ -156,6 +171,38 @@ Status ApplyFaultConfig(const Config& cfg, const std::string& faults_flag,
     if (key.rfind("fault.", 0) == 0) {
       CRAYFISH_RETURN_IF_ERROR(out->fault_plan.ApplyOverride(
           key.substr(6), cfg.GetStringOr(key, "")));
+    }
+  }
+  return Status::Ok();
+}
+
+// Loads the workload shape and autoscaler policy (the --workload /
+// --autoscaler flags win over the "workload" / "autoscaler" config keys)
+// and applies "workload.<key>" / "autoscaler.<key>" overrides from the
+// config file.
+Status ApplyScaleConfig(const Config& cfg, const std::string& workload_flag,
+                        const std::string& autoscaler_flag,
+                        core::ExperimentConfig* out) {
+  const std::string workload_path =
+      !workload_flag.empty() ? workload_flag : cfg.GetStringOr("workload", "");
+  if (!workload_path.empty()) {
+    CRAYFISH_ASSIGN_OR_RETURN(out->workload,
+                              scale::WorkloadSpec::FromFile(workload_path));
+  }
+  const std::string policy_path = !autoscaler_flag.empty()
+                                      ? autoscaler_flag
+                                      : cfg.GetStringOr("autoscaler", "");
+  if (!policy_path.empty()) {
+    CRAYFISH_ASSIGN_OR_RETURN(out->autoscaler,
+                              scale::PolicyConfig::FromFile(policy_path));
+  }
+  for (const std::string& key : cfg.Keys()) {
+    if (key.rfind("workload.", 0) == 0) {
+      CRAYFISH_RETURN_IF_ERROR(out->workload.ApplyOverride(
+          key.substr(9), cfg.GetStringOr(key, "")));
+    } else if (key.rfind("autoscaler.", 0) == 0) {
+      CRAYFISH_RETURN_IF_ERROR(out->autoscaler.ApplyOverride(
+          key.substr(11), cfg.GetStringOr(key, "")));
     }
   }
   return Status::Ok();
@@ -295,6 +342,10 @@ void PrintUsage(const char* prog) {
       "  --timeline_interval=S   timeline window width, seconds (default 1)\n"
       "  --slo=PATH          evaluate SLOs (JSON spec) against the timeline\n"
       "  --slo_out=PATH      SLO report as JSON\n"
+      "  --workload=PATH     workload shape JSON (constant|diurnal|\n"
+      "                      flash-crowd|ramp|replay + multi-tenant fan-out)\n"
+      "  --autoscaler=PATH   elastic-scaling policy JSON (reactive |\n"
+      "                      predictive); scaling actions print after the run\n"
       "  --confinement_report[=PATH]\n"
       "                      print the per-component scheduling-plane\n"
       "                      verdict table for this config's topology\n"
@@ -327,6 +378,8 @@ int main(int argc, char** argv) {
   std::string timeline_interval;
   std::string slo_path;
   std::string slo_out;
+  std::string workload_path;
+  std::string autoscaler_path;
   bool confinement_report = false;
   std::string confinement_path =
       "tools/crayfish_lint/golden/confinement_src.json";
@@ -354,7 +407,9 @@ int main(int argc, char** argv) {
                ParseFlag(arg, "--timeline_csv", &timeline_csv) ||
                ParseFlag(arg, "--timeline_interval", &timeline_interval) ||
                ParseFlag(arg, "--slo", &slo_path) ||
-               ParseFlag(arg, "--slo_out", &slo_out)) {
+               ParseFlag(arg, "--slo_out", &slo_out) ||
+               ParseFlag(arg, "--workload", &workload_path) ||
+               ParseFlag(arg, "--autoscaler", &autoscaler_path)) {
       // value captured by ParseFlag
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -430,6 +485,13 @@ int main(int argc, char** argv) {
                      fs.ToString().c_str());
         return 2;
       }
+      crayfish::Status scs = ApplyScaleConfig(*cfg_or, workload_path,
+                                              autoscaler_path, &batch.back());
+      if (!scs.ok()) {
+        std::fprintf(stderr, "scale config error (%s): %s\n", path.c_str(),
+                     scs.ToString().c_str());
+        return 2;
+      }
     }
     std::printf("running %zu experiments (jobs=%d) ...\n", batch.size(),
                 std::min(core::ResolveSweepJobs(0),
@@ -464,6 +526,13 @@ int main(int argc, char** argv) {
         ApplySloConfig(*cfg_or, slo_path, timeline_interval, &cfg);
     if (!ss.ok()) {
       std::fprintf(stderr, "slo config error: %s\n", ss.ToString().c_str());
+      return 2;
+    }
+    crayfish::Status scs =
+        ApplyScaleConfig(*cfg_or, workload_path, autoscaler_path, &cfg);
+    if (!scs.ok()) {
+      std::fprintf(stderr, "scale config error: %s\n",
+                   scs.ToString().c_str());
       return 2;
     }
   }
@@ -508,6 +577,20 @@ int main(int argc, char** argv) {
       }
       std::printf("  %-24s t=[%.2f, %s] %s\n", w.name.c_str(), w.start_s,
                   end, w.outage ? "outage" : "degradation");
+    }
+  }
+  if (result->has_autoscale) {
+    const scale::AutoscaleSummary& a = result->autoscale;
+    std::printf(
+        "autoscale:      %llu ticks, %llu up / %llu down, peak %d, final "
+        "%d replicas\n",
+        static_cast<unsigned long long>(a.ticks),
+        static_cast<unsigned long long>(a.scale_ups),
+        static_cast<unsigned long long>(a.scale_downs), a.peak_replicas,
+        a.final_replicas);
+    for (const scale::ScalingAction& act : a.actions) {
+      std::printf("  t=%8.2f %2d -> %-2d %s\n", act.t_s, act.from, act.to,
+                  act.reason.c_str());
     }
   }
   if (cfg.bursty) {
